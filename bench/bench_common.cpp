@@ -1,0 +1,108 @@
+#include "bench_common.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+
+#include "common/strfmt.hpp"
+
+namespace smartmem::bench {
+
+Options parse_options(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--scale") {
+      opts.scale = std::atof(next());
+    } else if (arg == "--reps") {
+      opts.repetitions = static_cast<std::size_t>(std::atoi(next()));
+    } else if (arg == "--seed") {
+      opts.base_seed = static_cast<std::uint64_t>(std::atoll(next()));
+    } else if (arg == "--csv") {
+      opts.csv_dir = next();
+    } else if (arg == "--full") {
+      opts.scale = 1.0;
+      opts.repetitions = 5;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "flags: --scale <f> --reps <n> --seed <n> --csv <dir> --full\n");
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+std::vector<core::ExperimentResult> run_runtime_figure(
+    const std::string& figure_id, const std::string& title,
+    core::ScenarioSpec (*scenario)(double),
+    const std::vector<mm::PolicySpec>& policies, const Options& opts) {
+  const core::ScenarioSpec spec = scenario(opts.scale);
+  std::printf("=== %s: %s ===\n", figure_id.c_str(), title.c_str());
+  std::printf("scenario: %s\n", spec.description.c_str());
+  std::printf("scale %.4g (1.0 = paper geometry), %zu repetitions, seed %llu\n\n",
+              opts.scale, opts.repetitions,
+              static_cast<unsigned long long>(opts.base_seed));
+
+  std::vector<core::ExperimentResult> results;
+  for (const auto& policy : policies) {
+    core::ExperimentConfig cfg;
+    cfg.repetitions = opts.repetitions;
+    cfg.base_seed = opts.base_seed;
+    results.push_back(core::run_experiment(spec, policy, cfg));
+    std::printf("  ran %s\n", policy.label().c_str());
+  }
+  std::printf("\n");
+  core::print_runtime_table(std::cout, figure_id + " — " + title, results);
+  std::printf("\n");
+  core::print_improvements(std::cout, results, "no-tmem");
+  core::print_improvements(std::cout, results, "greedy");
+  if (!opts.csv_dir.empty()) {
+    const std::string path = opts.csv_dir + "/" + figure_id + "_runtimes.csv";
+    core::write_runtime_csv(path, results);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::printf("\n");
+  return results;
+}
+
+void run_usage_figure(const std::string& figure_id, const std::string& title,
+                      core::ScenarioSpec (*scenario)(double),
+                      const std::vector<mm::PolicySpec>& panels,
+                      const Options& opts, bool include_targets) {
+  const core::ScenarioSpec spec = scenario(opts.scale);
+  std::printf("=== %s: %s ===\n", figure_id.c_str(), title.c_str());
+  std::printf("scenario: %s\nscale %.4g, seed %llu\n\n",
+              spec.description.c_str(), opts.scale,
+              static_cast<unsigned long long>(opts.base_seed));
+
+  char panel = 'a';
+  for (const auto& policy : panels) {
+    const core::ScenarioResult run =
+        core::run_scenario(spec, policy, opts.base_seed);
+    core::print_usage_panel(
+        std::cout,
+        strfmt("%s(%c) %s", figure_id.c_str(), panel, policy.label().c_str()),
+        run, include_targets);
+    if (!opts.csv_dir.empty()) {
+      const std::string path = strfmt("%s/%s_%c_usage.csv",
+                                      opts.csv_dir.c_str(), figure_id.c_str(),
+                                      panel);
+      core::write_usage_csv(path, run);
+      std::printf("wrote %s\n", path.c_str());
+    }
+    ++panel;
+  }
+}
+
+}  // namespace smartmem::bench

@@ -1,0 +1,48 @@
+// Shared driver for the figure-reproduction benches.
+//
+// Every bench binary regenerates one table/figure of the paper: it runs a
+// scenario under a set of policies, prints the running-time table or the
+// tmem-usage chart, and (with --csv) dumps raw data for plotting.
+//
+// Flags (all optional):
+//   --scale <f>   linear memory scale (default 0.125; 1.0 = paper size)
+//   --reps <n>    repetitions per policy (default 3; paper uses 5)
+//   --seed <n>    base seed (default 1)
+//   --csv <dir>   write CSV files into <dir>
+//   --full        shorthand for --scale 1.0 --reps 5
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+
+namespace smartmem::bench {
+
+struct Options {
+  double scale = 0.125;
+  std::size_t repetitions = 3;
+  std::uint64_t base_seed = 1;
+  std::string csv_dir;
+};
+
+Options parse_options(int argc, char** argv);
+
+/// Runs `scenario(scale)` under every policy, prints the Figure-style
+/// running-time table plus the paper's improvement lines, and returns the
+/// per-policy results.
+std::vector<core::ExperimentResult> run_runtime_figure(
+    const std::string& figure_id, const std::string& title,
+    core::ScenarioSpec (*scenario)(double),
+    const std::vector<mm::PolicySpec>& policies, const Options& opts);
+
+/// Runs one seeded run per policy panel and prints the tmem-usage charts
+/// (the Figure 4/6/8/10 format).
+void run_usage_figure(const std::string& figure_id, const std::string& title,
+                      core::ScenarioSpec (*scenario)(double),
+                      const std::vector<mm::PolicySpec>& panels,
+                      const Options& opts, bool include_targets = false);
+
+}  // namespace smartmem::bench

@@ -1,0 +1,24 @@
+// Figure 3: running times for Scenario 1 (3x in-memory-analytics, two runs
+// each) across the management policies, varying P for smart-alloc.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_runtime_figure(
+      "fig03", "Running times for Scenario 1 (SM refers to smart-alloc)",
+      core::scenario1,
+      {
+          mm::PolicySpec::no_tmem(),
+          mm::PolicySpec::greedy(),
+          mm::PolicySpec::static_alloc(),
+          mm::PolicySpec::reconf_static(),
+          mm::PolicySpec::smart(0.25),
+          mm::PolicySpec::smart(0.5),
+          mm::PolicySpec::smart(0.75),
+          mm::PolicySpec::smart(1.0),
+          mm::PolicySpec::smart(2.0),
+      },
+      opts);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Figure 4: tmem capacity held by each VM over time in Scenario 1, under
+// (a) greedy and (b) smart-alloc with P = 0.75% — including the enforced
+// target line for VM3 that the paper plots.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_usage_figure(
+      "fig04", "Tmem capacity per VM for Scenario 1", core::scenario1,
+      {mm::PolicySpec::greedy(), mm::PolicySpec::smart(0.75)}, opts,
+      /*include_targets=*/true);
+  return 0;
+}

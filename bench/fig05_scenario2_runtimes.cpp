@@ -1,0 +1,21 @@
+// Figure 5: running times for Scenario 2 (3x graph-analytics, VM3 staggered
+// 30s) across policies, with the P values the paper evaluates there.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_runtime_figure(
+      "fig05", "Running times for Scenario 2", core::scenario2,
+      {
+          mm::PolicySpec::no_tmem(),
+          mm::PolicySpec::greedy(),
+          mm::PolicySpec::static_alloc(),
+          mm::PolicySpec::reconf_static(),
+          mm::PolicySpec::smart(2.0),
+          mm::PolicySpec::smart(4.0),
+          mm::PolicySpec::smart(6.0),
+      },
+      opts);
+  return 0;
+}

@@ -1,0 +1,12 @@
+// Figure 6: tmem use of all VMs in Scenario 2 for (a) greedy and
+// (b) smart-alloc with P = 6%.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_usage_figure(
+      "fig06", "Tmem use of all VMs in Scenario 2", core::scenario2,
+      {mm::PolicySpec::greedy(), mm::PolicySpec::smart(6.0)}, opts);
+  return 0;
+}

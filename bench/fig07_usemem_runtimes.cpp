@@ -1,0 +1,19 @@
+// Figure 7: running times for the usemem scenario — per-VM time spent at
+// each allocation size (the staggered start/stop of Table II applies).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_runtime_figure(
+      "fig07", "Running times for the usemem scenario", core::usemem_scenario,
+      {
+          mm::PolicySpec::no_tmem(),
+          mm::PolicySpec::greedy(),
+          mm::PolicySpec::static_alloc(),
+          mm::PolicySpec::reconf_static(),
+          mm::PolicySpec::smart(2.0),
+      },
+      opts);
+  return 0;
+}

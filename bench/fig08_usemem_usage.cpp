@@ -1,0 +1,15 @@
+// Figure 8: tmem use of all VMs in the usemem scenario for (a) greedy,
+// (b) reconf-static and (c) smart-alloc with P = 2%.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_usage_figure(
+      "fig08", "Tmem use of all VMs in the usemem scenario",
+      core::usemem_scenario,
+      {mm::PolicySpec::greedy(), mm::PolicySpec::reconf_static(),
+       mm::PolicySpec::smart(2.0)},
+      opts);
+  return 0;
+}

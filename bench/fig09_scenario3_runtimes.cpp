@@ -1,0 +1,20 @@
+// Figure 9: running times for Scenario 3 (2x graph-analytics + 1 large
+// in-memory-analytics VM staggered 30s).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_runtime_figure(
+      "fig09", "Running times for Scenario 3", core::scenario3,
+      {
+          mm::PolicySpec::no_tmem(),
+          mm::PolicySpec::greedy(),
+          mm::PolicySpec::static_alloc(),
+          mm::PolicySpec::reconf_static(),
+          mm::PolicySpec::smart(2.0),
+          mm::PolicySpec::smart(4.0),
+      },
+      opts);
+  return 0;
+}

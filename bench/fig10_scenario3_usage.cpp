@@ -1,0 +1,14 @@
+// Figure 10: tmem use of all VMs in Scenario 3 for (a) greedy,
+// (b) static-alloc, (c) reconf-static and (d) smart-alloc with P = 4%.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace smartmem;
+  const auto opts = bench::parse_options(argc, argv);
+  bench::run_usage_figure(
+      "fig10", "Tmem use of all VMs in Scenario 3", core::scenario3,
+      {mm::PolicySpec::greedy(), mm::PolicySpec::static_alloc(),
+       mm::PolicySpec::reconf_static(), mm::PolicySpec::smart(4.0)},
+      opts);
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Compare every management policy on one of the paper's scenarios.
+//
+//   $ ./build/examples/policy_comparison [scenario] [scale]
+//
+//   scenario: scenario1 | scenario2 | usemem | scenario3   (default scenario1)
+//   scale:    linear memory scale, 1.0 = paper geometry    (default 0.125)
+//
+// Prints the per-VM running times, the fairness spread of tmem usage, and
+// the swap traffic breakdown per policy.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <cmath>
+
+#include "core/smartmem.hpp"
+
+using namespace smartmem;
+
+namespace {
+
+core::ScenarioSpec pick_scenario(const std::string& name, double scale) {
+  if (name == "scenario1") return core::scenario1(scale);
+  if (name == "scenario2") return core::scenario2(scale);
+  if (name == "usemem") return core::usemem_scenario(scale);
+  if (name == "scenario3") return core::scenario3(scale);
+  std::fprintf(stderr, "unknown scenario '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+// Time-averaged mean absolute deviation of per-VM tmem usage: the fairness
+// metric behind the paper's Figures 4/6/8/10.
+double usage_spread(const core::ScenarioResult& r) {
+  std::vector<const TimeSeries*> series;
+  for (const auto& vm : r.vms) {
+    if (const auto* ts = r.usage.find(vm.name)) series.push_back(ts);
+  }
+  if (series.empty() || series[0]->empty()) return 0.0;
+  double acc = 0;
+  std::size_t n = 0;
+  for (const auto& s : series[0]->samples()) {
+    double mean = 0;
+    for (const auto* ts : series) mean += ts->value_at(s.when);
+    mean /= static_cast<double>(series.size());
+    double dev = 0;
+    for (const auto* ts : series) dev += std::abs(ts->value_at(s.when) - mean);
+    acc += dev / static_cast<double>(series.size());
+    ++n;
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scenario_name = argc > 1 ? argv[1] : "scenario1";
+  const double scale = argc > 2 ? std::atof(argv[2]) : 0.125;
+  const core::ScenarioSpec spec = pick_scenario(scenario_name, scale);
+
+  std::printf("%s at scale %.4g\n%s\n\n", spec.name.c_str(), scale,
+              spec.description.c_str());
+  std::printf("%-14s %28s %14s %22s\n", "policy", "per-VM total runtime (s)",
+              "fairness", "swap-ins tmem/disk");
+  std::printf("%s\n", std::string(82, '-').c_str());
+
+  const std::vector<mm::PolicySpec> policies = {
+      mm::PolicySpec::no_tmem(),      mm::PolicySpec::greedy(),
+      mm::PolicySpec::static_alloc(), mm::PolicySpec::reconf_static(),
+      mm::PolicySpec::smart(0.75),    mm::PolicySpec::smart(4.0),
+      mm::PolicySpec::swap_rate(),    mm::PolicySpec::wss(),
+  };
+  for (const auto& policy : policies) {
+    const core::ScenarioResult r = core::run_scenario(spec, policy, 42);
+    std::string times;
+    std::uint64_t tmem_in = 0, disk_in = 0;
+    for (const auto& vm : r.vms) {
+      times += strfmt("%8.2f", to_seconds(vm.finish_time - vm.start_time));
+      tmem_in += vm.guest.swapins_tmem;
+      disk_in += vm.guest.swapins_disk;
+    }
+    std::printf("%-14s %28s %14.0f %13llu/%llu\n", policy.label().c_str(),
+                times.c_str(), usage_spread(r),
+                static_cast<unsigned long long>(tmem_in),
+                static_cast<unsigned long long>(disk_in));
+  }
+  std::printf(
+      "\nfairness = time-averaged cross-VM deviation of tmem pages held "
+      "(lower = fairer).\n");
+  return 0;
+}

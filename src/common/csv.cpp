@@ -1,0 +1,80 @@
+#include "common/csv.hpp"
+
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+#include "common/time_series.hpp"
+#include "common/types.hpp"
+
+namespace smartmem {
+
+CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
+
+CsvWriter::CsvWriter(const std::string& path) : owned_(path), out_(&owned_) {
+  if (!owned_) {
+    throw std::runtime_error("CsvWriter: cannot open " + path);
+  }
+}
+
+void CsvWriter::separator() {
+  if (!at_row_start_) *out_ << ',';
+  at_row_start_ = false;
+}
+
+std::string CsvWriter::escape(const std::string& value) {
+  if (value.find_first_of(",\"\n\r") == std::string::npos) return value;
+  std::string out = "\"";
+  for (char c : value) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter& CsvWriter::field(const std::string& value) {
+  separator();
+  *out_ << escape(value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  separator();
+  *out_ << strfmt("%.6g", value);
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  separator();
+  *out_ << value;
+  return *this;
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  at_row_start_ = true;
+}
+
+void CsvWriter::row(std::initializer_list<std::string> fields) {
+  for (const auto& f : fields) field(f);
+  end_row();
+}
+
+void write_series_csv(const std::string& path, const SeriesSet& set) {
+  CsvWriter csv(path);
+  csv.row({"series", "time_s", "value"});
+  for (const auto& [name, ts] : set.all()) {
+    for (const auto& s : ts.samples()) {
+      csv.field(name).field(to_seconds(s.when)).field(s.value);
+      csv.end_row();
+    }
+  }
+}
+
+}  // namespace smartmem

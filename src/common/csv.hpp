@@ -1,0 +1,51 @@
+// CSV export so every bench can dump the raw rows behind its printed table
+// (one file per figure, consumable by any plotting tool).
+#pragma once
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace smartmem {
+
+class SeriesSet;
+
+/// Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream.
+  explicit CsvWriter(std::ostream& out);
+
+  /// Opens (and truncates) `path`; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Appends one field to the current row.
+  CsvWriter& field(const std::string& value);
+  CsvWriter& field(double value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(std::int64_t value);
+
+  /// Terminates the current row.
+  void end_row();
+
+  /// Convenience: writes a whole row of string fields.
+  void row(std::initializer_list<std::string> fields);
+
+ private:
+  void separator();
+  static std::string escape(const std::string& value);
+
+  std::ofstream owned_;
+  std::ostream* out_;
+  bool at_row_start_ = true;
+};
+
+/// Dumps a SeriesSet as long-format CSV: series,name,time_s,value.
+void write_series_csv(const std::string& path, const SeriesSet& set);
+
+}  // namespace smartmem

@@ -1,0 +1,64 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+
+#include "common/strfmt.hpp"
+
+namespace smartmem::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+
+void vwrite(Level lvl, const char* fmt, std::va_list args) {
+  const std::string msg = vstrfmt(fmt, args);
+  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+}
+
+}  // namespace
+
+void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+bool enabled(Level lvl) { return lvl >= level(); }
+
+const char* level_name(Level lvl) {
+  switch (lvl) {
+    case Level::kTrace: return "trace";
+    case Level::kDebug: return "debug";
+    case Level::kInfo: return "info";
+    case Level::kWarn: return "warn";
+    case Level::kError: return "error";
+    case Level::kOff: return "off";
+  }
+  return "?";
+}
+
+void write(Level lvl, const char* fmt, ...) {
+  if (!enabled(lvl)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vwrite(lvl, fmt, args);
+  va_end(args);
+}
+
+#define SMARTMEM_LOG_IMPL(name, lvl)                  \
+  void name(const char* fmt, ...) {                   \
+    if (!enabled(lvl)) return;                        \
+    std::va_list args;                                \
+    va_start(args, fmt);                              \
+    vwrite(lvl, fmt, args);                           \
+    va_end(args);                                     \
+  }
+
+SMARTMEM_LOG_IMPL(trace, Level::kTrace)
+SMARTMEM_LOG_IMPL(debug, Level::kDebug)
+SMARTMEM_LOG_IMPL(info, Level::kInfo)
+SMARTMEM_LOG_IMPL(warn, Level::kWarn)
+SMARTMEM_LOG_IMPL(error, Level::kError)
+
+#undef SMARTMEM_LOG_IMPL
+
+}  // namespace smartmem::log

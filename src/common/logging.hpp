@@ -1,0 +1,27 @@
+// Leveled logging for the simulator. Defaults to Warn so tests and benches
+// stay quiet; scenario tools raise it with --verbose.
+#pragma once
+
+#include <string>
+
+namespace smartmem::log {
+
+enum class Level { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_level(Level level);
+Level level();
+
+bool enabled(Level level);
+
+[[gnu::format(printf, 2, 3)]] void write(Level level, const char* fmt, ...);
+
+[[gnu::format(printf, 1, 2)]] void trace(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void debug(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void info(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void warn(const char* fmt, ...);
+[[gnu::format(printf, 1, 2)]] void error(const char* fmt, ...);
+
+const char* level_name(Level level);
+
+}  // namespace smartmem::log

@@ -1,0 +1,123 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+#include <cmath>
+
+namespace smartmem {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's multiply-shift rejection method: unbiased and division-free in
+  // the common case.
+  std::uint64_t x = next();
+  __uint128_t m = static_cast<__uint128_t>(x) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = (0 - bound) % bound;
+    while (lo < threshold) {
+      x = next();
+      m = static_cast<__uint128_t>(x) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::uint64_t Rng::uniform_range(std::uint64_t lo, std::uint64_t hi) {
+  assert(lo <= hi);
+  return lo + uniform(hi - lo + 1);
+}
+
+double Rng::uniform_double() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+Rng Rng::split() {
+  return Rng(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double s) : n_(n), s_(s) {
+  assert(n >= 1);
+  assert(s >= 0.0);
+  h_integral_x1_ = h_integral(1.5) - 1.0;
+  h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  threshold_ = 2.0 - h_integral_inverse(h_integral(2.5) - h(2.0));
+}
+
+double ZipfSampler::h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+double ZipfSampler::h_integral(double x) const {
+  // Antiderivative of t^-s evaluated at x: (x^(1-s) - 1) / (1-s), computed
+  // via expm1/log for stability, with the s == 1 limit equal to ln(x).
+  const double log_x = std::log(x);
+  if (std::abs(1.0 - s_) > 1e-8) {
+    return std::expm1((1.0 - s_) * log_x) / (1.0 - s_);
+  }
+  return log_x;
+}
+
+double ZipfSampler::h_integral_inverse(double x) const {
+  double t = x * (1.0 - s_);
+  if (t < -1.0) t = -1.0;
+  if (std::abs(1.0 - s_) > 1e-8) {
+    return std::exp(std::log1p(t) / (1.0 - s_));
+  }
+  return std::exp(x);
+}
+
+std::uint64_t ZipfSampler::sample(Rng& rng) const {
+  while (true) {
+    const double u =
+        h_integral_n_ + rng.uniform_double() * (h_integral_x1_ - h_integral_n_);
+    const double x = h_integral_inverse(u);
+    std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+    if (k < 1) k = 1;
+    if (k > n_) k = n_;
+    const double kd = static_cast<double>(k);
+    if (kd - x <= threshold_ ||
+        u >= h_integral(kd + 0.5) - h(kd)) {
+      return k - 1;  // shift to 0-based
+    }
+  }
+}
+
+}  // namespace smartmem

@@ -1,0 +1,87 @@
+// Streaming statistics used for aggregating repeated experiment runs
+// (the paper reports mean and standard deviation over 5 runs) and for
+// instrumenting simulator components (disk queue delays, op latencies).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace smartmem {
+
+/// Welford's online mean/variance accumulator.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStats& other);
+
+  void reset();
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-width linear histogram with overflow/underflow buckets.
+class Histogram {
+ public:
+  /// Buckets cover [lo, hi) split into `buckets` equal cells.
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  std::uint64_t underflow() const { return underflow_; }
+  std::uint64_t overflow() const { return overflow_; }
+  std::uint64_t total() const { return total_; }
+
+  /// Lower edge of bucket i.
+  double bucket_lo(std::size_t i) const;
+
+  /// Approximate p-quantile (q in [0,1]) by linear interpolation within the
+  /// owning bucket; returns lo()/hi() bounds when mass sits in under/overflow.
+  double quantile(double q) const;
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t underflow_ = 0;
+  std::uint64_t overflow_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+/// Summary of a set of samples, convenient for table rows.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::size_t n = 0;
+};
+
+Summary summarize(const std::vector<double>& xs);
+
+}  // namespace smartmem

@@ -1,0 +1,37 @@
+#include "common/strfmt.hpp"
+
+#include <cstdio>
+#include <vector>
+
+namespace smartmem {
+
+std::string vstrfmt(const char* fmt, std::va_list args) {
+  std::va_list args_copy;
+  va_copy(args_copy, args);
+  const int needed = std::vsnprintf(nullptr, 0, fmt, args_copy);
+  va_end(args_copy);
+  if (needed <= 0) return {};
+  std::string out(static_cast<std::size_t>(needed), '\0');
+  std::vsnprintf(out.data(), out.size() + 1, fmt, args);
+  return out;
+}
+
+std::string strfmt(const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  std::string out = vstrfmt(fmt, args);
+  va_end(args);
+  return out;
+}
+
+std::string pad_right(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return s + std::string(width - s.size(), ' ');
+}
+
+std::string pad_left(const std::string& s, std::size_t width) {
+  if (s.size() >= width) return s.substr(0, width);
+  return std::string(width - s.size(), ' ') + s;
+}
+
+}  // namespace smartmem

@@ -1,0 +1,23 @@
+// Minimal printf-style string formatting. GCC 12 does not ship std::format,
+// so reporting code uses this instead; it is a thin, type-checked wrapper
+// around vsnprintf.
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace smartmem {
+
+/// Formats like printf into a std::string.
+[[gnu::format(printf, 1, 2)]] std::string strfmt(const char* fmt, ...);
+
+/// va_list flavour for building higher-level helpers.
+std::string vstrfmt(const char* fmt, std::va_list args);
+
+/// Left-pads or truncates `s` to exactly `width` characters.
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Right-aligns `s` in a field of `width` characters.
+std::string pad_left(const std::string& s, std::size_t width);
+
+}  // namespace smartmem

@@ -1,0 +1,118 @@
+#include "common/time_series.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "common/strfmt.hpp"
+
+namespace smartmem {
+
+void TimeSeries::push(SimTime when, double value) {
+  assert(samples_.empty() || samples_.back().when <= when);
+  samples_.push_back({when, value});
+}
+
+double TimeSeries::value_at(SimTime when, double fallback) const {
+  auto it = std::upper_bound(
+      samples_.begin(), samples_.end(), when,
+      [](SimTime t, const Sample& s) { return t < s.when; });
+  if (it == samples_.begin()) return fallback;
+  return std::prev(it)->value;
+}
+
+double TimeSeries::max_value() const {
+  double best = 0.0;
+  for (const auto& s : samples_) best = std::max(best, s.value);
+  return best;
+}
+
+double TimeSeries::mean_value() const {
+  if (samples_.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& s : samples_) sum += s.value;
+  return sum / static_cast<double>(samples_.size());
+}
+
+TimeSeries TimeSeries::downsample(std::size_t max_points) const {
+  TimeSeries out;
+  if (samples_.size() <= max_points || max_points == 0) {
+    out.samples_ = samples_;
+    return out;
+  }
+  const double stride = static_cast<double>(samples_.size()) /
+                        static_cast<double>(max_points);
+  for (std::size_t i = 0; i < max_points; ++i) {
+    const auto idx = static_cast<std::size_t>(
+        std::floor(static_cast<double>(i) * stride));
+    out.samples_.push_back(samples_[std::min(idx, samples_.size() - 1)]);
+  }
+  return out;
+}
+
+const TimeSeries* SeriesSet::find(const std::string& name) const {
+  auto it = series_.find(name);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::string SeriesSet::ascii_chart(std::size_t width, std::size_t height) const {
+  if (series_.empty() || width == 0 || height == 0) return {};
+
+  SimTime t_min = 0, t_max = 0;
+  double v_max = 0.0;
+  bool any = false;
+  for (const auto& [name, ts] : series_) {
+    if (ts.empty()) continue;
+    const auto& ss = ts.samples();
+    if (!any) {
+      t_min = ss.front().when;
+      t_max = ss.back().when;
+      any = true;
+    } else {
+      t_min = std::min(t_min, ss.front().when);
+      t_max = std::max(t_max, ss.back().when);
+    }
+    v_max = std::max(v_max, ts.max_value());
+  }
+  if (!any || t_max <= t_min) return {};
+  if (v_max <= 0.0) v_max = 1.0;
+
+  std::string out;
+  char mark = 'a';
+  for (const auto& [name, ts] : series_) {
+    out += strfmt("  [%c] %s (max %.0f)\n", mark, name.c_str(), ts.max_value());
+    ++mark;
+    if (mark > 'z') mark = 'A';
+  }
+
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  mark = 'a';
+  for (const auto& [name, ts] : series_) {
+    (void)name;
+    for (std::size_t col = 0; col < width; ++col) {
+      const SimTime t =
+          t_min + static_cast<SimTime>(
+                      static_cast<double>(t_max - t_min) *
+                      (static_cast<double>(col) / static_cast<double>(width - 1)));
+      const double v = ts.value_at(t, 0.0);
+      auto row = static_cast<std::size_t>(
+          std::round(v / v_max * static_cast<double>(height - 1)));
+      row = std::min(row, height - 1);
+      grid[height - 1 - row][col] = mark;
+    }
+    ++mark;
+    if (mark > 'z') mark = 'A';
+  }
+
+  for (std::size_t r = 0; r < height; ++r) {
+    const double level = v_max * static_cast<double>(height - 1 - r) /
+                         static_cast<double>(height - 1);
+    out += strfmt("%10.0f |%s|\n", level, grid[r].c_str());
+  }
+  out += strfmt("%10s  %-8.1fs%*s%.1fs\n", "", to_seconds(t_min),
+                static_cast<int>(width > 18 ? width - 18 : 1), "",
+                to_seconds(t_max));
+  return out;
+}
+
+}  // namespace smartmem

@@ -1,0 +1,59 @@
+// Time-series recording for the tmem-usage-over-time figures (Figs 4, 6, 8
+// and 10 of the paper plot per-VM tmem pages against wall-clock seconds).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace smartmem {
+
+struct Sample {
+  SimTime when = 0;
+  double value = 0.0;
+};
+
+/// One named series of (time, value) samples, appended in time order.
+class TimeSeries {
+ public:
+  void push(SimTime when, double value);
+
+  const std::vector<Sample>& samples() const { return samples_; }
+  bool empty() const { return samples_.empty(); }
+  std::size_t size() const { return samples_.size(); }
+
+  /// Last value at or before `when`; `fallback` when no such sample exists.
+  double value_at(SimTime when, double fallback = 0.0) const;
+
+  double max_value() const;
+  double mean_value() const;
+
+  /// Down-samples to at most `max_points` evenly spaced samples (for ASCII
+  /// plotting and CSV export of long runs).
+  TimeSeries downsample(std::size_t max_points) const;
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+/// A bundle of named series sharing one clock, e.g. one per VM plus targets.
+class SeriesSet {
+ public:
+  TimeSeries& series(const std::string& name) { return series_[name]; }
+  const TimeSeries* find(const std::string& name) const;
+
+  const std::map<std::string, TimeSeries>& all() const { return series_; }
+  bool empty() const { return series_.empty(); }
+
+  /// Renders the set as an ASCII chart: one column block per series, values
+  /// scaled to `height` rows. Good enough to see the usage shapes in a
+  /// terminal the way the paper's figures show them.
+  std::string ascii_chart(std::size_t width = 72, std::size_t height = 12) const;
+
+ private:
+  std::map<std::string, TimeSeries> series_;
+};
+
+}  // namespace smartmem

@@ -1,0 +1,55 @@
+// Fundamental identifiers, time units and page-size constants shared by every
+// SmarTmem module. Keeping them in one tiny header avoids circular includes
+// between the hypervisor, guest and memory-manager layers.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace smartmem {
+
+/// Identifier of a virtual machine within the node (mirrors Xen's domid).
+using VmId = std::uint32_t;
+
+/// Sentinel for "no VM".
+inline constexpr VmId kInvalidVm = std::numeric_limits<VmId>::max();
+
+/// Virtual page number inside a guest address space.
+using Vpn = std::uint64_t;
+
+/// Physical frame number inside a guest's pseudo-physical memory.
+using Pfn = std::uint64_t;
+
+/// Sentinel for "no frame".
+inline constexpr Pfn kInvalidPfn = std::numeric_limits<Pfn>::max();
+
+/// Simulated time in nanoseconds since the start of the run.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kNanosecond = 1;
+inline constexpr SimTime kMicrosecond = 1000 * kNanosecond;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// All memory in the model is managed at page granularity.
+inline constexpr std::size_t kPageSize = 4096;
+
+/// Number of tmem pages; used for capacities, targets and usage counters.
+using PageCount = std::uint64_t;
+
+/// Simulated page contents: an opaque 64-bit token standing in for 4 KiB of
+/// data, letting tests verify that swap-ins and tmem gets return exactly what
+/// was stored, without copying real payloads around.
+using PageContent = std::uint64_t;
+
+/// Target value meaning "no limit" (the greedy/default Xen behaviour).
+inline constexpr PageCount kUnlimitedTarget =
+    std::numeric_limits<PageCount>::max();
+
+/// Converts simulated nanoseconds to (fractional) seconds for reporting.
+constexpr double to_seconds(SimTime t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+}  // namespace smartmem

@@ -1,0 +1,43 @@
+// Byte-size helpers. The paper specifies all scenario geometry in MiB/GiB
+// (e.g. "1GB RAM, 384MB of tmem"); these helpers convert those figures into
+// page counts without sprinkling magic numbers through the scenario code.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace smartmem {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/// Number of 4 KiB pages needed to hold `bytes` (rounded up).
+constexpr PageCount pages_from_bytes(std::uint64_t bytes) {
+  return (bytes + kPageSize - 1) / kPageSize;
+}
+
+constexpr PageCount pages_from_mib(std::uint64_t mib) {
+  return pages_from_bytes(mib * kMiB);
+}
+
+constexpr std::uint64_t bytes_from_pages(PageCount pages) {
+  return pages * kPageSize;
+}
+
+constexpr double mib_from_pages(PageCount pages) {
+  return static_cast<double>(bytes_from_pages(pages)) /
+         static_cast<double>(kMiB);
+}
+
+namespace literals {
+
+constexpr std::uint64_t operator""_KiB(unsigned long long v) { return v * kKiB; }
+constexpr std::uint64_t operator""_MiB(unsigned long long v) { return v * kMiB; }
+constexpr std::uint64_t operator""_GiB(unsigned long long v) { return v * kGiB; }
+
+}  // namespace literals
+
+}  // namespace smartmem

@@ -1,0 +1,108 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+
+#include "common/strfmt.hpp"
+
+namespace smartmem::core {
+
+std::vector<std::pair<std::string, double>> derive_durations(
+    const std::vector<Milestone>& milestones) {
+  std::vector<std::pair<std::string, double>> out;
+  std::map<std::string, SimTime> starts;     // "X" from "X:start"
+  std::map<std::string, SimTime> alloc_at;   // "<M>" from "alloc:<M>"
+
+  for (const auto& m : milestones) {
+    const auto& label = m.label;
+    if (label.size() > 6 && label.rfind(":start") == label.size() - 6) {
+      starts[label.substr(0, label.size() - 6)] = m.when;
+    } else if (label.size() > 5 && label.rfind(":done") == label.size() - 5) {
+      const std::string key = label.substr(0, label.size() - 5);
+      if (auto it = starts.find(key); it != starts.end()) {
+        out.emplace_back(key, to_seconds(m.when - it->second));
+        starts.erase(it);
+      }
+    } else if (label.rfind("alloc:", 0) == 0) {
+      alloc_at[label.substr(6)] = m.when;
+    } else if (label.rfind("size-done:", 0) == 0) {
+      const std::string size = label.substr(10);
+      if (auto it = alloc_at.find(size); it != alloc_at.end()) {
+        out.emplace_back("size:" + size, to_seconds(m.when - it->second));
+        alloc_at.erase(it);
+      }
+    }
+  }
+  return out;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& scenario,
+                            const mm::PolicySpec& policy, std::uint64_t seed,
+                            const NodeConfig* overrides) {
+  auto node = build_node(scenario, policy, seed, overrides);
+  node->start();
+  const SimTime end = node->run(scenario.deadline);
+
+  ScenarioResult result;
+  result.scenario = scenario.name;
+  result.policy = policy.label();
+  result.seed = seed;
+  result.end_time = end;
+  result.usage = node->usage_series();
+
+  for (VmId id : node->vm_ids()) {
+    VmResult vm;
+    vm.name = node->vm_name(id);
+    const auto& runner = node->runner(id);
+    vm.start_time = runner.start_time();
+    vm.finish_time = runner.finish_time();
+    vm.milestones = runner.milestones();
+    vm.durations = derive_durations(vm.milestones);
+    vm.guest = node->kernel(id).stats();
+    vm.vm_data = node->hypervisor().vm_data(id);
+    vm.disk = node->disk(id).stats();
+    result.vms.push_back(std::move(vm));
+  }
+  return result;
+}
+
+ExperimentResult run_experiment(const ScenarioSpec& scenario,
+                                const mm::PolicySpec& policy,
+                                const ExperimentConfig& config) {
+  ExperimentResult exp;
+  exp.scenario = scenario.name;
+  exp.policy_label = policy.label();
+
+  std::map<std::pair<std::string, std::string>, RunningStats> acc;
+
+  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
+    ScenarioResult run = run_scenario(scenario, policy,
+                                      config.base_seed + rep, config.overrides);
+    for (const auto& vm : run.vms) {
+      if (std::find(exp.vm_names.begin(), exp.vm_names.end(), vm.name) ==
+          exp.vm_names.end()) {
+        exp.vm_names.push_back(vm.name);
+      }
+      for (const auto& [label, seconds] : vm.durations) {
+        if (std::find(exp.labels.begin(), exp.labels.end(), label) ==
+            exp.labels.end()) {
+          exp.labels.push_back(label);
+        }
+        acc[{vm.name, label}].add(seconds);
+      }
+    }
+    if (rep == 0) exp.representative = std::move(run);
+  }
+
+  for (const auto& [key, rs] : acc) {
+    Summary s;
+    s.mean = rs.mean();
+    s.stddev = rs.stddev();
+    s.min = rs.min();
+    s.max = rs.max();
+    s.n = rs.count();
+    exp.cells[key] = s;
+  }
+  return exp;
+}
+
+}  // namespace smartmem::core

@@ -1,0 +1,139 @@
+#include "core/report.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/csv.hpp"
+#include "common/strfmt.hpp"
+
+namespace smartmem::core {
+namespace {
+
+constexpr std::size_t kCellWidth = 16;
+constexpr std::size_t kRowHeadWidth = 18;
+
+std::string cell_text(const Summary* s) {
+  if (s == nullptr || s->n == 0) return "-";
+  return strfmt("%8.2f +-%5.2f", s->mean, s->stddev);
+}
+
+/// Collects the union of row keys across policies, preserving order.
+std::vector<std::pair<std::string, std::string>> row_keys(
+    const std::vector<ExperimentResult>& policies) {
+  std::vector<std::pair<std::string, std::string>> rows;
+  for (const auto& p : policies) {
+    for (const auto& vm : p.vm_names) {
+      for (const auto& label : p.labels) {
+        if (p.cell(vm, label) == nullptr) continue;
+        const auto key = std::make_pair(vm, label);
+        if (std::find(rows.begin(), rows.end(), key) == rows.end()) {
+          rows.push_back(key);
+        }
+      }
+    }
+  }
+  std::stable_sort(rows.begin(), rows.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  return rows;
+}
+
+}  // namespace
+
+void print_runtime_table(std::ostream& out, const std::string& title,
+                         const std::vector<ExperimentResult>& policies) {
+  out << title << "\n";
+  out << "running time in seconds, mean +- stddev over repetitions (less is better)\n";
+
+  out << pad_right("VM / phase", kRowHeadWidth);
+  for (const auto& p : policies) {
+    out << pad_left(p.policy_label, kCellWidth);
+  }
+  out << "\n";
+  out << std::string(kRowHeadWidth + kCellWidth * policies.size(), '-') << "\n";
+
+  for (const auto& [vm, label] : row_keys(policies)) {
+    out << pad_right(vm + " " + label, kRowHeadWidth);
+    for (const auto& p : policies) {
+      out << pad_left(cell_text(p.cell(vm, label)), kCellWidth);
+    }
+    out << "\n";
+  }
+}
+
+void print_improvements(std::ostream& out,
+                        const std::vector<ExperimentResult>& policies,
+                        const std::string& baseline_label) {
+  const ExperimentResult* baseline = nullptr;
+  for (const auto& p : policies) {
+    if (p.policy_label == baseline_label) baseline = &p;
+  }
+  if (baseline == nullptr) return;
+
+  out << strfmt("improvement vs %s (positive = faster):\n",
+                baseline_label.c_str());
+  for (const auto& p : policies) {
+    if (&p == baseline) continue;
+    double best = -1e9, worst = 1e9;
+    std::string best_at, worst_at;
+    bool any = false;
+    for (const auto& [vm, label] : row_keys(policies)) {
+      const Summary* b = baseline->cell(vm, label);
+      const Summary* s = p.cell(vm, label);
+      if (b == nullptr || s == nullptr || b->mean <= 0.0) continue;
+      const double impr = (b->mean - s->mean) / b->mean * 100.0;
+      any = true;
+      if (impr > best) {
+        best = impr;
+        best_at = vm + " " + label;
+      }
+      if (impr < worst) {
+        worst = impr;
+        worst_at = vm + " " + label;
+      }
+    }
+    if (!any) continue;
+    out << strfmt("  %-18s max %+6.1f%% (%s), min %+6.1f%% (%s)\n",
+                  p.policy_label.c_str(), best, best_at.c_str(), worst,
+                  worst_at.c_str());
+  }
+}
+
+void print_usage_panel(std::ostream& out, const std::string& title,
+                       const ScenarioResult& run, bool include_targets) {
+  out << title << "\n";
+  out << strfmt("policy %s, seed %llu — tmem pages held per VM over time\n",
+                run.policy.c_str(),
+                static_cast<unsigned long long>(run.seed));
+  SeriesSet subset;
+  for (const auto& [name, ts] : run.usage.all()) {
+    const bool is_target = name.rfind("target-", 0) == 0;
+    if (name == "free") continue;
+    if (is_target && !include_targets) continue;
+    subset.series(name) = ts;
+  }
+  out << subset.ascii_chart() << "\n";
+}
+
+void write_runtime_csv(const std::string& path,
+                       const std::vector<ExperimentResult>& policies) {
+  CsvWriter csv(path);
+  csv.row({"scenario", "policy", "vm", "label", "mean_s", "stddev_s", "n"});
+  for (const auto& p : policies) {
+    for (const auto& [key, s] : p.cells) {
+      csv.field(p.scenario)
+          .field(p.policy_label)
+          .field(key.first)
+          .field(key.second)
+          .field(s.mean)
+          .field(s.stddev)
+          .field(static_cast<std::uint64_t>(s.n));
+      csv.end_row();
+    }
+  }
+}
+
+void write_usage_csv(const std::string& path, const ScenarioResult& run) {
+  write_series_csv(path, run.usage);
+}
+
+}  // namespace smartmem::core

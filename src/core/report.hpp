@@ -1,0 +1,39 @@
+// Terminal-table and CSV rendering of experiment results, in the style of
+// the paper's figures: running-time tables (Figs 3, 5, 7, 9) and tmem-usage
+// charts (Figs 4, 6, 8, 10).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/experiment.hpp"
+
+namespace smartmem::core {
+
+/// Prints a running-time figure: one column per policy, one row per
+/// (VM, run/size label), cells "mean +- stddev" in seconds.
+void print_runtime_table(std::ostream& out, const std::string& title,
+                         const std::vector<ExperimentResult>& policies);
+
+/// Prints the headline improvement rows the paper's text reports: for each
+/// policy, best/worst improvement over `baseline_label` across all
+/// (VM, label) cells present in both.
+void print_improvements(std::ostream& out,
+                        const std::vector<ExperimentResult>& policies,
+                        const std::string& baseline_label);
+
+/// Prints one tmem-usage-over-time panel (one policy) as an ASCII chart of
+/// the per-VM usage series, like one subplot of Figs 4/6/8/10.
+void print_usage_panel(std::ostream& out, const std::string& title,
+                       const ScenarioResult& run,
+                       bool include_targets = false);
+
+/// Dumps a runtime table as CSV (policy,vm,label,mean_s,stddev_s,n).
+void write_runtime_csv(const std::string& path,
+                       const std::vector<ExperimentResult>& policies);
+
+/// Dumps a run's usage series as CSV (series,time_s,value).
+void write_usage_csv(const std::string& path, const ScenarioResult& run);
+
+}  // namespace smartmem::core

@@ -1,0 +1,270 @@
+#include "core/scenario.hpp"
+
+#include <cmath>
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+#include "workloads/graph_analytics.hpp"
+#include "workloads/in_memory_analytics.hpp"
+#include "workloads/usemem.hpp"
+
+namespace smartmem::core {
+namespace {
+
+using workloads::GraphAnalytics;
+using workloads::GraphAnalyticsConfig;
+using workloads::InMemoryAnalytics;
+using workloads::InMemoryAnalyticsConfig;
+using workloads::Usemem;
+using workloads::UsememConfig;
+
+PageCount scaled_mib(double mib, double scale) {
+  return pages_from_mib(static_cast<std::uint64_t>(std::llround(mib * scale)));
+}
+
+/// Application-usable RAM after the kernel's own share (GuestKernel reserves
+/// 1/8 of RAM by default); scenario working-set sizing keys off this.
+PageCount usable(PageCount ram_pages) { return ram_pages - ram_pages / 8; }
+
+/// Runtime scales roughly linearly with the memory scale, so time offsets
+/// (staggered starts, sleeps, launch jitter) must shrink with it to keep the
+/// same overlap between VMs that the paper's full-size runs have.
+SimTime scaled_time(SimTime t, double scale) {
+  return static_cast<SimTime>(static_cast<double>(t) * scale);
+}
+
+/// in-memory-analytics tuned for a VM with `ram_pages` of RAM.
+///
+/// The working set exceeds usable RAM by 45%, which puts the three VMs'
+/// combined tmem demand at ~120% of the 1 GiB pool: enough contention for
+/// the policies to matter, while everything still fits in RAM+tmem+swap.
+/// The per-touch compute (8 us) models the recommender arithmetic performed
+/// on each 4 KiB of rating data.
+InMemoryAnalyticsConfig ima_config(PageCount ram_pages, double scale) {
+  InMemoryAnalyticsConfig cfg;
+  cfg.dataset_pages = scaled_mib(96, scale);  // MovieLens ratings file
+  cfg.working_set_pages =
+      static_cast<PageCount>(static_cast<double>(usable(ram_pages)) * 1.45);
+  cfg.iterations = 4;
+  cfg.runs = 1;
+  cfg.per_touch_compute = 8 * kMicrosecond;
+  cfg.random_fraction = 0.5;
+  cfg.zipf_s = 0.8;
+  return cfg;
+}
+
+/// graph-analytics tuned for a VM with `ram_pages` of RAM.
+///
+/// The in-memory graph is 1.7x usable RAM (the twitter-follows edge arrays
+/// dwarf a 512 MiB VM), so the build phase ramps tmem demand very fast —
+/// the behaviour Section V-D calls out for this benchmark.
+GraphAnalyticsConfig ga_config(PageCount ram_pages, double scale) {
+  GraphAnalyticsConfig cfg;
+  cfg.edge_file_pages = scaled_mib(128, scale);  // soc-twitter-follows
+  cfg.graph_pages =
+      static_cast<PageCount>(static_cast<double>(usable(ram_pages)) * 1.70);
+  cfg.vertex_pages =
+      static_cast<PageCount>(static_cast<double>(usable(ram_pages)) * 0.15);
+  cfg.iterations = 10;
+  cfg.runs = 1;
+  cfg.build_touch_compute = 1 * kMicrosecond;
+  cfg.iter_touch_compute = 6 * kMicrosecond;
+  cfg.zipf_s = 0.9;
+  return cfg;
+}
+
+UsememConfig usemem_config(double scale) {
+  UsememConfig cfg;
+  cfg.start_pages = scaled_mib(128, scale);
+  cfg.step_pages = scaled_mib(128, scale);
+  cfg.max_pages = scaled_mib(1024, scale);
+  cfg.per_touch_compute = 2 * kMicrosecond;
+  cfg.passes_at_max = 0;  // run until the scenario stops all VMs
+  return cfg;
+}
+
+std::string usemem_alloc_label(double mib, double scale) {
+  const PageCount pages = scaled_mib(mib, scale);
+  return strfmt("alloc:%.0f", mib_from_pages(pages));
+}
+
+}  // namespace
+
+ScenarioSpec scenario1(double scale) {
+  ScenarioSpec spec;
+  spec.name = "scenario1";
+  spec.description =
+      "3 VMs x 1GiB RAM, in-memory-analytics twice with a 5s sleep between "
+      "runs, all simultaneous; tmem = 1GiB";
+  spec.tmem_pages = scaled_mib(1024, scale);
+  spec.start_jitter_max = scaled_time(2 * kSecond, scale);
+  spec.scale = scale;
+  for (int i = 1; i <= 3; ++i) {
+    ScenarioVm vm;
+    vm.name = strfmt("VM%d", i);
+    vm.ram_pages = scaled_mib(1024, scale);
+    vm.make_workload = [ram = vm.ram_pages, scale]() -> workloads::WorkloadPtr {
+      auto cfg = ima_config(ram, scale);
+      cfg.runs = 2;
+      cfg.sleep_between_runs = scaled_time(5 * kSecond, scale);
+      return std::make_unique<InMemoryAnalytics>(cfg);
+    };
+    spec.vms.push_back(std::move(vm));
+  }
+  return spec;
+}
+
+ScenarioSpec scenario2(double scale) {
+  ScenarioSpec spec;
+  spec.name = "scenario2";
+  spec.description =
+      "3 VMs x 512MiB RAM, graph-analytics once; VM1/VM2 start together, "
+      "VM3 30s later; tmem = 1GiB";
+  spec.tmem_pages = scaled_mib(1024, scale);
+  spec.start_jitter_max = scaled_time(2 * kSecond, scale);
+  spec.scale = scale;
+  for (int i = 1; i <= 3; ++i) {
+    ScenarioVm vm;
+    vm.name = strfmt("VM%d", i);
+    vm.ram_pages = scaled_mib(512, scale);
+    vm.start_delay = (i == 3) ? scaled_time(30 * kSecond, scale) : 0;
+    vm.make_workload = [ram = vm.ram_pages, scale]() -> workloads::WorkloadPtr {
+      return std::make_unique<GraphAnalytics>(ga_config(ram, scale));
+    };
+    spec.vms.push_back(std::move(vm));
+  }
+  return spec;
+}
+
+ScenarioSpec usemem_scenario(double scale) {
+  ScenarioSpec spec;
+  spec.name = "usemem";
+  spec.description =
+      "3 VMs x 512MiB RAM running usemem; VM3 starts when VM1 and VM2 "
+      "attempt to allocate 640MB; all stop when VM3 attempts 768MB; "
+      "tmem = 384MiB";
+  spec.tmem_pages = scaled_mib(384, scale);
+  spec.start_jitter_max = scaled_time(2 * kSecond, scale);
+  spec.scale = scale;
+  for (int i = 1; i <= 3; ++i) {
+    ScenarioVm vm;
+    vm.name = strfmt("VM%d", i);
+    vm.ram_pages = scaled_mib(512, scale);
+    vm.manual_start = (i == 3);
+    vm.make_workload = [scale]() -> workloads::WorkloadPtr {
+      return std::make_unique<Usemem>(usemem_config(scale));
+    };
+    spec.vms.push_back(std::move(vm));
+  }
+
+  // Staggered coordination from Table II, driven by usemem's markers.
+  const std::string start_label = usemem_alloc_label(640, scale);
+  const std::string stop_label = usemem_alloc_label(768, scale);
+  spec.install_triggers = [start_label, stop_label](VirtualNode& node) {
+    // VM3 starts once both VM1 and VM2 have attempted the 640MB allocation;
+    // everything stops when VM3 attempts the 768MB one.
+    auto reached_640 = std::make_shared<std::set<VmId>>();
+    node.set_marker_hook([&node, reached_640, start_label, stop_label](
+                             VmId vm, const std::string& label, SimTime when) {
+      (void)when;
+      if ((vm == 1 || vm == 2) && label == start_label) {
+        reached_640->insert(vm);
+        if (reached_640->size() == 2) node.start_vm(3);
+      }
+      if (vm == 3 && label == stop_label) node.stop_all();
+    });
+  };
+  return spec;
+}
+
+ScenarioSpec scenario3(double scale) {
+  ScenarioSpec spec;
+  spec.name = "scenario3";
+  spec.description =
+      "VM1/VM2 (512MiB) run graph-analytics; VM3 (1GiB) runs "
+      "in-memory-analytics starting 30s later; tmem = 1GiB";
+  spec.tmem_pages = scaled_mib(1024, scale);
+  spec.start_jitter_max = scaled_time(2 * kSecond, scale);
+  spec.scale = scale;
+  for (int i = 1; i <= 3; ++i) {
+    ScenarioVm vm;
+    vm.name = strfmt("VM%d", i);
+    vm.ram_pages = scaled_mib(i == 3 ? 1024 : 512, scale);
+    vm.start_delay = (i == 3) ? scaled_time(30 * kSecond, scale) : 0;
+    if (i == 3) {
+      vm.make_workload = [ram = vm.ram_pages,
+                          scale]() -> workloads::WorkloadPtr {
+        return std::make_unique<InMemoryAnalytics>(ima_config(ram, scale));
+      };
+    } else {
+      vm.make_workload = [ram = vm.ram_pages,
+                          scale]() -> workloads::WorkloadPtr {
+        return std::make_unique<GraphAnalytics>(ga_config(ram, scale));
+      };
+    }
+    spec.vms.push_back(std::move(vm));
+  }
+  return spec;
+}
+
+std::vector<ScenarioSpec> all_scenarios(double scale) {
+  std::vector<ScenarioSpec> out;
+  out.push_back(scenario1(scale));
+  out.push_back(scenario2(scale));
+  out.push_back(usemem_scenario(scale));
+  out.push_back(scenario3(scale));
+  return out;
+}
+
+NodeConfig scaled_node_defaults(double scale) {
+  NodeConfig cfg;
+  cfg.sample_interval = scaled_time(cfg.sample_interval, scale);
+  cfg.usage_sample_interval = scaled_time(cfg.usage_sample_interval, scale);
+  cfg.tkm.stats_uplink_latency =
+      scaled_time(cfg.tkm.stats_uplink_latency, scale);
+  cfg.tkm.target_downlink_latency =
+      scaled_time(cfg.tkm.target_downlink_latency, scale);
+  cfg.slow_reclaim_pages_per_tick = static_cast<PageCount>(
+      static_cast<double>(cfg.slow_reclaim_pages_per_tick) * scale);
+  return cfg;
+}
+
+std::unique_ptr<VirtualNode> build_node(const ScenarioSpec& scenario,
+                                        const mm::PolicySpec& policy,
+                                        std::uint64_t seed,
+                                        const NodeConfig* overrides) {
+  NodeConfig cfg =
+      overrides ? *overrides : scaled_node_defaults(scenario.scale);
+  cfg.tmem_pages = scenario.tmem_pages;
+  cfg.policy = policy;
+
+  auto node = std::make_unique<VirtualNode>(cfg);
+  Rng jitter_rng(seed ^ 0x6a09e667f3bcc908ULL);
+  std::uint64_t vm_index = 0;
+  for (const auto& svm : scenario.vms) {
+    ++vm_index;
+    VmSpec spec;
+    spec.name = svm.name;
+    spec.ram_pages = svm.ram_pages;
+    spec.workload = svm.make_workload();
+    spec.start_delay = svm.start_delay;
+    if (!svm.manual_start && scenario.start_jitter_max > 0) {
+      spec.start_delay += static_cast<SimTime>(jitter_rng.uniform(
+          static_cast<std::uint64_t>(scenario.start_jitter_max)));
+    }
+    spec.manual_start = svm.manual_start;
+    // Distinct, reproducible stream per (seed, VM).
+    spec.seed = seed * 1000003ULL + vm_index * 7919ULL + 1;
+    node->add_vm(std::move(spec));
+  }
+  if (scenario.install_triggers) {
+    scenario.install_triggers(*node);
+  }
+  return node;
+}
+
+}  // namespace smartmem::core

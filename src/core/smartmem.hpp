@@ -1,0 +1,46 @@
+// Umbrella header: the SmarTmem public API.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   #include "core/smartmem.hpp"
+//   using namespace smartmem;
+//
+//   core::NodeConfig cfg;
+//   cfg.tmem_pages = pages_from_mib(1024);
+//   cfg.policy = mm::PolicySpec::smart(0.75);
+//   core::VirtualNode node(cfg);
+//   node.add_vm({...});
+//   node.run();
+//
+// or, for the paper's scenarios:
+//
+//   auto spec = core::scenario1();
+//   auto result = core::run_experiment(spec, mm::PolicySpec::smart(0.75));
+#pragma once
+
+#include "common/csv.hpp"
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/strfmt.hpp"
+#include "common/time_series.hpp"
+#include "common/types.hpp"
+#include "common/units.hpp"
+#include "core/experiment.hpp"
+#include "core/report.hpp"
+#include "core/scenario.hpp"
+#include "core/vcpu.hpp"
+#include "core/virtual_node.hpp"
+#include "guest/guest_kernel.hpp"
+#include "guest/tkm.hpp"
+#include "hyper/hypervisor.hpp"
+#include "mm/manager.hpp"
+#include "mm/policy_factory.hpp"
+#include "sim/disk.hpp"
+#include "sim/simulator.hpp"
+#include "tmem/store.hpp"
+#include "workloads/graph_analytics.hpp"
+#include "workloads/in_memory_analytics.hpp"
+#include "workloads/script_workload.hpp"
+#include "workloads/usemem.hpp"
+#include "workloads/workload.hpp"

@@ -1,0 +1,118 @@
+// The vCPU runner: executes a Workload's ops against a GuestKernel.
+//
+// Each VM in the modelled scenarios has one vCPU running one benchmark
+// process (Table II gives every VM 1 CPU). To keep the event queue small the
+// runner executes work in batches: it advances a local virtual clock through
+// as many operations as fit in `batch_budget`, then schedules its next batch
+// at the reached time. Blocking I/O inside a batch simply advances the local
+// clock past the budget — the maximum look-ahead relative to other actors is
+// one batch plus one disk access, which is negligible against the 1-second
+// policy sampling interval.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "guest/guest_kernel.hpp"
+#include "sim/cpu.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace smartmem::core {
+
+struct VcpuConfig {
+  SimTime batch_budget = 500 * kMicrosecond;
+  std::uint64_t rng_seed = 1;
+  /// Fixed cost charged per region allocation (mmap + bookkeeping).
+  SimTime alloc_cost = 5 * kMicrosecond;
+  /// Physical CPU pool this vCPU competes on (nullptr or an uncontended
+  /// pool = dedicated core). Blocking disk I/O releases the core.
+  sim::CpuPool* cpu = nullptr;
+};
+
+struct Milestone {
+  std::string label;
+  SimTime when = 0;
+};
+
+class VcpuRunner {
+ public:
+  /// Hook fired on every marker op; used by scenarios for staggered
+  /// start/stop coordination.
+  using MarkerHook =
+      std::function<void(const std::string& label, SimTime when)>;
+
+  VcpuRunner(sim::Simulator& sim, guest::GuestKernel& kernel,
+             workloads::WorkloadPtr workload, VcpuConfig config);
+
+  /// Schedules the first batch at absolute time `at`.
+  void start(SimTime at);
+
+  /// Asks the runner to stop at its next batch boundary (or wake-up).
+  void request_stop();
+
+  void set_marker_hook(MarkerHook hook) { marker_hook_ = std::move(hook); }
+
+  bool started() const { return started_; }
+  bool finished() const { return finished_; }
+  bool stop_requested() const { return stop_requested_; }
+  SimTime start_time() const { return start_time_; }
+  SimTime finish_time() const { return finish_time_; }
+  const std::vector<Milestone>& milestones() const { return milestones_; }
+  const workloads::Workload& workload() const { return *workload_; }
+  guest::GuestKernel& kernel() { return kernel_; }
+  VmId vm() const { return kernel_.config().vm; }
+
+ private:
+  enum class SliceStatus : std::uint8_t {
+    kOpDone,     // the op completed within the budget
+    kBudget,     // budget exhausted mid-op; resume next batch
+    kBlockedIo,  // a blocking disk access occurred (core released)
+  };
+
+  void run_batch();
+  void finish(SimTime at);
+
+  /// Executes (part of) the current op from local time `t`. On kBlockedIo,
+  /// `*io_start` is the time the vCPU blocked (its core becomes free then)
+  /// and `t` is the I/O completion time.
+  SliceStatus execute_slice(workloads::MemOp& op, SimTime& t, SimTime deadline,
+                            SimTime* io_start);
+
+  /// Whether blocking I/O should end a batch (only worth the extra events
+  /// when cores are actually contended).
+  bool track_blocking_io() const { return config_.cpu && config_.cpu->contended(); }
+
+  Vpn pick_vpn(const workloads::MemOp& op);
+
+  sim::Simulator& sim_;
+  guest::GuestKernel& kernel_;
+  workloads::WorkloadPtr workload_;
+  VcpuConfig config_;
+  Rng rng_;
+
+  mem::AddressSpace::Id asid_ = 0;
+  std::vector<std::pair<Vpn, PageCount>> regions_;  // base, size by RegionId
+  std::optional<workloads::MemOp> current_op_;
+  PageCount op_progress_ = 0;
+
+  // One sampler per (window, s); zipf setup is O(1) but not free.
+  std::map<std::pair<PageCount, std::int64_t>, ZipfSampler> zipf_cache_;
+
+  bool started_ = false;
+  bool finished_ = false;
+  bool stop_requested_ = false;
+  SimTime start_time_ = 0;
+  SimTime finish_time_ = 0;
+  std::vector<Milestone> milestones_;
+  MarkerHook marker_hook_;
+};
+
+}  // namespace smartmem::core

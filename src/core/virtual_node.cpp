@@ -1,0 +1,203 @@
+#include "core/virtual_node.hpp"
+
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace smartmem::core {
+
+VirtualNode::VirtualNode(NodeConfig config)
+    : config_(std::move(config)), cpu_pool_(config_.physical_cores) {
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = config_.tmem_pages;
+  hcfg.nvm_tmem_pages = config_.nvm_tmem_pages;
+  hcfg.sample_interval = config_.sample_interval;
+  hcfg.slow_reclaim_enabled = config_.slow_reclaim;
+  hcfg.slow_reclaim_pages_per_tick = config_.slow_reclaim_pages_per_tick;
+  hcfg.zero_page_dedup = config_.zero_page_dedup;
+  // Managed policies need a grounded starting target; greedy (and no-tmem)
+  // reproduce Xen's unlimited default.
+  hcfg.default_target_mode = config_.policy.needs_manager()
+                                 ? hyper::DefaultTargetMode::kEqualShare
+                                 : hyper::DefaultTargetMode::kUnlimited;
+  hyp_ = std::make_unique<hyper::Hypervisor>(sim_, hcfg);
+  if (config_.shared_disk) {
+    shared_disk_ = std::make_unique<sim::DiskDevice>(sim_, config_.disk);
+  }
+
+  if (config_.policy.needs_manager()) {
+    manager_ = std::make_unique<mm::MemoryManager>(
+        mm::make_policy(config_.policy),
+        config_.tmem_pages + config_.nvm_tmem_pages);
+    tkm_ = std::make_unique<guest::Tkm>(sim_, *hyp_, config_.tkm);
+    manager_->set_sender(
+        [this](const hyper::MmOut& out) { tkm_->submit_targets(out); });
+  }
+}
+
+VmId VirtualNode::add_vm(VmSpec spec) {
+  if (started_) {
+    throw std::logic_error("VirtualNode: add_vm after start");
+  }
+  const VmId id = static_cast<VmId>(vms_.size()) + 1;
+  hyp_->register_vm(id);
+
+  VmSlot vm;
+  vm.name = spec.name.empty() ? ("VM" + std::to_string(id)) : spec.name;
+  vm.start_delay = spec.start_delay;
+  vm.manual_start = spec.manual_start;
+  if (config_.shared_disk) {
+    vm.disk = shared_disk_.get();
+  } else {
+    vm.owned_disk = std::make_unique<sim::DiskDevice>(sim_, config_.disk);
+    vm.disk = vm.owned_disk.get();
+  }
+
+  guest::GuestConfig gcfg;
+  gcfg.vm = id;
+  gcfg.ram_pages = spec.ram_pages;
+  gcfg.swap_slots = spec.swap_pages != 0 ? spec.swap_pages : 2 * spec.ram_pages;
+  const bool tmem_on = config_.policy.kind != mm::PolicyKind::kNoTmem;
+  gcfg.frontswap_enabled = tmem_on;
+  gcfg.frontswap_exclusive_gets = config_.frontswap_exclusive_gets;
+  gcfg.cleancache_enabled = tmem_on && config_.cleancache;
+  gcfg.zero_write_period = config_.zero_write_period;
+  gcfg.swap_readahead = config_.swap_readahead;
+  gcfg.costs = config_.costs;
+  vm.kernel = std::make_unique<guest::GuestKernel>(sim_, *hyp_, *vm.disk, gcfg);
+
+  VcpuConfig vcfg;
+  vcfg.batch_budget = config_.batch_budget;
+  vcfg.cpu = &cpu_pool_;
+  vcfg.rng_seed = spec.seed != 0 ? spec.seed : 0x5157ULL * id + 11;
+  vm.runner = std::make_unique<VcpuRunner>(sim_, *vm.kernel,
+                                           std::move(spec.workload), vcfg);
+  vm.runner->set_marker_hook([this, id](const std::string& label,
+                                        SimTime when) {
+    if (marker_hook_) marker_hook_(id, label, when);
+  });
+
+  vms_.push_back(std::move(vm));
+  return id;
+}
+
+VirtualNode::VmSlot& VirtualNode::slot(VmId vm) {
+  if (vm == 0 || vm > vms_.size()) {
+    throw std::out_of_range("VirtualNode: bad VmId");
+  }
+  return vms_[vm - 1];
+}
+
+const VirtualNode::VmSlot& VirtualNode::slot(VmId vm) const {
+  if (vm == 0 || vm > vms_.size()) {
+    throw std::out_of_range("VirtualNode: bad VmId");
+  }
+  return vms_[vm - 1];
+}
+
+std::vector<VmId> VirtualNode::vm_ids() const {
+  std::vector<VmId> ids;
+  ids.reserve(vms_.size());
+  for (VmId id = 1; id <= vms_.size(); ++id) ids.push_back(id);
+  return ids;
+}
+
+void VirtualNode::record_usage() {
+  const SimTime now = sim_.now();
+  for (VmId id = 1; id <= vms_.size(); ++id) {
+    const auto& name = vms_[id - 1].name;
+    usage_.series(name).push(
+        now, static_cast<double>(hyp_->tmem_used(id)));
+    const PageCount target = hyp_->target(id);
+    usage_.series("target-" + name)
+        .push(now, target == kUnlimitedTarget
+                       ? static_cast<double>(config_.tmem_pages)
+                       : static_cast<double>(target));
+  }
+  usage_.series("free").push(now, static_cast<double>(hyp_->free_tmem()));
+}
+
+void VirtualNode::start() {
+  if (started_) {
+    throw std::logic_error("VirtualNode: started twice");
+  }
+  started_ = true;
+
+  if (manager_) {
+    tkm_->start(
+        [this](const hyper::MemStats& stats) { manager_->on_stats(stats); });
+  } else {
+    // No MM: still run the sampler so snapshots/benches see statistics and
+    // interval counters reset, exactly as the hypervisor does under greedy.
+    hyp_->start_sampling(nullptr);
+  }
+
+  if (config_.usage_sample_interval > 0) {
+    record_usage();
+    usage_sampler_ = sim_.schedule_periodic(config_.usage_sample_interval,
+                                            [this] { record_usage(); });
+  }
+
+  for (VmId id = 1; id <= vms_.size(); ++id) {
+    VmSlot& vm = vms_[id - 1];
+    if (!vm.manual_start) {
+      vm.runner->start(sim_.now() + vm.start_delay);
+    }
+  }
+}
+
+void VirtualNode::start_vm(VmId vm) { start_vm_at(vm, sim_.now()); }
+
+void VirtualNode::start_vm_at(VmId vm, SimTime at) {
+  VmSlot& s = slot(vm);
+  if (!s.runner->started()) {
+    s.runner->start(at);
+  }
+}
+
+void VirtualNode::stop_all() {
+  for (auto& vm : vms_) {
+    if (vm.runner->finished()) continue;
+    // Not-yet-started automatic VMs also get the flag so their (pending)
+    // first batch finishes immediately; unstarted manual VMs never run and
+    // do not block completion.
+    if (vm.runner->started() || !vm.manual_start) {
+      vm.runner->request_stop();
+    }
+  }
+}
+
+bool VirtualNode::all_done() const {
+  for (const auto& vm : vms_) {
+    // A manual VM that never started does not block completion; every other
+    // VM must have finished (or been stopped).
+    if (!vm.runner->started()) {
+      if (!vm.manual_start) return false;
+      continue;
+    }
+    if (!vm.runner->finished()) return false;
+  }
+  return true;
+}
+
+SimTime VirtualNode::run(SimTime deadline) {
+  if (!started_) start();
+  while (!all_done() && sim_.now() < deadline) {
+    if (!sim_.step()) break;
+  }
+  if (!all_done()) {
+    log::warn("VirtualNode: run() hit the deadline at %.1fs with unfinished VMs",
+              to_seconds(sim_.now()));
+    stop_all();
+    // Let the stop requests land so finish times are recorded.
+    while (!all_done() && sim_.step()) {
+    }
+  }
+  // Final usage sample so the series cover the full run.
+  if (config_.usage_sample_interval > 0) record_usage();
+  usage_sampler_.cancel();
+  hyp_->stop_sampling();
+  return sim_.now();
+}
+
+}  // namespace smartmem::core

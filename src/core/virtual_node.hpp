@@ -1,0 +1,188 @@
+// VirtualNode: the whole single-server SmarTmem stack wired together.
+//
+// One VirtualNode owns the discrete-event simulator, the hypervisor with its
+// tmem store, one guest kernel + virtual disk + vCPU per VM, and — when the
+// selected policy requires it — the TKM and the Memory Manager process.
+// This is the top-level object library users interact with; the scenario
+// runner and all benches are built on it.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/time_series.hpp"
+#include "common/types.hpp"
+#include "guest/guest_kernel.hpp"
+#include "guest/tkm.hpp"
+#include "hyper/hypervisor.hpp"
+#include "mm/manager.hpp"
+#include "mm/policy_factory.hpp"
+#include "core/vcpu.hpp"
+#include "sim/cpu.hpp"
+#include "sim/disk.hpp"
+#include "sim/simulator.hpp"
+#include "workloads/workload.hpp"
+
+namespace smartmem::core {
+
+struct NodeConfig {
+  /// Pooled idle/fallow memory available as tmem.
+  PageCount tmem_pages = 0;
+
+  /// Ex-Tmem extension: NVM pages extending tmem capacity (0 = off). The
+  /// combined DRAM+NVM capacity is what the policies manage.
+  PageCount nvm_tmem_pages = 0;
+
+  /// Which capacity-management policy runs (greedy / static / reconf /
+  /// smart / swap-rate / no-tmem).
+  mm::PolicySpec policy = mm::PolicySpec::greedy();
+
+  /// Statistics sampling interval (the paper fixes this at one second).
+  SimTime sample_interval = kSecond;
+
+  /// Virtual-disk performance for every VM's swap device.
+  sim::DiskModel disk;
+
+  /// Guest kernel-op costs (hypercalls, faults, reclaim).
+  guest::CostModel costs;
+
+  /// TKM channel latencies.
+  guest::TkmConfig tkm;
+
+  /// Destructive frontswap gets (see GuestConfig); the paper's kernel
+  /// defaults to non-exclusive.
+  bool frontswap_exclusive_gets = true;
+
+  /// Enable the cleancache mode in guests (the paper evaluates frontswap
+  /// only; cleancache is exercised by dedicated tests/benches).
+  bool cleancache = false;
+
+  /// Hypervisor slow background reclaim of over-target ephemeral pages.
+  bool slow_reclaim = true;
+  PageCount slow_reclaim_pages_per_tick = 512;
+
+  /// Optional zero-page dedup in the tmem store (ablation).
+  bool zero_page_dedup = false;
+
+  /// Zero-page write model for the guests (see GuestConfig).
+  std::uint32_t zero_write_period = 0;
+
+  /// Swap read-ahead cluster size for the guests (see GuestConfig).
+  std::uint32_t swap_readahead = 8;
+
+  /// Interval for recording per-VM tmem usage into the time series used by
+  /// the Figure 4/6/8/10 benches. 0 disables recording.
+  SimTime usage_sample_interval = kSecond;
+
+  /// vCPU batching granularity.
+  SimTime batch_budget = 500 * kMicrosecond;
+
+  /// Number of physical cores the vCPUs compete for. The default matches
+  /// the paper's testbed: 2 cores for 3 single-vCPU VMs. 0 = uncontended
+  /// (every vCPU has a dedicated core).
+  unsigned physical_cores = 2;
+
+  /// One physical disk behind every VM's virtual disk (the paper's testbed
+  /// runs all VMs on a single host drive): a thrashing VM's swap traffic
+  /// then queues behind every other VM's. false gives each VM its own
+  /// independent device.
+  bool shared_disk = true;
+};
+
+struct VmSpec {
+  std::string name;             // "VM1"
+  PageCount ram_pages = 0;
+  PageCount swap_pages = 0;     // 0 -> 2x RAM (paper env: 2 GB swap per VM)
+  workloads::WorkloadPtr workload;
+  /// Start offset relative to node start; ignored when manual_start.
+  SimTime start_delay = 0;
+  /// When true the VM only starts via start_vm() (scenario triggers).
+  bool manual_start = false;
+  std::uint64_t seed = 0;       // 0 -> derived from VM index
+};
+
+class VirtualNode {
+ public:
+  explicit VirtualNode(NodeConfig config);
+
+  VirtualNode(const VirtualNode&) = delete;
+  VirtualNode& operator=(const VirtualNode&) = delete;
+
+  /// Adds a VM; returns its id (1-based, matching the paper's VM1..VM3).
+  VmId add_vm(VmSpec spec);
+
+  /// Registers a hook fired for every marker of every VM.
+  using NodeMarkerHook =
+      std::function<void(VmId vm, const std::string& label, SimTime when)>;
+  void set_marker_hook(NodeMarkerHook hook) { marker_hook_ = std::move(hook); }
+
+  /// Starts sampling, the MM (if any) and all non-manual VMs.
+  void start();
+
+  /// Starts a manual VM now (from inside a marker hook) or at `at`.
+  void start_vm(VmId vm);
+  void start_vm_at(VmId vm, SimTime at);
+
+  /// Requests every running VM to stop at its next batch boundary.
+  void stop_all();
+
+  /// Runs the simulation until every added VM's workload has finished (or
+  /// been stopped), or `deadline` is reached. Returns the end time.
+  SimTime run(SimTime deadline = 4 * 3600 * kSecond);
+
+  // ---- Accessors ----------------------------------------------------------
+
+  sim::Simulator& simulator() { return sim_; }
+  hyper::Hypervisor& hypervisor() { return *hyp_; }
+  const hyper::Hypervisor& hypervisor() const { return *hyp_; }
+  mm::MemoryManager* manager() { return manager_.get(); }
+  guest::Tkm* tkm() { return tkm_.get(); }
+
+  std::size_t vm_count() const { return vms_.size(); }
+  VcpuRunner& runner(VmId vm) { return *slot(vm).runner; }
+  const VcpuRunner& runner(VmId vm) const { return *slot(vm).runner; }
+  guest::GuestKernel& kernel(VmId vm) { return *slot(vm).kernel; }
+  const guest::GuestKernel& kernel(VmId vm) const { return *slot(vm).kernel; }
+  sim::DiskDevice& disk(VmId vm) { return *slot(vm).disk; }
+  const std::string& vm_name(VmId vm) const { return slot(vm).name; }
+  std::vector<VmId> vm_ids() const;
+
+  /// Per-VM tmem usage/target series ("VM1", "target-VM1", ...).
+  const SeriesSet& usage_series() const { return usage_; }
+
+  const NodeConfig& config() const { return config_; }
+  const sim::CpuPool& cpu_pool() const { return cpu_pool_; }
+  bool all_done() const;
+
+ private:
+  struct VmSlot {
+    std::string name;
+    std::unique_ptr<sim::DiskDevice> owned_disk;  // per-VM disk mode only
+    sim::DiskDevice* disk = nullptr;
+    std::unique_ptr<guest::GuestKernel> kernel;
+    std::unique_ptr<VcpuRunner> runner;
+    SimTime start_delay = 0;
+    bool manual_start = false;
+  };
+
+  VmSlot& slot(VmId vm);
+  const VmSlot& slot(VmId vm) const;
+  void record_usage();
+
+  NodeConfig config_;
+  sim::Simulator sim_;
+  sim::CpuPool cpu_pool_;
+  std::unique_ptr<sim::DiskDevice> shared_disk_;
+  std::unique_ptr<hyper::Hypervisor> hyp_;
+  std::unique_ptr<mm::MemoryManager> manager_;
+  std::unique_ptr<guest::Tkm> tkm_;
+  std::vector<VmSlot> vms_;  // index = VmId - 1
+  NodeMarkerHook marker_hook_;
+  SeriesSet usage_;
+  sim::EventHandle usage_sampler_;
+  bool started_ = false;
+};
+
+}  // namespace smartmem::core

@@ -1,0 +1,30 @@
+#include "guest/tkm.hpp"
+
+#include <utility>
+
+namespace smartmem::guest {
+
+Tkm::Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor, TkmConfig config)
+    : sim_(sim), hyp_(hypervisor), config_(config) {}
+
+void Tkm::start(StatsSink sink) {
+  sink_ = std::move(sink);
+  hyp_.start_sampling([this](const hyper::MemStats& stats) {
+    // Copy the sample; it is delivered to user space after the uplink delay.
+    sim_.schedule(config_.stats_uplink_latency, [this, stats] {
+      ++stats_forwarded_;
+      if (sink_) sink_(stats);
+    });
+  });
+}
+
+void Tkm::stop() { hyp_.stop_sampling(); }
+
+void Tkm::submit_targets(const hyper::MmOut& targets) {
+  sim_.schedule(config_.target_downlink_latency, [this, targets] {
+    ++targets_forwarded_;
+    hyp_.set_targets(targets);
+  });
+}
+
+}  // namespace smartmem::guest

@@ -1,0 +1,59 @@
+// Tmem Kernel Module (TKM) — Section III-C of the paper.
+//
+// In the real system the TKM lives in the privileged domain's kernel: the
+// hypervisor raises a VIRQ once per sampling interval, the TKM relays the
+// memstats payload to the user-space Memory Manager over a netlink socket,
+// and ships the MM's target vector back down through custom hypercalls.
+//
+// Here the TKM is the glue object that models both hops with a configurable
+// one-way latency each, so that policy decisions always act on slightly
+// stale data — exactly the staleness the paper's reconf-static discussion
+// calls out ("the latency ... is roughly one second").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/types.hpp"
+#include "hyper/hypervisor.hpp"
+#include "sim/simulator.hpp"
+
+namespace smartmem::guest {
+
+struct TkmConfig {
+  /// VIRQ handling + netlink delivery to user space.
+  SimTime stats_uplink_latency = 100 * kMicrosecond;
+  /// Netlink receive + custom hypercall into Xen.
+  SimTime target_downlink_latency = 100 * kMicrosecond;
+};
+
+class Tkm {
+ public:
+  /// `stats_sink` is the user-space (MM) receiver of memstats samples.
+  using StatsSink = std::function<void(const hyper::MemStats&)>;
+
+  Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor, TkmConfig config);
+
+  /// Hooks the hypervisor VIRQ and starts forwarding samples to `sink`.
+  void start(StatsSink sink);
+
+  /// Stops the hypervisor sampler.
+  void stop();
+
+  /// Called by the MM: forwards a target vector to the hypervisor after the
+  /// downlink latency (the custom hypercall of Section III-C).
+  void submit_targets(const hyper::MmOut& targets);
+
+  std::uint64_t stats_forwarded() const { return stats_forwarded_; }
+  std::uint64_t targets_forwarded() const { return targets_forwarded_; }
+
+ private:
+  sim::Simulator& sim_;
+  hyper::Hypervisor& hyp_;
+  TkmConfig config_;
+  StatsSink sink_;
+  std::uint64_t stats_forwarded_ = 0;
+  std::uint64_t targets_forwarded_ = 0;
+};
+
+}  // namespace smartmem::guest

@@ -1,0 +1,284 @@
+#include "hyper/hypervisor.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+#include "common/logging.hpp"
+
+namespace smartmem::hyper {
+
+Hypervisor::Hypervisor(sim::Simulator& sim, HypervisorConfig config)
+    : sim_(sim),
+      config_(config),
+      store_(tmem::StoreConfig{config.total_tmem_pages, config.nvm_tmem_pages,
+                               config.zero_page_dedup}) {}
+
+void Hypervisor::register_vm(VmId vm) {
+  if (vms_.contains(vm)) {
+    throw std::invalid_argument("Hypervisor: VM already registered");
+  }
+  VmData data;
+  data.vm_id = vm;
+  data.frontswap_pool = store_.create_pool(vm, tmem::PoolType::kPersistent);
+  data.cleancache_pool = store_.create_pool(vm, tmem::PoolType::kEphemeral);
+  vms_.emplace(vm, data);
+  if (config_.default_target_mode == DefaultTargetMode::kEqualShare) {
+    apply_equal_share_targets();
+  }
+  log::debug("hypervisor: registered VM %u (%u VMs total)", vm, vm_count());
+}
+
+void Hypervisor::unregister_vm(VmId vm) {
+  auto it = vms_.find(vm);
+  if (it == vms_.end()) return;
+  store_.destroy_pool(it->second.frontswap_pool);
+  store_.destroy_pool(it->second.cleancache_pool);
+  vms_.erase(it);
+  if (config_.default_target_mode == DefaultTargetMode::kEqualShare) {
+    apply_equal_share_targets();
+  }
+}
+
+bool Hypervisor::vm_registered(VmId vm) const { return vms_.contains(vm); }
+
+VmData* Hypervisor::find_vm(VmId vm) {
+  auto it = vms_.find(vm);
+  return it == vms_.end() ? nullptr : &it->second;
+}
+
+const VmData* Hypervisor::find_vm(VmId vm) const {
+  auto it = vms_.find(vm);
+  return it == vms_.end() ? nullptr : &it->second;
+}
+
+void Hypervisor::apply_equal_share_targets() {
+  if (vms_.empty()) return;
+  const PageCount share = total_tmem() / vms_.size();
+  for (auto& [id, data] : vms_) data.mm_target = share;
+}
+
+// Algorithm 1, PUT branch. The paper's pseudo-code checks, in order:
+//   (a) tmem_used >= mm_target          -> E_TMEM
+//   (b) node_info.free_tmem == 0        -> E_TMEM
+//   (c) otherwise allocate, copy, count -> S_TMEM
+// One refinement: check (b) treats ephemeral (cleancache) pages as
+// reclaimable, as Xen does — a persistent put may evict ephemeral victims, so
+// the node only counts as "full" when free + evictable are both zero.
+OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
+                            std::uint32_t index, tmem::PagePayload payload,
+                            tmem::Tier* tier) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return OpStatus::kBadVm;
+
+  ++data->puts_total;          // line 15: counted whether or not it succeeds
+  ++data->cumul_puts_total;
+
+  const PageCount used = store_.vm_pages(vm);
+  if (used >= data->mm_target) {  // line 5
+    ++data->cumul_puts_failed;
+    return OpStatus::kNoCapacity;
+  }
+  if (store_.combined_free_pages() == 0 &&
+      store_.ephemeral_pages() == 0) {  // line 7
+    ++data->cumul_puts_failed;
+    return OpStatus::kNoCapacity;
+  }
+
+  const tmem::PutResult result = store_.put(
+      tmem::TmemKey{pool, object, index}, payload, tier);  // line 10
+  if (result == tmem::PutResult::kNoMemory) {
+    ++data->cumul_puts_failed;
+    return OpStatus::kNoCapacity;
+  }
+
+  ++data->puts_succ;           // line 12
+  ++data->cumul_puts_succ;
+  return OpStatus::kSuccess;   // line 13
+}
+
+OpStatus Hypervisor::frontswap_put(VmId vm, std::uint64_t object,
+                                   std::uint32_t index,
+                                   tmem::PagePayload payload,
+                                   tmem::Tier* tier) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return OpStatus::kBadVm;
+  return do_put(vm, data->frontswap_pool, object, index, payload, tier);
+}
+
+OpStatus Hypervisor::cleancache_put(VmId vm, std::uint64_t object,
+                                    std::uint32_t index,
+                                    tmem::PagePayload payload,
+                                    tmem::Tier* tier) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return OpStatus::kBadVm;
+  return do_put(vm, data->cleancache_pool, object, index, payload, tier);
+}
+
+std::optional<tmem::PagePayload> Hypervisor::frontswap_get(
+    VmId vm, std::uint64_t object, std::uint32_t index, tmem::Tier* tier) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return std::nullopt;
+  ++data->gets_total;
+  ++data->cumul_gets_total;
+  auto result =
+      store_.get(tmem::TmemKey{data->frontswap_pool, object, index}, tier);
+  if (result) {
+    ++data->gets_hit;
+    ++data->cumul_gets_hit;
+  }
+  return result;
+}
+
+std::optional<tmem::PagePayload> Hypervisor::cleancache_get(
+    VmId vm, std::uint64_t object, std::uint32_t index, tmem::Tier* tier) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return std::nullopt;
+  ++data->gets_total;
+  ++data->cumul_gets_total;
+  auto result =
+      store_.get(tmem::TmemKey{data->cleancache_pool, object, index}, tier);
+  if (result) {
+    ++data->gets_hit;
+    ++data->cumul_gets_hit;
+  }
+  return result;
+}
+
+// Algorithm 1, FLUSH branch (lines 16-19): deallocate and decrement usage.
+// The decrement happens implicitly through the store's accounting.
+OpStatus Hypervisor::frontswap_flush(VmId vm, std::uint64_t object,
+                                     std::uint32_t index) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return OpStatus::kBadVm;
+  ++data->flushes;
+  ++data->cumul_flushes;
+  const bool existed =
+      store_.flush_page(tmem::TmemKey{data->frontswap_pool, object, index});
+  return existed ? OpStatus::kSuccess : OpStatus::kNotFound;
+}
+
+OpStatus Hypervisor::cleancache_flush(VmId vm, std::uint64_t object,
+                                      std::uint32_t index) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return OpStatus::kBadVm;
+  ++data->flushes;
+  ++data->cumul_flushes;
+  const bool existed =
+      store_.flush_page(tmem::TmemKey{data->cleancache_pool, object, index});
+  return existed ? OpStatus::kSuccess : OpStatus::kNotFound;
+}
+
+PageCount Hypervisor::frontswap_flush_object(VmId vm, std::uint64_t object) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return 0;
+  ++data->flushes;
+  ++data->cumul_flushes;
+  return store_.flush_object(data->frontswap_pool, object);
+}
+
+PageCount Hypervisor::cleancache_flush_object(VmId vm, std::uint64_t object) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return 0;
+  ++data->flushes;
+  ++data->cumul_flushes;
+  return store_.flush_object(data->cleancache_pool, object);
+}
+
+void Hypervisor::set_targets(const MmOut& targets) {
+  for (const MmTarget& t : targets) {
+    VmData* data = find_vm(t.vm_id);
+    if (data == nullptr) {
+      log::warn("hypervisor: target for unknown VM %u ignored", t.vm_id);
+      continue;
+    }
+    data->mm_target = t.mm_target;
+    ++data->targets_applied;
+  }
+  ++target_updates_;
+}
+
+MemStats Hypervisor::snapshot() const {
+  MemStats stats;
+  stats.when = sim_.now();
+  stats.total_tmem = total_tmem();
+  stats.free_tmem = store_.combined_free_pages();
+  stats.vm_count = vm_count();
+  stats.vm.reserve(vms_.size());
+  for (const auto& [id, data] : vms_) {
+    VmMemStats v;
+    v.vm_id = id;
+    v.puts_total = data.puts_total;
+    v.puts_succ = data.puts_succ;
+    v.cumul_puts_failed = data.cumul_puts_failed;
+    v.tmem_used = store_.vm_pages(id);
+    v.mm_target = data.mm_target;
+    stats.vm.push_back(v);
+  }
+  return stats;
+}
+
+void Hypervisor::sample_tick() {
+  const MemStats stats = snapshot();
+  ++samples_taken_;
+  if (virq_handler_) virq_handler_(stats);
+  // Interval counters restart after each VIRQ (Table I: "in the current
+  // sampling interval").
+  for (auto& [id, data] : vms_) {
+    data.puts_total = 0;
+    data.puts_succ = 0;
+    data.gets_total = 0;
+    data.gets_hit = 0;
+    data.flushes = 0;
+  }
+  if (config_.slow_reclaim_enabled) slow_reclaim();
+}
+
+void Hypervisor::slow_reclaim() {
+  for (auto& [id, data] : vms_) {
+    const PageCount used = store_.vm_pages(id);
+    if (data.mm_target == kUnlimitedTarget || used <= data.mm_target) continue;
+    const PageCount excess = used - data.mm_target;
+    const PageCount quota =
+        std::min(excess, config_.slow_reclaim_pages_per_tick);
+    const PageCount reclaimed = store_.evict_ephemeral_from_vm(id, quota);
+    data.pages_reclaimed += reclaimed;
+    if (reclaimed > 0) {
+      log::trace("hypervisor: slow-reclaimed %llu pages from VM %u",
+                 static_cast<unsigned long long>(reclaimed), id);
+    }
+  }
+}
+
+void Hypervisor::start_sampling(VirqHandler handler) {
+  virq_handler_ = std::move(handler);
+  sampler_.cancel();
+  sampler_ = sim_.schedule_periodic(config_.sample_interval,
+                                    [this] { sample_tick(); });
+}
+
+void Hypervisor::stop_sampling() { sampler_.cancel(); }
+
+PageCount Hypervisor::tmem_used(VmId vm) const { return store_.vm_pages(vm); }
+
+PageCount Hypervisor::target(VmId vm) const {
+  const VmData* data = find_vm(vm);
+  return data == nullptr ? 0 : data->mm_target;
+}
+
+const VmData& Hypervisor::vm_data(VmId vm) const {
+  const VmData* data = find_vm(vm);
+  if (data == nullptr) {
+    throw std::out_of_range("Hypervisor::vm_data: unregistered VM");
+  }
+  return *data;
+}
+
+std::vector<VmId> Hypervisor::registered_vms() const {
+  std::vector<VmId> out;
+  out.reserve(vms_.size());
+  for (const auto& [id, data] : vms_) out.push_back(id);
+  return out;
+}
+
+}  // namespace smartmem::hyper

@@ -1,0 +1,162 @@
+// Hypervisor support for SmarTmem (Section III-B of the paper).
+//
+// The hypervisor owns the node's tmem pool and performs three duties:
+//  1. fine-grained allocation: every guest put/get/flush lands here
+//     (Algorithm 1 — a put fails with E_TMEM once the VM has reached its
+//     target or the node has no free tmem);
+//  2. bookkeeping: the Table I statistics, kept per VM and per interval;
+//  3. the sampling VIRQ: once per interval it snapshots memstats, hands the
+//     snapshot to the privileged domain (the TKM registers a callback for
+//     this) and resets the interval counters.
+//
+// Greedy — the Xen default the paper compares against — is simply the state
+// where every target is kUnlimitedTarget and no MM ever updates it.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "hyper/memstats.hpp"
+#include "hyper/vm_data.hpp"
+#include "sim/simulator.hpp"
+#include "tmem/store.hpp"
+
+namespace smartmem::hyper {
+
+/// Return status of a tmem hypercall (S_TMEM / E_TMEM in Table I).
+enum class OpStatus : std::uint8_t {
+  kSuccess,     // S_TMEM
+  kNoCapacity,  // E_TMEM: target reached or node out of tmem
+  kNotFound,    // get/flush of an absent key
+  kBadVm,       // unregistered VM
+};
+
+/// How a VM's target is initialised when it registers.
+enum class DefaultTargetMode : std::uint8_t {
+  /// Xen default: no limit; VMs compete greedily.
+  kUnlimited,
+  /// SmarTmem managed mode: start from an equal share (re-divided across all
+  /// registered VMs) so that Algorithm 4's relative increments are
+  /// well-defined from the first interval.
+  kEqualShare,
+};
+
+struct HypervisorConfig {
+  PageCount total_tmem_pages = 0;
+  /// Ex-Tmem extension: NVM pages backing overflow tmem capacity (0 = off).
+  /// Reported totals (node_info.total_tmem, free_tmem) cover both tiers, so
+  /// the management policies transparently govern the combined capacity.
+  PageCount nvm_tmem_pages = 0;
+  SimTime sample_interval = kSecond;
+  DefaultTargetMode default_target_mode = DefaultTargetMode::kUnlimited;
+
+  /// "The hypervisor can reclaim tmem pages from a VM very slowly": at each
+  /// sampling tick, at most this many *ephemeral* pages are clawed back from
+  /// each VM that sits above its target. Persistent (frontswap) pages are
+  /// never dropped — they hold the only copy of guest data.
+  bool slow_reclaim_enabled = true;
+  PageCount slow_reclaim_pages_per_tick = 512;
+
+  /// Optional Xen tmem feature, exercised by the dedup ablation bench.
+  bool zero_page_dedup = false;
+};
+
+class Hypervisor {
+ public:
+  using VirqHandler = std::function<void(const MemStats&)>;
+
+  Hypervisor(sim::Simulator& sim, HypervisorConfig config);
+
+  // ---- VM lifecycle -------------------------------------------------------
+
+  /// Registers a VM and creates its frontswap/cleancache pools.
+  void register_vm(VmId vm);
+
+  /// Flushes all the VM's pools and forgets it.
+  void unregister_vm(VmId vm);
+
+  bool vm_registered(VmId vm) const;
+  std::uint32_t vm_count() const { return static_cast<std::uint32_t>(vms_.size()); }
+
+  // ---- Tmem hypercalls (Algorithm 1) --------------------------------------
+
+  OpStatus frontswap_put(VmId vm, std::uint64_t object, std::uint32_t index,
+                         tmem::PagePayload payload,
+                         tmem::Tier* tier = nullptr);
+  std::optional<tmem::PagePayload> frontswap_get(VmId vm, std::uint64_t object,
+                                                 std::uint32_t index,
+                                                 tmem::Tier* tier = nullptr);
+  OpStatus frontswap_flush(VmId vm, std::uint64_t object, std::uint32_t index);
+  PageCount frontswap_flush_object(VmId vm, std::uint64_t object);
+
+  OpStatus cleancache_put(VmId vm, std::uint64_t object, std::uint32_t index,
+                          tmem::PagePayload payload,
+                          tmem::Tier* tier = nullptr);
+  std::optional<tmem::PagePayload> cleancache_get(VmId vm, std::uint64_t object,
+                                                  std::uint32_t index,
+                                                  tmem::Tier* tier = nullptr);
+  OpStatus cleancache_flush(VmId vm, std::uint64_t object, std::uint32_t index);
+  PageCount cleancache_flush_object(VmId vm, std::uint64_t object);
+
+  // ---- MM control path -----------------------------------------------------
+
+  /// Applies a target vector from the Memory Manager (the custom hypercall
+  /// the TKM issues on the MM's behalf).
+  void set_targets(const MmOut& targets);
+
+  /// Registers the privileged-domain callback for the sampling VIRQ and
+  /// starts the periodic sampler.
+  void start_sampling(VirqHandler handler);
+  void stop_sampling();
+
+  /// Builds a memstats snapshot *without* resetting interval counters
+  /// (used by monitoring and tests; the periodic sampler resets).
+  MemStats snapshot() const;
+
+  // ---- Introspection --------------------------------------------------------
+
+  PageCount tmem_used(VmId vm) const;
+  PageCount target(VmId vm) const;
+  /// Free/total across both tiers (DRAM + NVM when Ex-Tmem is enabled).
+  PageCount free_tmem() const { return store_.combined_free_pages(); }
+  PageCount total_tmem() const {
+    return config_.total_tmem_pages + config_.nvm_tmem_pages;
+  }
+  const VmData& vm_data(VmId vm) const;
+  const tmem::TmemStore& store() const { return store_; }
+  const HypervisorConfig& config() const { return config_; }
+  std::uint64_t samples_taken() const { return samples_taken_; }
+  std::uint64_t target_updates() const { return target_updates_; }
+  std::vector<VmId> registered_vms() const;
+
+ private:
+  VmData* find_vm(VmId vm);
+  const VmData* find_vm(VmId vm) const;
+
+  /// The shared put path of Algorithm 1: target check, capacity check,
+  /// store insert, counter updates.
+  OpStatus do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
+                  std::uint32_t index, tmem::PagePayload payload,
+                  tmem::Tier* tier);
+
+  void sample_tick();
+  void apply_equal_share_targets();
+  void slow_reclaim();
+
+  sim::Simulator& sim_;
+  HypervisorConfig config_;
+  tmem::TmemStore store_;
+  // std::map keeps VM iteration order deterministic (by id), which matters
+  // for reproducible equal-share rounding and reclaim order.
+  std::map<VmId, VmData> vms_;
+  VirqHandler virq_handler_;
+  sim::EventHandle sampler_;
+  std::uint64_t samples_taken_ = 0;
+  std::uint64_t target_updates_ = 0;
+};
+
+}  // namespace smartmem::hyper

@@ -1,0 +1,52 @@
+// The statistics ABI between hypervisor and Memory Manager.
+//
+// These structs mirror Table I of the paper: the hypervisor samples them once
+// per interval (1 s), ships them up through the TKM's netlink channel, and
+// the MM answers with an mm_out vector of per-VM target allocations.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace smartmem::hyper {
+
+/// Per-VM slice of a memstats sample.
+struct VmMemStats {
+  /// Identifier of the VM within Xen (memstats.vm[i].vm_id).
+  VmId vm_id = kInvalidVm;
+  /// Puts issued by the VM in the sampling interval (memstats.vm[i].puts_total).
+  std::uint64_t puts_total = 0;
+  /// Puts that succeeded in the sampling interval (memstats.vm[i].puts_succ).
+  std::uint64_t puts_succ = 0;
+  /// Failed puts accumulated over the VM's lifetime; Algorithm 3 keys its
+  /// notion of "has ever swapped" off this (cumul_puts_failed).
+  std::uint64_t cumul_puts_failed = 0;
+  /// Pages of tmem currently used by the VM (vm_data_hyp[id].tmem_used).
+  PageCount tmem_used = 0;
+  /// Target currently enforced by the hypervisor (vm_data_hyp[id].mm_target).
+  PageCount mm_target = kUnlimitedTarget;
+};
+
+/// One sample of node-wide memory statistics (memstats in Table I).
+struct MemStats {
+  SimTime when = 0;
+  PageCount total_tmem = 0;          // node_info.total_tmem
+  PageCount free_tmem = 0;           // node_info.free_tmem
+  std::uint32_t vm_count = 0;        // node_info.vm_count
+  std::vector<VmMemStats> vm;
+};
+
+/// One entry of the MM's output (mm_out[i] in Table I).
+struct MmTarget {
+  VmId vm_id = kInvalidVm;           // mm_out[i].vm_id
+  PageCount mm_target = 0;           // mm_out[i].mm_target
+
+  friend bool operator==(const MmTarget&, const MmTarget&) = default;
+};
+
+/// The full policy output: one target per VM.
+using MmOut = std::vector<MmTarget>;
+
+}  // namespace smartmem::hyper

@@ -1,0 +1,40 @@
+// Per-VM hypervisor state (vm_data_hyp in Table I of the paper).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+#include "tmem/key.hpp"
+
+namespace smartmem::hyper {
+
+struct VmData {
+  VmId vm_id = kInvalidVm;
+
+  /// Target number of tmem pages the MM allows this VM (mm_target).
+  /// kUnlimitedTarget reproduces the default greedy behaviour.
+  PageCount mm_target = kUnlimitedTarget;
+
+  // ---- Interval counters: reset at every sampling VIRQ -------------------
+  std::uint64_t puts_total = 0;   // puts issued this interval
+  std::uint64_t puts_succ = 0;    // puts that succeeded this interval
+  std::uint64_t gets_total = 0;
+  std::uint64_t gets_hit = 0;
+  std::uint64_t flushes = 0;
+
+  // ---- Cumulative counters (VM lifetime) ---------------------------------
+  std::uint64_t cumul_puts_total = 0;
+  std::uint64_t cumul_puts_succ = 0;
+  std::uint64_t cumul_puts_failed = 0;
+  std::uint64_t cumul_gets_total = 0;
+  std::uint64_t cumul_gets_hit = 0;
+  std::uint64_t cumul_flushes = 0;
+  std::uint64_t targets_applied = 0;  // how many MM updates touched this VM
+  PageCount pages_reclaimed = 0;      // via slow background reclaim
+
+  // ---- Tmem pools belonging to the VM ------------------------------------
+  tmem::PoolId frontswap_pool = tmem::kInvalidPool;   // persistent
+  tmem::PoolId cleancache_pool = tmem::kInvalidPool;  // ephemeral
+};
+
+}  // namespace smartmem::hyper

@@ -1,0 +1,33 @@
+#include "mem/frame_allocator.hpp"
+
+#include <cassert>
+
+namespace smartmem::mem {
+
+FrameAllocator::FrameAllocator(PageCount total_frames) : total_(total_frames) {
+  free_list_.reserve(total_frames);
+  // Hand out low frame numbers first: push high ones first so pop_back
+  // returns ascending pfns, which makes traces easier to read.
+  for (PageCount i = total_frames; i > 0; --i) {
+    free_list_.push_back(i - 1);
+  }
+  allocated_.assign(total_frames, false);
+}
+
+std::optional<Pfn> FrameAllocator::allocate() {
+  if (free_list_.empty()) return std::nullopt;
+  const Pfn frame = free_list_.back();
+  free_list_.pop_back();
+  assert(!allocated_[frame]);
+  allocated_[frame] = true;
+  return frame;
+}
+
+void FrameAllocator::free(Pfn frame) {
+  assert(frame < total_);
+  assert(allocated_[frame] && "double free of physical frame");
+  allocated_[frame] = false;
+  free_list_.push_back(frame);
+}
+
+}  // namespace smartmem::mem

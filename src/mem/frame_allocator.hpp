@@ -1,0 +1,36 @@
+// Physical-frame allocator for one guest's pseudo-physical memory.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace smartmem::mem {
+
+class FrameAllocator {
+ public:
+  explicit FrameAllocator(PageCount total_frames);
+
+  /// Grabs a free frame; nullopt when memory is exhausted (the caller must
+  /// reclaim first).
+  std::optional<Pfn> allocate();
+
+  /// Returns a frame to the pool. Double-free is detected in debug builds.
+  void free(Pfn frame);
+
+  PageCount total() const { return total_; }
+  PageCount free_count() const { return free_list_.size(); }
+  PageCount used_count() const { return total_ - free_count(); }
+
+ private:
+  PageCount total_;
+  std::vector<Pfn> free_list_;
+  // Double-free detection. Kept in all build types: an #ifndef NDEBUG member
+  // would make the class layout depend on the build flags (a real ODR/ABI
+  // hazard for library users), and one bit per frame is cheap.
+  std::vector<bool> allocated_;
+};
+
+}  // namespace smartmem::mem

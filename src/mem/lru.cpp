@@ -1,0 +1,65 @@
+#include "mem/lru.hpp"
+
+#include <cassert>
+
+namespace smartmem::mem {
+
+LruLists::LruLists(std::uint32_t inactive_ratio)
+    : inactive_ratio_(inactive_ratio == 0 ? 1 : inactive_ratio) {}
+
+void LruLists::insert(Vpn page) {
+  assert(!where_.contains(page));
+  inactive_.push_front(page);
+  where_.emplace(page, Pos{Which::kInactive, inactive_.begin()});
+}
+
+void LruLists::touch(Vpn page) {
+  auto it = where_.find(page);
+  if (it == where_.end()) return;
+  if (it->second.which == Which::kActive) return;  // accessed bit only
+  // Second touch while inactive: promote.
+  inactive_.erase(it->second.it);
+  active_.push_front(page);
+  it->second = Pos{Which::kActive, active_.begin()};
+}
+
+void LruLists::remove(Vpn page) {
+  auto it = where_.find(page);
+  if (it == where_.end()) return;
+  if (it->second.which == Which::kActive) {
+    active_.erase(it->second.it);
+  } else {
+    inactive_.erase(it->second.it);
+  }
+  where_.erase(it);
+}
+
+void LruLists::rebalance() {
+  // Keep inactive at least 1/ratio of the total, demoting cold active pages.
+  const std::size_t total = where_.size();
+  const std::size_t want_inactive = total / inactive_ratio_;
+  while (inactive_.size() < want_inactive && !active_.empty()) {
+    const Vpn page = active_.back();
+    active_.pop_back();
+    inactive_.push_front(page);
+    where_[page] = Pos{Which::kInactive, inactive_.begin()};
+  }
+}
+
+std::optional<Vpn> LruLists::pop_victim() {
+  if (where_.empty()) return std::nullopt;
+  if (inactive_.empty()) rebalance();
+  if (inactive_.empty()) {
+    // Everything is active: demote the coldest active page directly.
+    const Vpn page = active_.back();
+    active_.pop_back();
+    where_.erase(page);
+    return page;
+  }
+  const Vpn page = inactive_.back();
+  inactive_.pop_back();
+  where_.erase(page);
+  return page;
+}
+
+}  // namespace smartmem::mem

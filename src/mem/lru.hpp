@@ -1,0 +1,61 @@
+// Active/inactive page lists approximating the Linux kernel's Pageframe
+// Replacement Algorithm (PFRA), which the paper's guest kernels run.
+//
+// The model: a page enters the inactive list on first mapping; a touch while
+// inactive promotes it to the active list (the "referenced" second-chance
+// bit); reclaim evicts from the inactive tail, refilling the inactive list
+// from the active tail when it runs dry. Touches of already-active pages are
+// free, matching the fact that real hardware only sets the accessed bit.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace smartmem::mem {
+
+class LruLists {
+ public:
+  /// `inactive_ratio`: reclaim demotes active pages whenever the inactive
+  /// list holds less than 1/inactive_ratio of all tracked pages (Linux uses a
+  /// RAM-dependent ratio; 3 is representative for the VM sizes modelled).
+  explicit LruLists(std::uint32_t inactive_ratio = 3);
+
+  /// Starts tracking a freshly-mapped page (must not be tracked already).
+  void insert(Vpn page);
+
+  /// Records an access. Promotes inactive pages to the active list.
+  void touch(Vpn page);
+
+  /// Stops tracking a page (unmapped/freed). No-op if untracked.
+  void remove(Vpn page);
+
+  /// Picks the eviction victim: the inactive tail (oldest), demoting from
+  /// the active list first if the inactive side is starved. Returns nullopt
+  /// when no page is tracked. The victim is removed from the lists.
+  std::optional<Vpn> pop_victim();
+
+  bool tracked(Vpn page) const { return where_.contains(page); }
+  std::size_t size() const { return where_.size(); }
+  std::size_t active_size() const { return active_.size(); }
+  std::size_t inactive_size() const { return inactive_.size(); }
+
+ private:
+  enum class Which : std::uint8_t { kActive, kInactive };
+  struct Pos {
+    Which which;
+    std::list<Vpn>::iterator it;
+  };
+
+  void rebalance();
+
+  std::uint32_t inactive_ratio_;
+  std::list<Vpn> active_;    // front = most recently promoted
+  std::list<Vpn> inactive_;  // front = newest, back = eviction victim
+  std::unordered_map<Vpn, Pos> where_;
+};
+
+}  // namespace smartmem::mem

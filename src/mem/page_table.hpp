@@ -1,0 +1,71 @@
+// Per-process anonymous address space: a flat page table plus a bump-pointer
+// region allocator. Workloads allocate regions (mmap-style), then touch pages
+// inside them; the guest kernel drives the state transitions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "mem/swap.hpp"
+
+namespace smartmem::mem {
+
+enum class PageState : std::uint8_t {
+  kUnmapped,   // vpn not part of any region
+  kUntouched,  // region reserved, first touch will zero-fill-allocate
+  kResident,   // in a physical frame
+  kSwapped,    // evicted; data lives in the slot (tmem or disk)
+};
+
+struct PageTableEntry {
+  PageState state = PageState::kUnmapped;
+  /// Hardware accessed bit: set on every touch, consumed by the reclaim
+  /// scan's second-chance pass. Lets the hot path avoid any LRU lookup.
+  bool referenced = false;
+  /// Swap-cache residency: the page is resident AND `slot` still holds an
+  /// identical copy (in tmem or on disk). Linux keeps swapped-in pages in
+  /// the swap cache until they are re-dirtied, and frontswap gets are not
+  /// exclusive — so a clean page can be evicted again without any put, and
+  /// the tmem copy stays charged to the VM until invalidated.
+  bool clean_in_swap = false;
+  Pfn frame = kInvalidPfn;
+  SwapSlot slot = kInvalidSlot;
+  PageContent content = 0;  // simulated data token (canonical copy)
+};
+
+class AddressSpace {
+ public:
+  using Id = std::uint32_t;
+
+  explicit AddressSpace(Id id) : id_(id) {}
+
+  Id id() const { return id_; }
+
+  /// Reserves a contiguous region of `pages` pages; returns its base vpn.
+  Vpn map_region(PageCount pages);
+
+  /// Releases [base, base+pages). The caller (guest kernel) must have
+  /// already freed frames and swap slots; entries return to kUnmapped.
+  void unmap_region(Vpn base, PageCount pages);
+
+  PageTableEntry& entry(Vpn vpn);
+  const PageTableEntry& entry(Vpn vpn) const;
+  bool valid(Vpn vpn) const;
+
+  /// Total pages ever reserved (the bump pointer).
+  PageCount reserved_pages() const { return table_.size(); }
+
+  /// Pages currently resident in RAM.
+  PageCount resident_pages() const { return resident_; }
+
+  /// Called by the guest kernel to keep the resident counter exact.
+  void note_resident_delta(std::int64_t delta);
+
+ private:
+  Id id_;
+  std::vector<PageTableEntry> table_;
+  PageCount resident_ = 0;
+};
+
+}  // namespace smartmem::mem

@@ -1,0 +1,67 @@
+#include "mem/swap.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smartmem::mem {
+
+SwapSpace::SwapSpace(PageCount total_slots) : total_slots_(total_slots) {
+  in_use_.assign(total_slots, false);
+  frontswap_.assign(total_slots, false);
+}
+
+std::optional<SwapSlot> SwapSpace::allocate() {
+  SwapSlot slot;
+  if (!free_list_.empty()) {
+    slot = free_list_.back();
+    free_list_.pop_back();
+  } else if (next_fresh_ < total_slots_) {
+    slot = next_fresh_++;
+  } else {
+    return std::nullopt;
+  }
+  assert(!in_use_[slot]);
+  in_use_[slot] = true;
+  ++used_;
+  ++stats_.slots_allocated;
+  stats_.peak_in_use = std::max(stats_.peak_in_use, used_);
+  return slot;
+}
+
+void SwapSpace::free(SwapSlot slot) {
+  assert(slot < total_slots_);
+  assert(in_use_[slot] && "freeing unused swap slot");
+  in_use_[slot] = false;
+  frontswap_[slot] = false;
+  disk_content_.erase(slot);
+  free_list_.push_back(slot);
+  --used_;
+  ++stats_.slots_freed;
+}
+
+bool SwapSpace::in_use(SwapSlot slot) const {
+  return slot < total_slots_ && in_use_[slot];
+}
+
+void SwapSpace::set_in_frontswap(SwapSlot slot, bool value) {
+  assert(in_use(slot));
+  frontswap_[slot] = value;
+}
+
+bool SwapSpace::in_frontswap(SwapSlot slot) const {
+  assert(in_use(slot));
+  return frontswap_[slot];
+}
+
+void SwapSpace::store_disk_content(SwapSlot slot, PageContent content) {
+  assert(in_use(slot));
+  disk_content_[slot] = content;
+}
+
+std::optional<PageContent> SwapSpace::load_disk_content(SwapSlot slot) const {
+  auto it = disk_content_.find(slot);
+  if (it == disk_content_.end()) return std::nullopt;
+  return it->second;
+}
+
+}  // namespace smartmem::mem

@@ -1,0 +1,16 @@
+#include "mm/greedy_policy.hpp"
+
+namespace smartmem::mm {
+
+hyper::MmOut GreedyPolicy::compute(const hyper::MemStats& stats,
+                                   const PolicyContext& ctx) {
+  (void)ctx;
+  hyper::MmOut out;
+  out.reserve(stats.vm.size());
+  for (const auto& vm : stats.vm) {
+    out.push_back({vm.vm_id, kUnlimitedTarget});
+  }
+  return out;
+}
+
+}  // namespace smartmem::mm

@@ -1,0 +1,22 @@
+// The default Xen behaviour the paper compares against: no capacity
+// management at all. VMs compete for tmem first-come-first-served.
+#pragma once
+
+#include "mm/policy.hpp"
+
+namespace smartmem::mm {
+
+/// Emits an unlimited target for every VM once (and again whenever the VM
+/// population changes), which makes the hypervisor's Algorithm 1 degenerate
+/// to plain free-capacity checking. Running no MM at all is equivalent; this
+/// class exists so greedy can be exercised through the same code path in
+/// tests and benches.
+class GreedyPolicy final : public Policy {
+ public:
+  std::string name() const override { return "greedy"; }
+
+  hyper::MmOut compute(const hyper::MemStats& stats,
+                       const PolicyContext& ctx) override;
+};
+
+}  // namespace smartmem::mm

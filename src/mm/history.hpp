@@ -1,0 +1,73 @@
+// Per-VM history of memstats samples kept by the Memory Manager.
+//
+// "The MM keeps track of this information across time, generating a history
+//  of how the VMs use tmem" (Section III-D). The built-in policies need at
+// most the previous sample; the history depth is configurable so custom
+// policies (e.g. the swap-rate EWMA extension) can look further back.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "common/types.hpp"
+#include "hyper/memstats.hpp"
+
+namespace smartmem::mm {
+
+class StatsHistory {
+ public:
+  explicit StatsHistory(std::size_t depth = 120) : depth_(depth) {}
+
+  void record(const hyper::MemStats& stats);
+
+  /// Most recent per-VM sample (from the latest record() call).
+  std::optional<hyper::VmMemStats> last(VmId vm) const;
+
+  /// Sample `age` intervals back (age 0 == last). nullopt if not enough
+  /// history for that VM.
+  std::optional<hyper::VmMemStats> nth_last(VmId vm, std::size_t age) const;
+
+  /// Failed puts in the most recent interval (puts_total - puts_succ).
+  std::uint64_t failed_puts_last_interval(VmId vm) const;
+
+  std::size_t samples_recorded() const { return samples_; }
+  std::size_t depth() const { return depth_; }
+
+  /// Number of VMs ever seen.
+  std::size_t vm_count() const { return per_vm_.size(); }
+
+ private:
+  std::size_t depth_;
+  std::size_t samples_ = 0;
+  std::unordered_map<VmId, std::deque<hyper::VmMemStats>> per_vm_;
+};
+
+inline void StatsHistory::record(const hyper::MemStats& stats) {
+  ++samples_;
+  for (const auto& vm : stats.vm) {
+    auto& dq = per_vm_[vm.vm_id];
+    dq.push_back(vm);
+    while (dq.size() > depth_) dq.pop_front();
+  }
+}
+
+inline std::optional<hyper::VmMemStats> StatsHistory::last(VmId vm) const {
+  return nth_last(vm, 0);
+}
+
+inline std::optional<hyper::VmMemStats> StatsHistory::nth_last(
+    VmId vm, std::size_t age) const {
+  auto it = per_vm_.find(vm);
+  if (it == per_vm_.end() || it->second.size() <= age) return std::nullopt;
+  return it->second[it->second.size() - 1 - age];
+}
+
+inline std::uint64_t StatsHistory::failed_puts_last_interval(VmId vm) const {
+  const auto sample = last(vm);
+  if (!sample) return 0;
+  return sample->puts_total - sample->puts_succ;
+}
+
+}  // namespace smartmem::mm

@@ -1,0 +1,46 @@
+#include "mm/manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace smartmem::mm {
+
+MemoryManager::MemoryManager(PolicyPtr policy, PageCount total_tmem,
+                             ManagerConfig config)
+    : policy_(std::move(policy)),
+      total_tmem_(total_tmem),
+      config_(config),
+      history_(config.history_depth) {
+  if (!policy_) {
+    throw std::invalid_argument("MemoryManager: null policy");
+  }
+}
+
+void MemoryManager::on_stats(const hyper::MemStats& stats) {
+  ++samples_seen_;
+  history_.record(stats);
+
+  PolicyContext ctx;
+  ctx.total_tmem = total_tmem_;
+  ctx.history = &history_;
+
+  hyper::MmOut out = policy_->compute(stats, ctx);
+  if (out.empty()) return;
+
+  // send_to_hypervisor(): skip transmission when nothing changed.
+  if (config_.suppress_unchanged && last_sent_ && *last_sent_ == out) {
+    ++sends_suppressed_;
+    return;
+  }
+  last_sent_ = out;
+  ++targets_sent_;
+  if (sender_) {
+    sender_(out);
+  } else {
+    log::warn("MemoryManager: no sender attached; targets dropped");
+  }
+}
+
+}  // namespace smartmem::mm

@@ -1,0 +1,64 @@
+// The Memory Manager (MM) user-space process — Sections III-D and III-E.
+//
+// The MM runs in Xen's privileged domain. Once per sampling interval it
+// receives a memstats sample from the TKM (netlink in the real system),
+// records it into its history, runs the configured high-level policy and —
+// only if the resulting target vector differs from the last one sent —
+// forwards it back to the hypervisor through the TKM
+// ("send_to_hypervisor ... If no changes are detected, then no transmission
+//  takes place, avoiding unnecessary communication overhead").
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "common/types.hpp"
+#include "hyper/memstats.hpp"
+#include "mm/policy.hpp"
+
+namespace smartmem::mm {
+
+struct ManagerConfig {
+  /// Suppress re-sending an unchanged target vector (paper behaviour).
+  bool suppress_unchanged = true;
+  /// History depth in samples.
+  std::size_t history_depth = 120;
+};
+
+class MemoryManager {
+ public:
+  /// `sender` delivers an mm_out vector towards the hypervisor (in the full
+  /// stack this is Tkm::submit_targets).
+  using TargetSender = std::function<void(const hyper::MmOut&)>;
+
+  MemoryManager(PolicyPtr policy, PageCount total_tmem,
+                ManagerConfig config = {});
+
+  void set_sender(TargetSender sender) { sender_ = std::move(sender); }
+
+  /// Entry point: one memstats sample arriving from the TKM.
+  void on_stats(const hyper::MemStats& stats);
+
+  const Policy& policy() const { return *policy_; }
+  Policy& policy() { return *policy_; }
+  const StatsHistory& history() const { return history_; }
+
+  std::uint64_t samples_seen() const { return samples_seen_; }
+  std::uint64_t targets_sent() const { return targets_sent_; }
+  std::uint64_t sends_suppressed() const { return sends_suppressed_; }
+  const std::optional<hyper::MmOut>& last_sent() const { return last_sent_; }
+
+ private:
+  PolicyPtr policy_;
+  PageCount total_tmem_;
+  ManagerConfig config_;
+  StatsHistory history_;
+  TargetSender sender_;
+  std::optional<hyper::MmOut> last_sent_;
+  std::uint64_t samples_seen_ = 0;
+  std::uint64_t targets_sent_ = 0;
+  std::uint64_t sends_suppressed_ = 0;
+};
+
+}  // namespace smartmem::mm

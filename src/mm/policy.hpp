@@ -1,0 +1,40 @@
+// High-level tmem management policy interface (Section III-E).
+//
+// A policy is a pure function from one memstats sample (plus recorded
+// history) to a vector of per-VM tmem capacity targets. The MemoryManager
+// invokes it once per sampling interval and forwards the output to the
+// hypervisor only when it differs from what was last sent.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "common/types.hpp"
+#include "hyper/memstats.hpp"
+#include "mm/history.hpp"
+
+namespace smartmem::mm {
+
+struct PolicyContext {
+  /// node_info.total_tmem — fixed for the lifetime of the node.
+  PageCount total_tmem = 0;
+
+  /// Sample history recorded by the MM (never null during compute()).
+  const StatsHistory* history = nullptr;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Computes mm_out for this sample. An empty vector means "no targets"
+  /// (nothing is sent to the hypervisor).
+  virtual hyper::MmOut compute(const hyper::MemStats& stats,
+                               const PolicyContext& ctx) = 0;
+};
+
+using PolicyPtr = std::unique_ptr<Policy>;
+
+}  // namespace smartmem::mm

@@ -1,0 +1,62 @@
+#include "mm/policy_factory.hpp"
+
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+#include "mm/greedy_policy.hpp"
+#include "mm/reconf_static_policy.hpp"
+#include "mm/static_policy.hpp"
+
+namespace smartmem::mm {
+
+std::string PolicySpec::label() const {
+  switch (kind) {
+    case PolicyKind::kNoTmem: return "no-tmem";
+    case PolicyKind::kGreedy: return "greedy";
+    case PolicyKind::kStatic: return "static-alloc";
+    case PolicyKind::kReconfStatic: return "reconf-static";
+    case PolicyKind::kSmart: return strfmt("sm-%.2gp", smart_config.p_percent);
+    case PolicyKind::kSwapRate: return "swap-rate";
+    case PolicyKind::kWss: return "wss";
+  }
+  return "?";
+}
+
+PolicySpec PolicySpec::parse(const std::string& text) {
+  if (text == "no-tmem") return no_tmem();
+  if (text == "greedy") return greedy();
+  if (text == "static" || text == "static-alloc") return static_alloc();
+  if (text == "reconf" || text == "reconf-static") return reconf_static();
+  if (text == "swap-rate") return swap_rate();
+  if (text == "wss") return wss();
+  if (text.rfind("smart", 0) == 0) {
+    double p = 0.75;
+    if (auto colon = text.find(':'); colon != std::string::npos) {
+      p = std::stod(text.substr(colon + 1));
+    }
+    return smart(p);
+  }
+  throw std::invalid_argument("unknown policy spec: " + text);
+}
+
+PolicyPtr make_policy(const PolicySpec& spec) {
+  switch (spec.kind) {
+    case PolicyKind::kGreedy:
+      return std::make_unique<GreedyPolicy>();
+    case PolicyKind::kStatic:
+      return std::make_unique<StaticPolicy>();
+    case PolicyKind::kReconfStatic:
+      return std::make_unique<ReconfStaticPolicy>();
+    case PolicyKind::kSmart:
+      return std::make_unique<SmartPolicy>(spec.smart_config);
+    case PolicyKind::kSwapRate:
+      return std::make_unique<SwapRatePolicy>(spec.swap_rate_config);
+    case PolicyKind::kWss:
+      return std::make_unique<WssPolicy>(spec.wss_config);
+    case PolicyKind::kNoTmem:
+      break;
+  }
+  throw std::logic_error("make_policy: spec does not use a manager policy");
+}
+
+}  // namespace smartmem::mm

@@ -1,0 +1,26 @@
+#include "mm/reconf_static_policy.hpp"
+
+namespace smartmem::mm {
+
+hyper::MmOut ReconfStaticPolicy::compute(const hyper::MemStats& stats,
+                                         const PolicyContext& ctx) {
+  hyper::MmOut out;
+  out.reserve(stats.vm.size());
+
+  // Lines 4-9: count the VMs that have ever failed a put.
+  std::size_t num_active = 0;
+  for (const auto& vm : stats.vm) {
+    if (vm.cumul_puts_failed > 0) ++num_active;
+  }
+
+  // Lines 10-15: equal share per active VM; zero before first activity.
+  const PageCount share =
+      num_active == 0 ? 0 : ctx.total_tmem / num_active;
+  for (const auto& vm : stats.vm) {
+    const bool active = vm.cumul_puts_failed > 0;
+    out.push_back({vm.vm_id, active ? share : 0});
+  }
+  return out;
+}
+
+}  // namespace smartmem::mm

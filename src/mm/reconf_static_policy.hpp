@@ -1,0 +1,26 @@
+// Reconfigurable Static Allocation (reconf-static) — Algorithm 3.
+#pragma once
+
+#include "mm/policy.hpp"
+
+namespace smartmem::mm {
+
+/// Divides tmem equally among the VMs that are *actively using* tmem — a VM
+/// counts as active once it has failed at least one put in its lifetime
+/// (cumul_puts_failed > 0), i.e. it has actually swapped under pressure.
+///
+/// Inactive VMs get a target of zero: "initially allocating no tmem capacity
+/// to any VM ... it requires for the VM to swap a number of times before
+/// getting any tmem capacity". (The paper's pseudo-code assigns the active
+/// share to every VM in the loop; we follow the prose, which matches the
+/// behaviour shown in Figure 8(b) — VMs hold nothing before their first
+/// failed put.)
+class ReconfStaticPolicy final : public Policy {
+ public:
+  std::string name() const override { return "reconf-static"; }
+
+  hyper::MmOut compute(const hyper::MemStats& stats,
+                       const PolicyContext& ctx) override;
+};
+
+}  // namespace smartmem::mm

@@ -1,0 +1,78 @@
+#include "mm/smart_policy.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/strfmt.hpp"
+
+namespace smartmem::mm {
+
+SmartPolicy::SmartPolicy(SmartPolicyConfig config) : config_(config) {
+  if (config_.p_percent <= 0.0 || config_.p_percent > 100.0) {
+    throw std::invalid_argument("SmartPolicy: P must be in (0, 100]");
+  }
+}
+
+std::string SmartPolicy::name() const {
+  return strfmt("smart-alloc(P=%.2f%%)", config_.p_percent);
+}
+
+PageCount SmartPolicy::effective_threshold(PageCount total_tmem) const {
+  if (config_.threshold_pages != 0) return config_.threshold_pages;
+  return static_cast<PageCount>(config_.p_percent / 100.0 *
+                                static_cast<double>(total_tmem));
+}
+
+hyper::MmOut SmartPolicy::compute(const hyper::MemStats& stats,
+                                  const PolicyContext& ctx) {
+  const auto local_tmem = static_cast<double>(ctx.total_tmem);  // line 2
+  const PageCount threshold = effective_threshold(ctx.total_tmem);
+
+  hyper::MmOut out;
+  out.reserve(stats.vm.size());
+  double sum_targets = 0.0;  // line 4
+
+  for (const auto& vm : stats.vm) {  // lines 5-26
+    // The hypervisor reports an unlimited target before any MM update has
+    // landed (greedy default). Ground it to an equal share so the relative
+    // arithmetic below is well-defined.
+    double curr_tgt =
+        vm.mm_target == kUnlimitedTarget
+            ? local_tmem / static_cast<double>(stats.vm.size())
+            : static_cast<double>(vm.mm_target);
+
+    const std::uint64_t failed_puts = vm.puts_total - vm.puts_succ;  // line 8
+    double mm_target;
+    if (failed_puts > 0) {
+      // Lines 10-12: the VM hit its ceiling during the last interval; grant
+      // it P% of the node's tmem more.
+      const double incr = config_.p_percent * local_tmem / 100.0;
+      mm_target = curr_tgt + incr;
+    } else {
+      // Lines 14-21: shrink only when the VM leaves more slack than the
+      // threshold, to avoid oscillation.
+      const double difference = curr_tgt - static_cast<double>(vm.tmem_used);
+      if (difference > static_cast<double>(threshold)) {
+        mm_target = (100.0 - config_.p_percent) * curr_tgt / 100.0;
+      } else {
+        mm_target = curr_tgt;
+      }
+    }
+    out.push_back({vm.vm_id, static_cast<PageCount>(mm_target)});
+    sum_targets += mm_target;  // line 25
+  }
+
+  // Lines 27-33 (Equation 2): proportional scale-down when over-allocated,
+  // so that the sum of targets never exceeds the node's capacity and every
+  // page stays assigned (Equation 1).
+  if (sum_targets > local_tmem && sum_targets > 0.0) {
+    const double factor = local_tmem / sum_targets;  // line 28
+    for (auto& t : out) {
+      t.mm_target = static_cast<PageCount>(
+          std::floor(static_cast<double>(t.mm_target) * factor));
+    }
+  }
+  return out;  // line 34 (send; the MM suppresses unchanged vectors)
+}
+
+}  // namespace smartmem::mm

@@ -1,0 +1,44 @@
+// Smart Allocation (smart-alloc) — Algorithm 4 with Equations 1 and 2.
+#pragma once
+
+#include "mm/policy.hpp"
+
+namespace smartmem::mm {
+
+struct SmartPolicyConfig {
+  /// The paper's P parameter: targets grow/shrink by P percent of the total
+  /// local tmem / of the current target. Evaluated values: 0.25-6 %.
+  double p_percent = 0.75;
+
+  /// "if the policy detects that a VM is using less pages than its target
+  ///  plus a threshold value" — the slack (target - used) a VM may keep
+  /// before its target shrinks. The paper does not give a number; the
+  /// default ties it to one increment (P% of total tmem), so a VM never
+  /// loses its headroom faster than it can win it back. 0 selects the
+  /// default; the threshold ablation bench sweeps explicit values.
+  PageCount threshold_pages = 0;
+};
+
+/// Grows the target of every VM that failed puts in the last interval by
+/// P% of total tmem; shrinks idle VMs' targets by P%; and renormalizes so
+/// the sum of targets never exceeds the node's tmem (Eq. 2), which also
+/// guarantees all capacity is assigned once demand exists (Eq. 1).
+class SmartPolicy final : public Policy {
+ public:
+  explicit SmartPolicy(SmartPolicyConfig config);
+
+  std::string name() const override;
+
+  hyper::MmOut compute(const hyper::MemStats& stats,
+                       const PolicyContext& ctx) override;
+
+  const SmartPolicyConfig& config() const { return config_; }
+
+  /// Effective threshold for a node with `total_tmem` pages.
+  PageCount effective_threshold(PageCount total_tmem) const;
+
+ private:
+  SmartPolicyConfig config_;
+};
+
+}  // namespace smartmem::mm

@@ -1,0 +1,19 @@
+#include "mm/static_policy.hpp"
+
+namespace smartmem::mm {
+
+// Algorithm 2: one equal share per registered VM.
+hyper::MmOut StaticPolicy::compute(const hyper::MemStats& stats,
+                                   const PolicyContext& ctx) {
+  hyper::MmOut out;
+  const std::size_t num_vms = stats.vm.size();    // line 2
+  if (num_vms == 0) return out;
+  const PageCount share = ctx.total_tmem / num_vms;  // line 5
+  out.reserve(num_vms);
+  for (const auto& vm : stats.vm) {               // lines 6-9
+    out.push_back({vm.vm_id, share});
+  }
+  return out;                                      // line 10 (send)
+}
+
+}  // namespace smartmem::mm

@@ -1,0 +1,20 @@
+// Static Memory Capacity Allocation (static-alloc) — Algorithm 2.
+#pragma once
+
+#include "mm/policy.hpp"
+
+namespace smartmem::mm {
+
+/// Divides the available tmem capacity equally across all tmem-capable VMs:
+///   mm_target = local_tmem / num_vms
+/// Targets change only when a VM registers or is destroyed; the MM's
+/// change-suppression then keeps the channel quiet.
+class StaticPolicy final : public Policy {
+ public:
+  std::string name() const override { return "static-alloc"; }
+
+  hyper::MmOut compute(const hyper::MemStats& stats,
+                       const PolicyContext& ctx) override;
+};
+
+}  // namespace smartmem::mm

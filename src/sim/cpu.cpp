@@ -1,0 +1,29 @@
+#include "sim/cpu.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smartmem::sim {
+
+CpuPool::CpuPool(unsigned cores) : busy_until_(cores, 0) {}
+
+SimTime CpuPool::next_available(SimTime at) const {
+  if (busy_until_.empty()) return at;
+  const SimTime earliest =
+      *std::min_element(busy_until_.begin(), busy_until_.end());
+  return std::max(at, earliest);
+}
+
+void CpuPool::occupy(SimTime start, SimTime end) {
+  if (busy_until_.empty() || end <= start) return;
+  auto it = std::min_element(busy_until_.begin(), busy_until_.end());
+  // Batches are computed slightly ahead of the global clock, so a reservation
+  // may overlap the tail of the previous one on the same core; charge the
+  // non-overlapping part and extend the core's horizon.
+  const SimTime effective_start = std::max(start, *it);
+  if (end > effective_start) busy_time_ += end - effective_start;
+  *it = std::max(*it, end);
+  ++reservations_;
+}
+
+}  // namespace smartmem::sim

@@ -1,0 +1,60 @@
+#include "sim/disk.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+namespace smartmem::sim {
+
+DiskDevice::DiskDevice(Simulator& sim, DiskModel model)
+    : sim_(sim), model_(model) {
+  assert(model_.bandwidth_bytes_per_sec > 0);
+}
+
+SimTime DiskDevice::service_time(std::uint64_t bytes) const {
+  const auto transfer = static_cast<SimTime>(
+      static_cast<double>(bytes) /
+      static_cast<double>(model_.bandwidth_bytes_per_sec) *
+      static_cast<double>(kSecond));
+  return model_.access_latency + transfer;
+}
+
+SimTime DiskDevice::submit(std::uint64_t bytes, SimTime at, bool is_write,
+                           std::function<void()> done) {
+  at = std::max(at, sim_.now());
+  SimTime& busy_until = is_write ? write_busy_until_ : read_busy_until_;
+  const SimTime start = std::max(at, busy_until);
+  const SimTime queue_delay = start - at;
+  const SimTime service = service_time(bytes);
+  const SimTime completion = start + service;
+  busy_until = completion;
+
+  if (is_write) {
+    ++stats_.writes;
+    stats_.bytes_written += bytes;
+    stats_.write_busy_time += service;
+    stats_.write_queue_delay_ns.add(static_cast<double>(queue_delay));
+  } else {
+    ++stats_.reads;
+    stats_.bytes_read += bytes;
+    stats_.read_busy_time += service;
+    stats_.read_queue_delay_ns.add(static_cast<double>(queue_delay));
+  }
+
+  if (done) {
+    sim_.schedule_at(completion, std::move(done));
+  }
+  return completion;
+}
+
+SimTime DiskDevice::read(std::uint64_t bytes, SimTime at,
+                         std::function<void()> done) {
+  return submit(bytes, at, /*is_write=*/false, std::move(done));
+}
+
+SimTime DiskDevice::write(std::uint64_t bytes, SimTime at,
+                          std::function<void()> done) {
+  return submit(bytes, at, /*is_write=*/true, std::move(done));
+}
+
+}  // namespace smartmem::sim

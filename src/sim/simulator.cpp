@@ -1,0 +1,88 @@
+#include "sim/simulator.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace smartmem::sim {
+
+EventHandle Simulator::schedule(SimTime delay, Action action) {
+  assert(delay >= 0);
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventHandle Simulator::schedule_at(SimTime when, Action action) {
+  assert(when >= now_);
+  auto cancelled = std::make_shared<bool>(false);
+  queue_.push(Event{when, next_seq_++, std::move(action), cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+// Periodic scheduling re-arms itself from inside the fired event. The shared
+// control block carries the cancellation flag that the returned handle sees,
+// so cancelling stops the chain at the next tick.
+struct Simulator::PeriodicState {
+  std::function<void()> action;
+  SimTime period;
+};
+
+EventHandle Simulator::schedule_periodic(SimTime period,
+                                         std::function<void()> action) {
+  assert(period > 0);
+  auto cancelled = std::make_shared<bool>(false);
+  auto state = std::make_shared<PeriodicState>(
+      PeriodicState{std::move(action), period});
+
+  // The re-arming closure owns the state and checks the shared flag itself
+  // (the per-event flags created by schedule_at are not user-visible here).
+  struct Rearm {
+    Simulator* sim;
+    std::shared_ptr<PeriodicState> state;
+    std::shared_ptr<bool> cancelled;
+    void operator()() const {
+      if (*cancelled) return;
+      state->action();
+      if (*cancelled) return;
+      sim->schedule_at(sim->now() + state->period, Rearm{sim, state, cancelled});
+    }
+  };
+  schedule_at(now_ + period, Rearm{this, state, cancelled});
+  return EventHandle(std::move(cancelled));
+}
+
+bool Simulator::step() {
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    if (*ev.cancelled) continue;
+    assert(ev.when >= now_);
+    now_ = ev.when;
+    *ev.cancelled = true;  // mark fired so handles report !pending()
+    ++executed_;
+    ev.action();
+    return true;
+  }
+  return false;
+}
+
+SimTime Simulator::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+SimTime Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty()) {
+    // Peek without popping; skip cancelled heads so they don't block progress.
+    const Event& head = queue_.top();
+    if (*head.cancelled) {
+      queue_.pop();
+      continue;
+    }
+    if (head.when > deadline) break;
+    step();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return now_;
+}
+
+}  // namespace smartmem::sim

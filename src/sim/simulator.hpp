@@ -1,0 +1,95 @@
+// Discrete-event simulation engine.
+//
+// The whole virtualized node runs inside one Simulator: guest vCPUs, disk
+// completions, the hypervisor's 1-second statistics VIRQ and the memory
+// manager's replies are all events on a single ordered queue. Events with
+// equal timestamps fire in scheduling order (a monotonic sequence number
+// breaks ties), which keeps runs bit-for-bit deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace smartmem::sim {
+
+/// Handle to a scheduled event; allows cancellation (e.g. tearing down a
+/// periodic sampler when a scenario completes).
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event has neither fired nor been cancelled.
+  bool pending() const { return state_ && !*state_; }
+
+  /// Prevents the event from firing. Safe to call repeatedly.
+  void cancel() {
+    if (state_) *state_ = true;
+  }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
+  std::shared_ptr<bool> state_;
+};
+
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  SimTime now() const { return now_; }
+
+  /// Schedules `action` to run `delay` ns from now (delay >= 0).
+  EventHandle schedule(SimTime delay, Action action);
+
+  /// Schedules `action` at absolute time `when` (>= now()).
+  EventHandle schedule_at(SimTime when, Action action);
+
+  /// Schedules `action` every `period` ns starting at now()+period, until the
+  /// returned handle is cancelled.
+  EventHandle schedule_periodic(SimTime period, std::function<void()> action);
+
+  /// Runs events until the queue empties. Returns the final time.
+  SimTime run();
+
+  /// Runs events with timestamp <= deadline; clock lands on `deadline` if the
+  /// queue drains earlier. Returns the final time.
+  SimTime run_until(SimTime deadline);
+
+  /// Executes the single earliest event; returns false if none remain.
+  bool step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+    std::shared_ptr<bool> cancelled;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  struct PeriodicState;
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace smartmem::sim

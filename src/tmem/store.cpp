@@ -1,0 +1,271 @@
+#include "tmem/store.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace smartmem::tmem {
+
+TmemStore::TmemStore(StoreConfig config)
+    : config_(config),
+      free_pages_(config.total_pages),
+      nvm_free_(config.nvm_pages) {}
+
+std::optional<Tier> TmemStore::take_frame() {
+  if (free_pages_ > 0) {
+    --free_pages_;
+    stats_.peak_used = std::max(stats_.peak_used, used_pages());
+    return Tier::kDram;
+  }
+  if (nvm_free_ > 0) {
+    --nvm_free_;
+    stats_.nvm_peak_used = std::max(stats_.nvm_peak_used, nvm_used_pages());
+    return Tier::kNvm;
+  }
+  return std::nullopt;
+}
+
+PoolId TmemStore::create_pool(VmId owner, PoolType type) {
+  const PoolId id = next_pool_++;
+  PoolInfo info;
+  info.owner = owner;
+  info.type = type;
+  info.alive = true;
+  pools_.emplace(id, std::move(info));
+  return id;
+}
+
+void TmemStore::destroy_pool(PoolId pool) {
+  auto it = pools_.find(pool);
+  if (it == pools_.end() || !it->second.alive) return;
+  // Collect keys first: erase_entry mutates the object index we iterate.
+  std::vector<TmemKey> keys;
+  keys.reserve(it->second.pages);
+  for (const auto& [object, indices] : it->second.objects) {
+    for (std::uint32_t index : indices) {
+      keys.push_back(TmemKey{pool, object, index});
+    }
+  }
+  for (const auto& key : keys) {
+    auto eit = entries_.find(key);
+    assert(eit != entries_.end());
+    erase_entry(eit);
+  }
+  pools_.erase(pool);
+}
+
+bool TmemStore::pool_exists(PoolId pool) const {
+  auto it = pools_.find(pool);
+  return it != pools_.end() && it->second.alive;
+}
+
+std::optional<PoolType> TmemStore::pool_type(PoolId pool) const {
+  auto it = pools_.find(pool);
+  if (it == pools_.end()) return std::nullopt;
+  return it->second.type;
+}
+
+std::optional<VmId> TmemStore::pool_owner(PoolId pool) const {
+  auto it = pools_.find(pool);
+  if (it == pools_.end()) return std::nullopt;
+  return it->second.owner;
+}
+
+PageCount TmemStore::pool_pages(PoolId pool) const {
+  auto it = pools_.find(pool);
+  return it == pools_.end() ? 0 : it->second.pages;
+}
+
+PageCount TmemStore::vm_pages(VmId vm) const {
+  auto it = vm_pages_.find(vm);
+  return it == vm_pages_.end() ? 0 : it->second;
+}
+
+void TmemStore::erase_entry(
+    std::unordered_map<TmemKey, Entry, TmemKeyHash>::iterator it) {
+  const TmemKey key = it->first;
+  Entry& entry = it->second;
+
+  if (entry.type == PoolType::kEphemeral) {
+    ephemeral_lru_.erase(entry.lru_pos);
+  }
+  if (consumes_frame(entry)) {
+    if (entry.tier == Tier::kNvm) {
+      ++nvm_free_;
+    } else {
+      ++free_pages_;
+    }
+  }
+
+  auto pit = pools_.find(key.pool);
+  assert(pit != pools_.end());
+  PoolInfo& pool = pit->second;
+  --pool.pages;
+  auto oit = pool.objects.find(key.object);
+  assert(oit != pool.objects.end());
+  oit->second.erase(key.index);
+  if (oit->second.empty()) pool.objects.erase(oit);
+
+  auto vit = vm_pages_.find(entry.owner);
+  assert(vit != vm_pages_.end() && vit->second > 0);
+  --vit->second;
+
+  entries_.erase(it);
+}
+
+bool TmemStore::evict_one_ephemeral() {
+  if (ephemeral_lru_.empty()) return false;
+  const TmemKey victim = ephemeral_lru_.front();
+  auto it = entries_.find(victim);
+  assert(it != entries_.end());
+  erase_entry(it);
+  ++stats_.ephemeral_evictions;
+  return true;
+}
+
+PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
+                         Tier* tier) {
+  auto pit = pools_.find(key.pool);
+  if (pit == pools_.end() || !pit->second.alive) {
+    ++stats_.puts_failed;
+    return PutResult::kNoMemory;
+  }
+  PoolInfo& pool = pit->second;
+
+  if (auto eit = entries_.find(key); eit != entries_.end()) {
+    // Overwrite in place. A dedup'd zero page that becomes non-zero needs a
+    // frame (and vice versa); handle the transitions explicitly.
+    Entry& entry = eit->second;
+    const bool was_deduped = entry.deduped;
+    const bool now_dedup = config_.zero_page_dedup && payload == 0;
+    if (was_deduped && !now_dedup) {
+      // Evicted victims may themselves be deduped (frameless), so keep
+      // evicting until a physical frame is actually free.
+      while (combined_free_pages() == 0) {
+        if (!evict_one_ephemeral()) {
+          ++stats_.puts_failed;
+          return PutResult::kNoMemory;
+        }
+      }
+      // Re-check: eviction may have removed *this* entry if it was ephemeral.
+      eit = entries_.find(key);
+      if (eit == entries_.end()) {
+        return put(key, payload, tier);  // fall back to fresh insert
+      }
+      const auto got = take_frame();
+      assert(got.has_value());
+      eit->second.tier = *got;
+    } else if (!was_deduped && now_dedup) {
+      if (entry.tier == Tier::kNvm) {
+        ++nvm_free_;
+      } else {
+        ++free_pages_;
+      }
+      ++stats_.zero_pages_deduped;
+    }
+    eit->second.deduped = now_dedup;
+    eit->second.payload = payload;
+    if (tier) *tier = eit->second.tier;
+    ++stats_.puts_replaced;
+    return PutResult::kReplaced;
+  }
+
+  Entry entry;
+  entry.payload = payload;
+  entry.owner = pool.owner;
+  entry.type = pool.type;
+  entry.deduped = config_.zero_page_dedup && payload == 0;
+
+  if (consumes_frame(entry)) {
+    while (combined_free_pages() == 0) {
+      if (!evict_one_ephemeral()) {
+        ++stats_.puts_failed;
+        return PutResult::kNoMemory;
+      }
+    }
+    const auto got = take_frame();
+    assert(got.has_value());
+    entry.tier = *got;
+  } else {
+    ++stats_.zero_pages_deduped;
+  }
+
+  if (entry.type == PoolType::kEphemeral) {
+    ephemeral_lru_.push_back(key);
+    entry.lru_pos = std::prev(ephemeral_lru_.end());
+  }
+
+  entries_.emplace(key, entry);
+  ++pool.pages;
+  pool.objects[key.object].insert(key.index);
+  ++vm_pages_[pool.owner];
+  ++stats_.puts_stored;
+  if (tier) *tier = entry.tier;
+  return PutResult::kStored;
+}
+
+std::optional<PagePayload> TmemStore::get(const TmemKey& key, Tier* tier) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) {
+    ++stats_.gets_miss;
+    return std::nullopt;
+  }
+  const PagePayload payload = it->second.payload;
+  if (tier) *tier = it->second.tier;
+  if (it->second.type == PoolType::kEphemeral) {
+    // Victim-cache semantics: the page moves back into the guest.
+    erase_entry(it);
+  }
+  ++stats_.gets_hit;
+  return payload;
+}
+
+bool TmemStore::contains(const TmemKey& key) const {
+  return entries_.contains(key);
+}
+
+bool TmemStore::flush_page(const TmemKey& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  erase_entry(it);
+  ++stats_.pages_flushed;
+  return true;
+}
+
+PageCount TmemStore::flush_object(PoolId pool, std::uint64_t object) {
+  auto pit = pools_.find(pool);
+  if (pit == pools_.end()) return 0;
+  auto oit = pit->second.objects.find(object);
+  if (oit == pit->second.objects.end()) return 0;
+
+  std::vector<std::uint32_t> indices(oit->second.begin(), oit->second.end());
+  PageCount freed = 0;
+  for (std::uint32_t index : indices) {
+    auto eit = entries_.find(TmemKey{pool, object, index});
+    assert(eit != entries_.end());
+    erase_entry(eit);
+    ++freed;
+  }
+  stats_.pages_flushed += freed;
+  ++stats_.objects_flushed;
+  return freed;
+}
+
+PageCount TmemStore::evict_ephemeral_from_vm(VmId vm, PageCount max_pages) {
+  PageCount evicted = 0;
+  auto it = ephemeral_lru_.begin();
+  while (it != ephemeral_lru_.end() && evicted < max_pages) {
+    auto eit = entries_.find(*it);
+    assert(eit != entries_.end());
+    if (eit->second.owner != vm) {
+      ++it;
+      continue;
+    }
+    ++it;  // advance before erase invalidates the current node
+    erase_entry(eit);
+    ++evicted;
+    ++stats_.ephemeral_evictions;
+  }
+  return evicted;
+}
+
+}  // namespace smartmem::tmem

@@ -1,0 +1,164 @@
+// The node-wide transcendent-memory store.
+//
+// This is the storage half of Xen's tmem backend: pools, objects, pages and
+// free-capacity accounting. It deliberately contains *no* allocation policy —
+// whether a put is allowed to consume a page is decided one layer up by the
+// Hypervisor (Algorithm 1 of the paper); the store only answers "is there a
+// physical page available, possibly after evicting ephemeral data".
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/types.hpp"
+#include "tmem/key.hpp"
+
+namespace smartmem::tmem {
+
+struct StoreConfig {
+  /// Capacity of the pooled idle/fallow memory, in pages (DRAM tier).
+  PageCount total_pages = 0;
+  /// Capacity of the optional NVM tier (Ex-Tmem extension). New pages fill
+  /// DRAM first and spill into NVM when DRAM is exhausted. 0 disables.
+  PageCount nvm_pages = 0;
+  /// Xen tmem optional feature: pages whose payload is all-zero are
+  /// deduplicated and consume no physical frame. Off by default to match the
+  /// paper's configuration; the ablation bench turns it on.
+  bool zero_page_dedup = false;
+};
+
+struct StoreStats {
+  std::uint64_t puts_stored = 0;
+  std::uint64_t puts_replaced = 0;
+  std::uint64_t puts_failed = 0;
+  std::uint64_t gets_hit = 0;
+  std::uint64_t gets_miss = 0;
+  std::uint64_t pages_flushed = 0;
+  std::uint64_t objects_flushed = 0;
+  std::uint64_t ephemeral_evictions = 0;
+  std::uint64_t zero_pages_deduped = 0;
+  PageCount peak_used = 0;      // high-water mark, DRAM tier
+  PageCount nvm_peak_used = 0;  // high-water mark, NVM tier
+};
+
+enum class PutResult : std::uint8_t {
+  kStored,    // new page consumed (or dedup'd)
+  kReplaced,  // key already present; payload overwritten in place
+  kNoMemory,  // no free page and nothing evictable
+};
+
+class TmemStore {
+ public:
+  explicit TmemStore(StoreConfig config);
+
+  // ---- Pool management -----------------------------------------------
+
+  /// Creates a pool owned by `owner`. Pool ids are never reused.
+  PoolId create_pool(VmId owner, PoolType type);
+
+  /// Flushes every page of the pool and forgets it.
+  void destroy_pool(PoolId pool);
+
+  bool pool_exists(PoolId pool) const;
+  std::optional<PoolType> pool_type(PoolId pool) const;
+  std::optional<VmId> pool_owner(PoolId pool) const;
+
+  /// Pages currently held by the pool.
+  PageCount pool_pages(PoolId pool) const;
+
+  /// Pages currently held across all pools of a VM.
+  PageCount vm_pages(VmId vm) const;
+
+  // ---- Page operations -------------------------------------------------
+
+  /// Stores `payload` under `key`. May evict ephemeral pages to find room
+  /// (never evicts persistent ones). Fails with kNoMemory when the node is
+  /// genuinely full of persistent data. If `tier` is non-null it receives
+  /// the tier the page landed in (DRAM first, NVM spill-over).
+  PutResult put(const TmemKey& key, PagePayload payload, Tier* tier = nullptr);
+
+  /// Looks up `key`. On a hit in an ephemeral pool the page is removed
+  /// (victim-cache semantics); persistent hits leave the page in place.
+  /// If `tier` is non-null it receives the tier that served the hit.
+  std::optional<PagePayload> get(const TmemKey& key, Tier* tier = nullptr);
+
+  /// Non-destructive lookup (for tests/inspection).
+  bool contains(const TmemKey& key) const;
+
+  /// Drops one page. Returns true if the key existed.
+  bool flush_page(const TmemKey& key);
+
+  /// Drops every page of (pool, object). Returns the number of pages freed.
+  PageCount flush_object(PoolId pool, std::uint64_t object);
+
+  /// Evicts up to `max_pages` ephemeral pages belonging to `vm` (oldest
+  /// first). Used by the hypervisor's slow background reclaim of over-target
+  /// VMs. Returns the number of pages actually evicted.
+  PageCount evict_ephemeral_from_vm(VmId vm, PageCount max_pages);
+
+  // ---- Accounting -------------------------------------------------------
+
+  PageCount total_pages() const { return config_.total_pages; }
+  PageCount free_pages() const { return free_pages_; }
+  PageCount used_pages() const { return config_.total_pages - free_pages_; }
+  PageCount nvm_total_pages() const { return config_.nvm_pages; }
+  PageCount nvm_free_pages() const { return nvm_free_; }
+  PageCount nvm_used_pages() const { return config_.nvm_pages - nvm_free_; }
+  /// Combined capacity/free across both tiers (what policies reason about).
+  PageCount combined_total_pages() const {
+    return config_.total_pages + config_.nvm_pages;
+  }
+  PageCount combined_free_pages() const { return free_pages_ + nvm_free_; }
+  PageCount ephemeral_pages() const { return ephemeral_lru_.size(); }
+
+  const StoreStats& stats() const { return stats_; }
+
+ private:
+  struct Entry {
+    PagePayload payload = 0;
+    VmId owner = kInvalidVm;
+    PoolType type = PoolType::kEphemeral;
+    Tier tier = Tier::kDram;
+    bool deduped = false;  // zero page, consumes no frame
+    // Position in the global ephemeral LRU (valid only for ephemeral pages).
+    std::list<TmemKey>::iterator lru_pos;
+  };
+
+  struct PoolInfo {
+    VmId owner = kInvalidVm;
+    PoolType type = PoolType::kEphemeral;
+    PageCount pages = 0;
+    bool alive = false;
+    // Keys grouped by object for O(object-size) flush_object and O(1)
+    // removal of a single page from its object on flush_page/eviction.
+    std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> objects;
+  };
+
+  /// Removes an entry (updating all accounting); `it` must be valid.
+  void erase_entry(std::unordered_map<TmemKey, Entry, TmemKeyHash>::iterator it);
+
+  /// Frees one page by dropping the least-recently-inserted ephemeral page.
+  bool evict_one_ephemeral();
+
+  bool consumes_frame(const Entry& e) const { return !e.deduped; }
+
+  /// Takes one free frame for a new entry, DRAM first. Returns the tier or
+  /// nullopt when both tiers are exhausted.
+  std::optional<Tier> take_frame();
+
+  StoreConfig config_;
+  PageCount free_pages_;
+  PageCount nvm_free_;
+  PoolId next_pool_ = 0;
+  std::unordered_map<PoolId, PoolInfo> pools_;
+  std::unordered_map<TmemKey, Entry, TmemKeyHash> entries_;
+  std::unordered_map<VmId, PageCount> vm_pages_;
+  std::list<TmemKey> ephemeral_lru_;  // front = oldest
+  StoreStats stats_;
+};
+
+}  // namespace smartmem::tmem

@@ -1,0 +1,71 @@
+#include "workloads/workload.hpp"
+
+#include <utility>
+
+namespace smartmem::workloads {
+
+MemOp MemOp::alloc(PageCount pages) {
+  MemOp op;
+  op.kind = Kind::kAllocRegion;
+  op.pages = pages;
+  return op;
+}
+
+MemOp MemOp::free_region(RegionId region) {
+  MemOp op;
+  op.kind = Kind::kFreeRegion;
+  op.region = region;
+  return op;
+}
+
+MemOp MemOp::touch(RegionId region, PageCount window_offset,
+                   PageCount window_pages, PageCount touches,
+                   AccessPattern pattern, bool write,
+                   SimTime per_touch_compute, double zipf_s) {
+  MemOp op;
+  op.kind = Kind::kTouchWindow;
+  op.region = region;
+  op.window_offset = window_offset;
+  op.window_pages = window_pages;
+  op.touches = touches;
+  op.pattern = pattern;
+  op.write = write;
+  op.per_touch_compute = per_touch_compute;
+  op.zipf_s = zipf_s;
+  return op;
+}
+
+MemOp MemOp::register_file(std::uint64_t file_id, PageCount pages) {
+  MemOp op;
+  op.kind = Kind::kRegisterFile;
+  op.file_id = file_id;
+  op.pages = pages;
+  return op;
+}
+
+MemOp MemOp::file_read(std::uint64_t file_id, std::uint32_t start,
+                       PageCount count, SimTime per_touch_compute) {
+  MemOp op;
+  op.kind = Kind::kFileRead;
+  op.file_id = file_id;
+  op.file_index = start;
+  op.touches = count;
+  op.per_touch_compute = per_touch_compute;
+  return op;
+}
+
+MemOp MemOp::sleep(SimTime duration) {
+  MemOp op;
+  op.kind = Kind::kSleep;
+  op.duration = duration;
+  return op;
+}
+
+MemOp MemOp::marker(std::string label) {
+  MemOp op;
+  op.kind = Kind::kMarker;
+  op.label = std::move(label);
+  return op;
+}
+
+}  // namespace smartmem::workloads

@@ -1,0 +1,63 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/time_series.hpp"
+
+namespace smartmem {
+namespace {
+
+TEST(CsvTest, BasicRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"a", "b"});
+  csv.field(std::uint64_t{1}).field(2.5).end_row();
+  EXPECT_EQ(out.str(), "a,b\n1,2.5\n");
+}
+
+TEST(CsvTest, QuotingOfSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row({"has,comma", "has\"quote", "has\nnewline", "plain"});
+  EXPECT_EQ(out.str(),
+            "\"has,comma\",\"has\"\"quote\",\"has\nnewline\",plain\n");
+}
+
+TEST(CsvTest, FileOutput) {
+  const std::string path = ::testing::TempDir() + "/smartmem_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.row({"x"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "x");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, BadPathThrows) {
+  EXPECT_THROW(CsvWriter("/nonexistent-dir-zz/file.csv"), std::runtime_error);
+}
+
+TEST(CsvTest, SeriesDump) {
+  SeriesSet set;
+  set.series("s1").push(kSecond, 10.0);
+  set.series("s1").push(2 * kSecond, 20.0);
+  const std::string path = ::testing::TempDir() + "/smartmem_series_test.csv";
+  write_series_csv(path, set);
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("series,time_s,value"), std::string::npos);
+  EXPECT_NE(all.find("s1,1,10"), std::string::npos);
+  EXPECT_NE(all.find("s1,2,20"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace smartmem

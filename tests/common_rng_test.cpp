@@ -1,0 +1,180 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace smartmem {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.uniform(bound), bound);
+    }
+  }
+}
+
+TEST(RngTest, UniformBoundOneAlwaysZero) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.uniform(1), 0u);
+}
+
+TEST(RngTest, UniformRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    saw_lo |= v == 5;
+    saw_hi |= v == 8;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformIsRoughlyUniform) {
+  Rng rng(13);
+  constexpr int kBuckets = 16;
+  constexpr int kSamples = 160000;
+  std::array<int, kBuckets> counts{};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.uniform(kBuckets)];
+  }
+  const double expected = kSamples / static_cast<double>(kBuckets);
+  for (int c : counts) {
+    EXPECT_NEAR(c, expected, expected * 0.1);
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(17);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.uniform_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceExtremes) {
+  Rng rng(19);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceApproximatesProbability) {
+  Rng rng(23);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+TEST(RngTest, SplitProducesIndependentStream) {
+  Rng a(29);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 5);
+}
+
+TEST(ZipfTest, SamplesInRange) {
+  Rng rng(31);
+  ZipfSampler zipf(1000, 0.9);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 1000u);
+  }
+}
+
+TEST(ZipfTest, HeadIsHotterThanTail) {
+  Rng rng(37);
+  ZipfSampler zipf(10000, 0.9);
+  int head = 0, tail = 0;
+  for (int i = 0; i < 50000; ++i) {
+    const auto v = zipf.sample(rng);
+    if (v < 100) ++head;
+    if (v >= 9900) ++tail;
+  }
+  // The first 1% of ranks should be hit far more than the last 1%.
+  EXPECT_GT(head, tail * 10);
+}
+
+TEST(ZipfTest, ExponentControlsSkew) {
+  Rng rng(41);
+  ZipfSampler mild(10000, 0.5), strong(10000, 1.2);
+  auto head_fraction = [&rng](const ZipfSampler& z) {
+    int head = 0;
+    for (int i = 0; i < 30000; ++i) {
+      if (z.sample(rng) < 100) ++head;
+    }
+    return head / 30000.0;
+  };
+  EXPECT_GT(head_fraction(strong), head_fraction(mild) * 2);
+}
+
+TEST(ZipfTest, SingleElementAlwaysZero) {
+  Rng rng(43);
+  ZipfSampler z(1, 0.9);
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(z.sample(rng), 0u);
+}
+
+// Parameterized sweep: for any (n, s), samples stay in range and rank 0 is
+// the most frequent element (the defining zipf property).
+class ZipfSweep : public ::testing::TestWithParam<std::pair<std::uint64_t, double>> {};
+
+TEST_P(ZipfSweep, FirstRankDominates) {
+  const auto [n, s] = GetParam();
+  Rng rng(47);
+  ZipfSampler z(n, s);
+  std::vector<int> counts(std::min<std::uint64_t>(n, 64), 0);
+  for (int i = 0; i < 40000; ++i) {
+    const auto v = z.sample(rng);
+    ASSERT_LT(v, n);
+    if (v < counts.size()) ++counts[static_cast<std::size_t>(v)];
+  }
+  int max_count = 0;
+  for (std::size_t i = 1; i < counts.size(); ++i) {
+    max_count = std::max(max_count, counts[i]);
+  }
+  EXPECT_GE(counts[0], max_count);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ZipfSweep,
+    ::testing::Values(std::pair<std::uint64_t, double>{10, 0.5},
+                      std::pair<std::uint64_t, double>{100, 0.8},
+                      std::pair<std::uint64_t, double>{1000, 0.9},
+                      std::pair<std::uint64_t, double>{100000, 0.99},
+                      std::pair<std::uint64_t, double>{100000, 1.3},
+                      std::pair<std::uint64_t, double>{7, 1.0}));
+
+}  // namespace
+}  // namespace smartmem

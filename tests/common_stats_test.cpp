@@ -1,0 +1,126 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace smartmem {
+namespace {
+
+TEST(RunningStatsTest, EmptyDefaults) {
+  RunningStats rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.stddev(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownValues) {
+  RunningStats rs;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) rs.add(x);
+  EXPECT_EQ(rs.count(), 8u);
+  EXPECT_DOUBLE_EQ(rs.mean(), 5.0);
+  // Sample variance with n-1: sum of squared deviations = 32, / 7.
+  EXPECT_NEAR(rs.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), 2.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 9.0);
+  EXPECT_DOUBLE_EQ(rs.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleSampleHasZeroVariance) {
+  RunningStats rs;
+  rs.add(42.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  EXPECT_EQ(rs.mean(), 42.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequential) {
+  RunningStats all, a, b;
+  for (int i = 0; i < 100; ++i) {
+    const double x = std::sin(i) * 10 + i;
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a, empty;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  RunningStats c;
+  c.merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, Reset) {
+  RunningStats rs;
+  rs.add(5.0);
+  rs.reset();
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+}
+
+TEST(HistogramTest, BucketsAndEdges) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(0.0);   // bucket 0
+  h.add(0.99);  // bucket 0
+  h.add(5.0);   // bucket 5
+  h.add(9.99);  // bucket 9
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(5), 1u);
+  EXPECT_EQ(h.bucket(9), 1u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.bucket_lo(5), 5.0);
+}
+
+TEST(HistogramTest, UnderAndOverflow) {
+  Histogram h(0.0, 1.0, 4);
+  h.add(-0.5);
+  h.add(1.0);  // hi edge goes to overflow
+  h.add(7.0);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.overflow(), 2u);
+  EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, QuantileOfUniformFill) {
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.0), 0.0, 1.5);
+}
+
+TEST(HistogramTest, QuantileEmpty) {
+  Histogram h(0.0, 1.0, 2);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(SummaryTest, Summarize) {
+  const Summary s = summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_NEAR(s.stddev, 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.n, 3u);
+}
+
+TEST(SummaryTest, SummarizeEmpty) {
+  const Summary s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace smartmem

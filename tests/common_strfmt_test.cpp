@@ -1,0 +1,31 @@
+#include "common/strfmt.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem {
+namespace {
+
+TEST(StrfmtTest, BasicFormatting) {
+  EXPECT_EQ(strfmt("%d-%s", 42, "x"), "42-x");
+  EXPECT_EQ(strfmt("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(StrfmtTest, LongOutput) {
+  const std::string big(5000, 'a');
+  EXPECT_EQ(strfmt("%s", big.c_str()).size(), 5000u);
+}
+
+TEST(PadTest, PadRight) {
+  EXPECT_EQ(pad_right("ab", 5), "ab   ");
+  EXPECT_EQ(pad_right("abcdef", 3), "abc");
+  EXPECT_EQ(pad_right("abc", 3), "abc");
+}
+
+TEST(PadTest, PadLeft) {
+  EXPECT_EQ(pad_left("ab", 5), "   ab");
+  EXPECT_EQ(pad_left("abcdef", 3), "abc");
+}
+
+}  // namespace
+}  // namespace smartmem

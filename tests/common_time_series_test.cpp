@@ -1,0 +1,81 @@
+#include "common/time_series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem {
+namespace {
+
+TEST(TimeSeriesTest, PushAndSize) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.push(0, 1.0);
+  ts.push(kSecond, 2.0);
+  EXPECT_EQ(ts.size(), 2u);
+}
+
+TEST(TimeSeriesTest, ValueAtStepSemantics) {
+  TimeSeries ts;
+  ts.push(10, 1.0);
+  ts.push(20, 2.0);
+  ts.push(30, 3.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(5, -1.0), -1.0);   // before first
+  EXPECT_DOUBLE_EQ(ts.value_at(10), 1.0);         // exact hit
+  EXPECT_DOUBLE_EQ(ts.value_at(15), 1.0);         // between: previous holds
+  EXPECT_DOUBLE_EQ(ts.value_at(29), 2.0);
+  EXPECT_DOUBLE_EQ(ts.value_at(1000), 3.0);       // after last
+}
+
+TEST(TimeSeriesTest, MaxAndMean) {
+  TimeSeries ts;
+  ts.push(0, 1.0);
+  ts.push(1, 5.0);
+  ts.push(2, 3.0);
+  EXPECT_DOUBLE_EQ(ts.max_value(), 5.0);
+  EXPECT_DOUBLE_EQ(ts.mean_value(), 3.0);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsBounds) {
+  TimeSeries ts;
+  for (int i = 0; i < 1000; ++i) ts.push(i, i);
+  const TimeSeries down = ts.downsample(10);
+  EXPECT_EQ(down.size(), 10u);
+  EXPECT_EQ(down.samples().front().when, 0);
+  for (std::size_t i = 1; i < down.size(); ++i) {
+    EXPECT_LT(down.samples()[i - 1].when, down.samples()[i].when);
+  }
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall) {
+  TimeSeries ts;
+  ts.push(0, 1.0);
+  ts.push(1, 2.0);
+  EXPECT_EQ(ts.downsample(10).size(), 2u);
+}
+
+TEST(SeriesSetTest, FindAndAll) {
+  SeriesSet set;
+  set.series("a").push(0, 1.0);
+  EXPECT_NE(set.find("a"), nullptr);
+  EXPECT_EQ(set.find("b"), nullptr);
+  EXPECT_EQ(set.all().size(), 1u);
+}
+
+TEST(SeriesSetTest, AsciiChartRendersAllSeries) {
+  SeriesSet set;
+  for (SimTime t = 0; t <= 10 * kSecond; t += kSecond) {
+    set.series("rising").push(t, static_cast<double>(t));
+    set.series("flat").push(t, 100.0);
+  }
+  const std::string chart = set.ascii_chart(40, 8);
+  EXPECT_NE(chart.find("rising"), std::string::npos);
+  EXPECT_NE(chart.find("flat"), std::string::npos);
+  EXPECT_NE(chart.find('|'), std::string::npos);
+}
+
+TEST(SeriesSetTest, AsciiChartEmptySetIsEmpty) {
+  SeriesSet set;
+  EXPECT_TRUE(set.ascii_chart().empty());
+}
+
+}  // namespace
+}  // namespace smartmem

@@ -1,0 +1,108 @@
+// Report rendering: runtime tables, improvement lines and CSV output.
+#include "core/report.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace smartmem::core {
+namespace {
+
+ExperimentResult fake_result(const std::string& policy, double vm1_run1,
+                             double vm2_run1) {
+  ExperimentResult r;
+  r.scenario = "test";
+  r.policy_label = policy;
+  r.vm_names = {"VM1", "VM2"};
+  r.labels = {"run:1"};
+  Summary s1;
+  s1.mean = vm1_run1;
+  s1.stddev = 0.5;
+  s1.n = 5;
+  Summary s2;
+  s2.mean = vm2_run1;
+  s2.stddev = 0.25;
+  s2.n = 5;
+  r.cells[{"VM1", "run:1"}] = s1;
+  r.cells[{"VM2", "run:1"}] = s2;
+  return r;
+}
+
+TEST(ReportTest, RuntimeTableContainsPoliciesAndRows) {
+  std::ostringstream out;
+  print_runtime_table(out, "My Figure",
+                      {fake_result("no-tmem", 20.0, 22.0),
+                       fake_result("greedy", 10.0, 11.0)});
+  const std::string text = out.str();
+  EXPECT_NE(text.find("My Figure"), std::string::npos);
+  EXPECT_NE(text.find("no-tmem"), std::string::npos);
+  EXPECT_NE(text.find("greedy"), std::string::npos);
+  EXPECT_NE(text.find("VM1 run:1"), std::string::npos);
+  EXPECT_NE(text.find("VM2 run:1"), std::string::npos);
+  EXPECT_NE(text.find("20.00"), std::string::npos);
+  EXPECT_NE(text.find("11.00"), std::string::npos);
+}
+
+TEST(ReportTest, MissingCellsRenderDash) {
+  auto incomplete = fake_result("greedy", 10.0, 11.0);
+  incomplete.cells.erase({"VM2", "run:1"});
+  std::ostringstream out;
+  print_runtime_table(out, "t", {fake_result("no-tmem", 20.0, 22.0),
+                                 incomplete});
+  EXPECT_NE(out.str().find('-'), std::string::npos);
+}
+
+TEST(ReportTest, ImprovementsComputeRelativeSpeedup) {
+  std::ostringstream out;
+  print_improvements(out,
+                     {fake_result("no-tmem", 20.0, 22.0),
+                      fake_result("greedy", 10.0, 11.0)},
+                     "no-tmem");
+  const std::string text = out.str();
+  // (20-10)/20 = +50% for both cells.
+  EXPECT_NE(text.find("greedy"), std::string::npos);
+  EXPECT_NE(text.find("+50.0%"), std::string::npos);
+}
+
+TEST(ReportTest, ImprovementsSilentWithoutBaseline) {
+  std::ostringstream out;
+  print_improvements(out, {fake_result("greedy", 10.0, 11.0)}, "no-tmem");
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ReportTest, RuntimeCsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/smartmem_report_test.csv";
+  write_runtime_csv(path, {fake_result("greedy", 10.0, 11.0)});
+  std::ifstream in(path);
+  std::string all((std::istreambuf_iterator<char>(in)),
+                  std::istreambuf_iterator<char>());
+  EXPECT_NE(all.find("scenario,policy,vm,label,mean_s,stddev_s,n"),
+            std::string::npos);
+  EXPECT_NE(all.find("test,greedy,VM1,run:1,10,0.5,5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ReportTest, UsagePanelRendersChart) {
+  ScenarioResult run;
+  run.policy = "greedy";
+  run.seed = 3;
+  for (SimTime t = 0; t <= 10 * kSecond; t += kSecond) {
+    run.usage.series("VM1").push(t, static_cast<double>(t / kSecond) * 100);
+    run.usage.series("target-VM1").push(t, 500.0);
+    run.usage.series("free").push(t, 1000.0);
+  }
+  std::ostringstream out;
+  print_usage_panel(out, "panel", run, /*include_targets=*/false);
+  EXPECT_NE(out.str().find("VM1"), std::string::npos);
+  EXPECT_EQ(out.str().find("target-VM1"), std::string::npos);
+  EXPECT_EQ(out.str().find("free"), std::string::npos);
+
+  std::ostringstream out2;
+  print_usage_panel(out2, "panel", run, /*include_targets=*/true);
+  EXPECT_NE(out2.str().find("target-VM1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace smartmem::core

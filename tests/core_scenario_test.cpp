@@ -1,0 +1,109 @@
+// Table II geometry checks and scenario construction.
+#include "core/scenario.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/units.hpp"
+
+namespace smartmem::core {
+namespace {
+
+TEST(ScenarioTest, Scenario1GeometryMatchesTableII) {
+  const ScenarioSpec s = scenario1(1.0);
+  EXPECT_EQ(s.tmem_pages, pages_from_mib(1024));
+  ASSERT_EQ(s.vms.size(), 3u);
+  for (const auto& vm : s.vms) {
+    EXPECT_EQ(vm.ram_pages, pages_from_mib(1024));
+    EXPECT_EQ(vm.start_delay, 0);
+    EXPECT_FALSE(vm.manual_start);
+  }
+  EXPECT_EQ(s.vms[0].name, "VM1");
+  EXPECT_EQ(s.vms[2].name, "VM3");
+}
+
+TEST(ScenarioTest, Scenario2StaggersVm3) {
+  const ScenarioSpec s = scenario2(1.0);
+  EXPECT_EQ(s.tmem_pages, pages_from_mib(1024));
+  for (const auto& vm : s.vms) EXPECT_EQ(vm.ram_pages, pages_from_mib(512));
+  EXPECT_EQ(s.vms[0].start_delay, 0);
+  EXPECT_EQ(s.vms[1].start_delay, 0);
+  EXPECT_EQ(s.vms[2].start_delay, 30 * kSecond);
+}
+
+TEST(ScenarioTest, UsememGeometry) {
+  const ScenarioSpec s = usemem_scenario(1.0);
+  EXPECT_EQ(s.tmem_pages, pages_from_mib(384));
+  for (const auto& vm : s.vms) EXPECT_EQ(vm.ram_pages, pages_from_mib(512));
+  EXPECT_TRUE(s.vms[2].manual_start);
+  EXPECT_FALSE(s.vms[0].manual_start);
+  EXPECT_TRUE(static_cast<bool>(s.install_triggers));
+}
+
+TEST(ScenarioTest, Scenario3MixesVmSizes) {
+  const ScenarioSpec s = scenario3(1.0);
+  EXPECT_EQ(s.vms[0].ram_pages, pages_from_mib(512));
+  EXPECT_EQ(s.vms[1].ram_pages, pages_from_mib(512));
+  EXPECT_EQ(s.vms[2].ram_pages, pages_from_mib(1024));
+  EXPECT_EQ(s.vms[2].start_delay, 30 * kSecond);
+}
+
+TEST(ScenarioTest, ScaleShrinksMemoryAndTime) {
+  const ScenarioSpec full = scenario2(1.0);
+  const ScenarioSpec quarter = scenario2(0.25);
+  EXPECT_EQ(quarter.tmem_pages, full.tmem_pages / 4);
+  EXPECT_EQ(quarter.vms[0].ram_pages, full.vms[0].ram_pages / 4);
+  EXPECT_EQ(quarter.vms[2].start_delay, full.vms[2].start_delay / 4);
+  EXPECT_DOUBLE_EQ(quarter.scale, 0.25);
+}
+
+TEST(ScenarioTest, AllScenariosEnumerated) {
+  const auto all = all_scenarios(0.25);
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].name, "scenario1");
+  EXPECT_EQ(all[1].name, "scenario2");
+  EXPECT_EQ(all[2].name, "usemem");
+  EXPECT_EQ(all[3].name, "scenario3");
+}
+
+TEST(ScenarioTest, WorkloadFactoriesProduceFreshInstances) {
+  const ScenarioSpec s = scenario1(0.0625);
+  auto w1 = s.vms[0].make_workload();
+  auto w2 = s.vms[0].make_workload();
+  ASSERT_NE(w1, nullptr);
+  ASSERT_NE(w2, nullptr);
+  EXPECT_NE(w1.get(), w2.get());
+  EXPECT_STREQ(w1->name(), "in-memory-analytics");
+}
+
+TEST(ScenarioTest, BuildNodeScalesTimeConstants) {
+  const ScenarioSpec s = scenario1(0.25);
+  auto node = build_node(s, mm::PolicySpec::smart(0.75), 1);
+  EXPECT_EQ(node->config().sample_interval, kSecond / 4);
+  EXPECT_EQ(node->config().tmem_pages, s.tmem_pages);
+  EXPECT_EQ(node->vm_count(), 3u);
+}
+
+TEST(ScenarioTest, BuildNodeJitterIsSeededAndBounded) {
+  const ScenarioSpec s = scenario1(0.25);
+  auto a = build_node(s, mm::PolicySpec::greedy(), 5);
+  auto b = build_node(s, mm::PolicySpec::greedy(), 5);
+  auto c = build_node(s, mm::PolicySpec::greedy(), 6);
+  a->start();
+  b->start();
+  c->start();
+  bool any_difference = false;
+  for (VmId id : a->vm_ids()) {
+    EXPECT_EQ(a->runner(id).start_time(), b->runner(id).start_time());
+    EXPECT_LE(a->runner(id).start_time(), s.start_jitter_max);
+    if (a->runner(id).start_time() != c->runner(id).start_time()) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference) << "different seeds should jitter differently";
+  a->run(kMillisecond);
+  b->run(kMillisecond);
+  c->run(kMillisecond);
+}
+
+}  // namespace
+}  // namespace smartmem::core

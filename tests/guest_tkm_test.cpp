@@ -1,0 +1,72 @@
+// TKM relay: VIRQ samples travel up with the uplink latency; target vectors
+// travel down and land in the hypervisor.
+#include "guest/tkm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smartmem::guest {
+namespace {
+
+TEST(TkmTest, ForwardsStatsWithUplinkLatency) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hcfg.sample_interval = kSecond;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  TkmConfig tcfg;
+  tcfg.stats_uplink_latency = 3 * kMillisecond;
+  Tkm tkm(sim, hyp, tcfg);
+
+  std::vector<std::pair<SimTime, SimTime>> deliveries;  // (sampled, delivered)
+  tkm.start([&](const hyper::MemStats& stats) {
+    deliveries.emplace_back(stats.when, sim.now());
+  });
+  sim.run_until(3 * kSecond + 10 * kMillisecond);
+  ASSERT_EQ(deliveries.size(), 3u);
+  for (const auto& [sampled, delivered] : deliveries) {
+    EXPECT_EQ(delivered - sampled, 3 * kMillisecond);
+  }
+  EXPECT_EQ(tkm.stats_forwarded(), 3u);
+}
+
+TEST(TkmTest, SubmitTargetsReachesHypervisorAfterDownlink) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  TkmConfig tcfg;
+  tcfg.target_downlink_latency = 5 * kMillisecond;
+  Tkm tkm(sim, hyp, tcfg);
+
+  tkm.submit_targets({{1, 7}});
+  EXPECT_EQ(hyp.target(1), kUnlimitedTarget) << "must not apply synchronously";
+  sim.run_until(4 * kMillisecond);
+  EXPECT_EQ(hyp.target(1), kUnlimitedTarget);
+  sim.run_until(6 * kMillisecond);
+  EXPECT_EQ(hyp.target(1), 7u);
+  EXPECT_EQ(tkm.targets_forwarded(), 1u);
+}
+
+TEST(TkmTest, StopHaltsSampling) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hyper::Hypervisor hyp(sim, hcfg);
+
+  Tkm tkm(sim, hyp, TkmConfig{});
+  int count = 0;
+  tkm.start([&](const hyper::MemStats&) { ++count; });
+  sim.run_until(2 * kSecond + kMillisecond);
+  tkm.stop();
+  sim.run_until(10 * kSecond);
+  EXPECT_EQ(count, 2);
+}
+
+}  // namespace
+}  // namespace smartmem::guest

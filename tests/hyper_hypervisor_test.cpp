@@ -1,0 +1,215 @@
+// Unit tests for Algorithm 1 and the hypervisor's Table I bookkeeping.
+#include "hyper/hypervisor.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem::hyper {
+namespace {
+
+HypervisorConfig config(PageCount pages,
+                        DefaultTargetMode mode = DefaultTargetMode::kUnlimited) {
+  HypervisorConfig cfg;
+  cfg.total_tmem_pages = pages;
+  cfg.default_target_mode = mode;
+  return cfg;
+}
+
+TEST(HypervisorTest, RegisterAndUnregister) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  hyp.register_vm(2);
+  EXPECT_TRUE(hyp.vm_registered(1));
+  EXPECT_EQ(hyp.vm_count(), 2u);
+  EXPECT_THROW(hyp.register_vm(1), std::invalid_argument);
+  hyp.unregister_vm(1);
+  EXPECT_FALSE(hyp.vm_registered(1));
+  hyp.unregister_vm(1);  // idempotent
+}
+
+TEST(HypervisorTest, GreedyDefaultHasUnlimitedTarget) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  EXPECT_EQ(hyp.target(1), kUnlimitedTarget);
+}
+
+TEST(HypervisorTest, EqualShareModeDividesOnRegistration) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(90, DefaultTargetMode::kEqualShare));
+  hyp.register_vm(1);
+  EXPECT_EQ(hyp.target(1), 90u);
+  hyp.register_vm(2);
+  hyp.register_vm(3);
+  EXPECT_EQ(hyp.target(1), 30u);
+  EXPECT_EQ(hyp.target(3), 30u);
+  hyp.unregister_vm(2);
+  EXPECT_EQ(hyp.target(1), 45u);
+}
+
+TEST(HypervisorTest, PutGetFlushRoundTrip) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(10));
+  hyp.register_vm(1);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 5, 0x1234), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.tmem_used(1), 1u);
+  EXPECT_EQ(hyp.frontswap_get(1, 0, 5), 0x1234u);
+  EXPECT_EQ(hyp.tmem_used(1), 1u);  // persistent get leaves the page
+  EXPECT_EQ(hyp.frontswap_flush(1, 0, 5), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.tmem_used(1), 0u);
+  EXPECT_EQ(hyp.frontswap_flush(1, 0, 5), OpStatus::kNotFound);
+}
+
+// Algorithm 1 line 5: a put fails with E_TMEM once tmem_used >= mm_target.
+TEST(HypervisorTest, PutFailsAtTarget) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  hyp.set_targets({{1, 3}});
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 0, 1), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 1, 2), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 2, 3), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 3, 4), OpStatus::kNoCapacity);
+  const VmData& data = hyp.vm_data(1);
+  EXPECT_EQ(data.puts_total, 4u);
+  EXPECT_EQ(data.puts_succ, 3u);
+  EXPECT_EQ(data.cumul_puts_failed, 1u);
+}
+
+// Algorithm 1 line 7: a put fails when the node has no free tmem, even if
+// the VM is below its target.
+TEST(HypervisorTest, PutFailsWhenNodeFull) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(2));
+  hyp.register_vm(1);
+  hyp.register_vm(2);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 0, 1), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 1, 2), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.frontswap_put(2, 0, 0, 3), OpStatus::kNoCapacity);
+  EXPECT_EQ(hyp.free_tmem(), 0u);
+}
+
+// "It is possible for a VM to use more tmem than its target" — lowering the
+// target below current use must not drop pages, only block further puts.
+TEST(HypervisorTest, OveruseIsToleratedButBlocksFurtherPuts) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  for (std::uint32_t i = 0; i < 10; ++i) {
+    ASSERT_EQ(hyp.frontswap_put(1, 0, i, i), OpStatus::kSuccess);
+  }
+  hyp.set_targets({{1, 4}});
+  EXPECT_EQ(hyp.tmem_used(1), 10u);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 99, 1), OpStatus::kNoCapacity);
+  // Release below target; puts work again.
+  for (std::uint32_t i = 0; i < 7; ++i) {
+    EXPECT_EQ(hyp.frontswap_flush(1, 0, i), OpStatus::kSuccess);
+  }
+  EXPECT_EQ(hyp.tmem_used(1), 3u);
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 99, 1), OpStatus::kSuccess);
+}
+
+TEST(HypervisorTest, TargetsApplyPerVm) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  hyp.register_vm(2);
+  hyp.set_targets({{1, 5}, {2, 50}});
+  EXPECT_EQ(hyp.target(1), 5u);
+  EXPECT_EQ(hyp.target(2), 50u);
+  EXPECT_EQ(hyp.target_updates(), 1u);
+  // Unknown VM targets are ignored without throwing.
+  hyp.set_targets({{99, 1}});
+  EXPECT_EQ(hyp.target_updates(), 2u);
+}
+
+TEST(HypervisorTest, FlushObject) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  for (std::uint32_t i = 0; i < 6; ++i) {
+    (void)hyp.frontswap_put(1, 7, i, i);
+  }
+  (void)hyp.frontswap_put(1, 8, 0, 0);
+  EXPECT_EQ(hyp.frontswap_flush_object(1, 7), 6u);
+  EXPECT_EQ(hyp.tmem_used(1), 1u);
+}
+
+TEST(HypervisorTest, CleancachePutGetAreEphemeral) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(10));
+  hyp.register_vm(1);
+  EXPECT_EQ(hyp.cleancache_put(1, 3, 0, 77), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.tmem_used(1), 1u);
+  EXPECT_EQ(hyp.cleancache_get(1, 3, 0), 77u);
+  // Ephemeral get is destructive.
+  EXPECT_EQ(hyp.tmem_used(1), 0u);
+  EXPECT_FALSE(hyp.cleancache_get(1, 3, 0).has_value());
+}
+
+TEST(HypervisorTest, CleancacheCountsAgainstTheSameTarget) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  hyp.set_targets({{1, 2}});
+  EXPECT_EQ(hyp.frontswap_put(1, 0, 0, 1), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.cleancache_put(1, 0, 0, 2), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.cleancache_put(1, 0, 1, 3), OpStatus::kNoCapacity);
+}
+
+// A persistent put may displace ephemeral (cleancache) pages: the node only
+// counts as full when nothing is evictable.
+TEST(HypervisorTest, PersistentPutDisplacesCleancache) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(2));
+  hyp.register_vm(1);
+  hyp.register_vm(2);
+  EXPECT_EQ(hyp.cleancache_put(1, 0, 0, 1), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.cleancache_put(1, 0, 1, 2), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.frontswap_put(2, 0, 0, 3), OpStatus::kSuccess);
+  EXPECT_EQ(hyp.tmem_used(1), 1u);
+  EXPECT_EQ(hyp.tmem_used(2), 1u);
+}
+
+TEST(HypervisorTest, OpsOnUnregisteredVm) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(10));
+  EXPECT_EQ(hyp.frontswap_put(9, 0, 0, 1), OpStatus::kBadVm);
+  EXPECT_FALSE(hyp.frontswap_get(9, 0, 0).has_value());
+  EXPECT_EQ(hyp.frontswap_flush(9, 0, 0), OpStatus::kBadVm);
+  EXPECT_THROW(hyp.vm_data(9), std::out_of_range);
+}
+
+TEST(HypervisorTest, UnregisterReleasesPages) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(4));
+  hyp.register_vm(1);
+  for (std::uint32_t i = 0; i < 4; ++i) (void)hyp.frontswap_put(1, 0, i, i);
+  EXPECT_EQ(hyp.free_tmem(), 0u);
+  hyp.unregister_vm(1);
+  EXPECT_EQ(hyp.free_tmem(), 4u);
+}
+
+TEST(HypervisorTest, SnapshotMatchesTableI) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(50));
+  hyp.register_vm(1);
+  hyp.register_vm(2);
+  hyp.set_targets({{1, 20}});
+  (void)hyp.frontswap_put(1, 0, 0, 1);
+  (void)hyp.frontswap_put(1, 0, 1, 2);
+  const MemStats stats = hyp.snapshot();
+  EXPECT_EQ(stats.total_tmem, 50u);
+  EXPECT_EQ(stats.free_tmem, 48u);
+  EXPECT_EQ(stats.vm_count, 2u);
+  ASSERT_EQ(stats.vm.size(), 2u);
+  EXPECT_EQ(stats.vm[0].vm_id, 1u);
+  EXPECT_EQ(stats.vm[0].puts_total, 2u);
+  EXPECT_EQ(stats.vm[0].puts_succ, 2u);
+  EXPECT_EQ(stats.vm[0].tmem_used, 2u);
+  EXPECT_EQ(stats.vm[0].mm_target, 20u);
+  EXPECT_EQ(stats.vm[1].puts_total, 0u);
+}
+
+}  // namespace
+}  // namespace smartmem::hyper

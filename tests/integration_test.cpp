@@ -1,0 +1,177 @@
+// End-to-end integration: run the paper's scenarios at a small scale under
+// every policy and check the qualitative properties the paper reports.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/experiment.hpp"
+#include "core/scenario.hpp"
+
+namespace smartmem::core {
+namespace {
+
+constexpr double kTinyScale = 0.0625;  // 64 MiB VMs: seconds of wall time
+
+double total_runtime(const ScenarioResult& r) {
+  double total = 0;
+  for (const auto& vm : r.vms) {
+    for (const auto& [label, seconds] : vm.durations) total += seconds;
+  }
+  return total;
+}
+
+// Every policy must drive every scenario to completion without OOM kills or
+// accounting corruption.
+class AllPoliciesAllScenarios
+    : public ::testing::TestWithParam<std::tuple<int, const char*>> {};
+
+TEST_P(AllPoliciesAllScenarios, RunsCleanly) {
+  const auto [scenario_idx, policy_text] = GetParam();
+  const auto scenarios = all_scenarios(kTinyScale);
+  const ScenarioSpec& spec = scenarios[static_cast<std::size_t>(scenario_idx)];
+  const mm::PolicySpec policy = mm::PolicySpec::parse(policy_text);
+
+  const ScenarioResult r = run_scenario(spec, policy, 42);
+
+  EXPECT_GT(r.end_time, 0);
+  for (const auto& vm : r.vms) {
+    EXPECT_EQ(vm.guest.oom_kills, 0u) << vm.name;
+    EXPECT_GT(vm.guest.touches, 0u) << vm.name;
+    // Hypervisor counters must be internally consistent.
+    EXPECT_EQ(vm.vm_data.cumul_puts_total,
+              vm.vm_data.cumul_puts_succ + vm.vm_data.cumul_puts_failed);
+    // Guest and hypervisor agree on successful puts.
+    EXPECT_EQ(vm.guest.swapouts_tmem, vm.vm_data.cumul_puts_succ);
+  }
+}
+
+std::string matrix_test_name(
+    const ::testing::TestParamInfo<std::tuple<int, const char*>>& param_info) {
+  static constexpr const char* kScenarios[] = {"scenario1", "scenario2",
+                                               "usemem", "scenario3"};
+  std::string name =
+      std::string(
+          kScenarios[static_cast<std::size_t>(std::get<0>(param_info.param))]) +
+      "_" + std::get<1>(param_info.param);
+  for (auto& c : name) {
+    if (c == '-' || c == ':' || c == '.') c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllPoliciesAllScenarios,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3),
+                       ::testing::Values("no-tmem", "greedy", "static",
+                                         "reconf", "smart:0.75", "smart:6",
+                                         "swap-rate")),
+    matrix_test_name);
+
+// Headline result: tmem (any policy) beats no-tmem decisively.
+TEST(IntegrationTest, TmemBeatsNoTmem) {
+  const ScenarioSpec spec = scenario1(kTinyScale);
+  const auto no_tmem = run_scenario(spec, mm::PolicySpec::no_tmem(), 1);
+  const auto greedy = run_scenario(spec, mm::PolicySpec::greedy(), 1);
+  const auto smart = run_scenario(spec, mm::PolicySpec::smart(0.75), 1);
+  EXPECT_LT(total_runtime(greedy), 0.8 * total_runtime(no_tmem));
+  EXPECT_LT(total_runtime(smart), 0.8 * total_runtime(no_tmem));
+}
+
+// Fairness: smart-alloc keeps per-VM tmem usage closer together than greedy
+// (the Figure 4 story), measured by the time-averaged cross-VM spread.
+TEST(IntegrationTest, SmartIsFairerThanGreedy) {
+  const ScenarioSpec spec = scenario1(kTinyScale);
+  auto spread = [](const ScenarioResult& r) {
+    // Mean absolute deviation of the three VMs' usage over time.
+    const auto* vm1 = r.usage.find("VM1");
+    const auto* vm2 = r.usage.find("VM2");
+    const auto* vm3 = r.usage.find("VM3");
+    double acc = 0;
+    std::size_t n = 0;
+    for (const auto& s : vm1->samples()) {
+      const double a = s.value;
+      const double b = vm2->value_at(s.when);
+      const double c = vm3->value_at(s.when);
+      const double mean = (a + b + c) / 3.0;
+      acc += (std::abs(a - mean) + std::abs(b - mean) + std::abs(c - mean)) / 3.0;
+      ++n;
+    }
+    return n ? acc / static_cast<double>(n) : 0.0;
+  };
+  double greedy_spread = 0, smart_spread = 0;
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    greedy_spread += spread(run_scenario(spec, mm::PolicySpec::greedy(), seed));
+    smart_spread += spread(run_scenario(spec, mm::PolicySpec::smart(0.75), seed));
+  }
+  EXPECT_LT(smart_spread, greedy_spread);
+}
+
+// Enforcement: under static-alloc no VM holds more than its share for long
+// (only transient overuse before slow reclaim / releases catch up).
+TEST(IntegrationTest, StaticAllocEnforcesShares) {
+  const ScenarioSpec spec = scenario1(kTinyScale);
+  const auto r = run_scenario(spec, mm::PolicySpec::static_alloc(), 3);
+  const double share =
+      static_cast<double>(spec.tmem_pages) / 3.0;
+  for (const auto& name : {"VM1", "VM2", "VM3"}) {
+    const auto* ts = r.usage.find(name);
+    ASSERT_NE(ts, nullptr);
+    // Allow a small overshoot margin: targets land asynchronously.
+    EXPECT_LT(ts->max_value(), share * 1.15) << name;
+  }
+}
+
+// The usemem scenario's coordination: VM3 starts only after VM1/VM2 reach
+// the 640MB-equivalent allocation, and everything stops at VM3's 768MB.
+TEST(IntegrationTest, UsememTriggersCoordinateStartAndStop) {
+  const ScenarioSpec spec = usemem_scenario(kTinyScale);
+  const auto r = run_scenario(spec, mm::PolicySpec::greedy(), 42);
+  const auto& vm3 = r.vms[2];
+  EXPECT_GT(vm3.start_time, 0);
+  // VM3's last alloc marker is the stop label (48 MiB at this scale = 768MB
+  // at full scale); it never traverses beyond it.
+  ASSERT_FALSE(vm3.milestones.empty());
+  bool saw_stop_label = false;
+  for (const auto& m : vm3.milestones) {
+    if (m.label == "alloc:48") saw_stop_label = true;
+    EXPECT_NE(m.label, "size-done:48");
+  }
+  EXPECT_TRUE(saw_stop_label);
+  // All three VMs stop within a batch of each other.
+  const SimTime f1 = r.vms[0].finish_time;
+  const SimTime f2 = r.vms[1].finish_time;
+  const SimTime f3 = r.vms[2].finish_time;
+  EXPECT_LT(std::abs(f1 - f2), 50 * kMillisecond);
+  EXPECT_LT(std::abs(f1 - f3), 50 * kMillisecond);
+}
+
+// Scenario 3's trade-off (Section V-D): static-alloc serves the late big VM
+// (VM3) at least as well as greedy does, while greedy favours VM1/VM2.
+TEST(IntegrationTest, Scenario3TradeoffDirection) {
+  const ScenarioSpec spec = scenario3(kTinyScale);
+  const auto greedy = run_scenario(spec, mm::PolicySpec::greedy(), 2);
+  const auto stat = run_scenario(spec, mm::PolicySpec::static_alloc(), 2);
+  const double greedy_vm1 = greedy.vms[0].durations.back().second;
+  const double static_vm1 = stat.vms[0].durations.back().second;
+  // Greedy lets the early VMs monopolize tmem: VM1 must not be slower under
+  // greedy than under static-alloc.
+  EXPECT_LE(greedy_vm1, static_vm1 * 1.05);
+}
+
+// Determinism across the full stack, including triggers and the MM.
+TEST(IntegrationTest, FullStackDeterminism) {
+  const ScenarioSpec spec = usemem_scenario(kTinyScale);
+  const auto a = run_scenario(spec, mm::PolicySpec::smart(2.0), 9);
+  const auto b = run_scenario(spec, mm::PolicySpec::smart(2.0), 9);
+  ASSERT_EQ(a.vms.size(), b.vms.size());
+  for (std::size_t i = 0; i < a.vms.size(); ++i) {
+    EXPECT_EQ(a.vms[i].finish_time, b.vms[i].finish_time);
+    ASSERT_EQ(a.vms[i].milestones.size(), b.vms[i].milestones.size());
+    for (std::size_t m = 0; m < a.vms[i].milestones.size(); ++m) {
+      EXPECT_EQ(a.vms[i].milestones[m].when, b.vms[i].milestones[m].when);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace smartmem::core

@@ -1,0 +1,55 @@
+#include "mem/frame_allocator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace smartmem::mem {
+namespace {
+
+TEST(FrameAllocatorTest, AllocatesAllFramesExactlyOnce) {
+  FrameAllocator fa(100);
+  std::set<Pfn> seen;
+  for (int i = 0; i < 100; ++i) {
+    const auto f = fa.allocate();
+    ASSERT_TRUE(f.has_value());
+    EXPECT_LT(*f, 100u);
+    EXPECT_TRUE(seen.insert(*f).second) << "duplicate frame " << *f;
+  }
+  EXPECT_FALSE(fa.allocate().has_value());
+  EXPECT_EQ(fa.free_count(), 0u);
+  EXPECT_EQ(fa.used_count(), 100u);
+}
+
+TEST(FrameAllocatorTest, FreeMakesFrameReusable) {
+  FrameAllocator fa(2);
+  const Pfn a = *fa.allocate();
+  const Pfn b = *fa.allocate();
+  EXPECT_FALSE(fa.allocate().has_value());
+  fa.free(a);
+  EXPECT_EQ(fa.free_count(), 1u);
+  const Pfn c = *fa.allocate();
+  EXPECT_EQ(c, a);
+  fa.free(b);
+  fa.free(c);
+  EXPECT_EQ(fa.free_count(), 2u);
+}
+
+TEST(FrameAllocatorTest, ZeroCapacity) {
+  FrameAllocator fa(0);
+  EXPECT_FALSE(fa.allocate().has_value());
+  EXPECT_EQ(fa.total(), 0u);
+}
+
+TEST(FrameAllocatorTest, Counters) {
+  FrameAllocator fa(10);
+  EXPECT_EQ(fa.total(), 10u);
+  EXPECT_EQ(fa.free_count(), 10u);
+  (void)fa.allocate();
+  (void)fa.allocate();
+  EXPECT_EQ(fa.used_count(), 2u);
+  EXPECT_EQ(fa.free_count(), 8u);
+}
+
+}  // namespace
+}  // namespace smartmem::mem

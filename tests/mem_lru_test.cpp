@@ -1,0 +1,98 @@
+#include "mem/lru.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem::mem {
+namespace {
+
+TEST(LruTest, EmptyHasNoVictim) {
+  LruLists lru;
+  EXPECT_FALSE(lru.pop_victim().has_value());
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LruTest, InsertGoesToInactive) {
+  LruLists lru;
+  lru.insert(1);
+  EXPECT_TRUE(lru.tracked(1));
+  EXPECT_EQ(lru.inactive_size(), 1u);
+  EXPECT_EQ(lru.active_size(), 0u);
+}
+
+TEST(LruTest, VictimIsOldestInactive) {
+  LruLists lru;
+  lru.insert(1);
+  lru.insert(2);
+  lru.insert(3);
+  EXPECT_EQ(lru.pop_victim(), 1u);
+  EXPECT_EQ(lru.pop_victim(), 2u);
+  EXPECT_EQ(lru.pop_victim(), 3u);
+}
+
+TEST(LruTest, TouchPromotesToActive) {
+  LruLists lru;
+  lru.insert(1);
+  lru.insert(2);
+  lru.touch(1);
+  EXPECT_EQ(lru.active_size(), 1u);
+  // 2 is the only inactive page left; it should be the victim.
+  EXPECT_EQ(lru.pop_victim(), 2u);
+}
+
+TEST(LruTest, TouchOnActiveIsNoOp) {
+  LruLists lru;
+  lru.insert(1);
+  lru.touch(1);
+  lru.touch(1);
+  EXPECT_EQ(lru.active_size(), 1u);
+}
+
+TEST(LruTest, TouchUntrackedIsIgnored) {
+  LruLists lru;
+  lru.touch(99);
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LruTest, RemoveFromEitherList) {
+  LruLists lru;
+  lru.insert(1);
+  lru.insert(2);
+  lru.touch(2);
+  lru.remove(1);
+  lru.remove(2);
+  lru.remove(3);  // untracked: no-op
+  EXPECT_EQ(lru.size(), 0u);
+}
+
+TEST(LruTest, ActivePagesDemotedWhenInactiveRunsDry) {
+  LruLists lru(3);
+  for (Vpn p = 0; p < 9; ++p) lru.insert(p);
+  for (Vpn p = 0; p < 9; ++p) lru.touch(p);  // everything active
+  EXPECT_EQ(lru.inactive_size(), 0u);
+  // Victim must come from the cold end of the active list (page 0).
+  EXPECT_EQ(lru.pop_victim(), 0u);
+  EXPECT_EQ(lru.size(), 8u);
+}
+
+TEST(LruTest, EvictionOrderRespectsPromotion) {
+  LruLists lru;
+  for (Vpn p = 0; p < 4; ++p) lru.insert(p);
+  lru.touch(0);  // 0 promoted; inactive order (oldest first): 1, 2, 3
+  EXPECT_EQ(lru.pop_victim(), 1u);
+  EXPECT_EQ(lru.pop_victim(), 2u);
+  EXPECT_EQ(lru.pop_victim(), 3u);
+  // Only the active page 0 remains.
+  EXPECT_EQ(lru.pop_victim(), 0u);
+}
+
+TEST(LruTest, LargePopulationDrainsCompletely) {
+  LruLists lru;
+  for (Vpn p = 0; p < 10000; ++p) lru.insert(p);
+  for (Vpn p = 0; p < 10000; p += 2) lru.touch(p);
+  std::size_t drained = 0;
+  while (lru.pop_victim()) ++drained;
+  EXPECT_EQ(drained, 10000u);
+}
+
+}  // namespace
+}  // namespace smartmem::mem

@@ -1,0 +1,52 @@
+#include "mem/page_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem::mem {
+namespace {
+
+TEST(AddressSpaceTest, RegionsAreContiguousAndSequential) {
+  AddressSpace as(0);
+  const Vpn a = as.map_region(10);
+  const Vpn b = as.map_region(5);
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 10u);
+  EXPECT_EQ(as.reserved_pages(), 15u);
+}
+
+TEST(AddressSpaceTest, NewRegionPagesAreUntouched) {
+  AddressSpace as(0);
+  const Vpn base = as.map_region(3);
+  for (Vpn v = base; v < base + 3; ++v) {
+    EXPECT_EQ(as.entry(v).state, PageState::kUntouched);
+    EXPECT_TRUE(as.valid(v));
+  }
+}
+
+TEST(AddressSpaceTest, EntryOutOfRangeThrows) {
+  AddressSpace as(0);
+  as.map_region(2);
+  EXPECT_THROW(as.entry(2), std::out_of_range);
+  EXPECT_FALSE(as.valid(2));
+}
+
+TEST(AddressSpaceTest, UnmapResetsEntries) {
+  AddressSpace as(0);
+  const Vpn base = as.map_region(2);
+  as.entry(base).state = PageState::kUntouched;
+  as.unmap_region(base, 2);
+  EXPECT_EQ(as.entry(base).state, PageState::kUnmapped);
+  EXPECT_FALSE(as.valid(base));
+}
+
+TEST(AddressSpaceTest, ResidentCounter) {
+  AddressSpace as(0);
+  as.map_region(4);
+  as.note_resident_delta(+3);
+  EXPECT_EQ(as.resident_pages(), 3u);
+  as.note_resident_delta(-2);
+  EXPECT_EQ(as.resident_pages(), 1u);
+}
+
+}  // namespace
+}  // namespace smartmem::mem

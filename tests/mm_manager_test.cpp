@@ -1,0 +1,111 @@
+// MemoryManager: history recording, policy dispatch, and the paper's
+// change-suppressing send_to_hypervisor behaviour.
+#include "mm/manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "mm/reconf_static_policy.hpp"
+#include "mm/static_policy.hpp"
+
+namespace smartmem::mm {
+namespace {
+
+hyper::MemStats make_stats(PageCount total, std::uint32_t vms) {
+  hyper::MemStats stats;
+  stats.total_tmem = total;
+  stats.vm_count = vms;
+  for (VmId id = 1; id <= vms; ++id) {
+    hyper::VmMemStats v;
+    v.vm_id = id;
+    stats.vm.push_back(v);
+  }
+  return stats;
+}
+
+TEST(ManagerTest, NullPolicyRejected) {
+  EXPECT_THROW(MemoryManager(nullptr, 100), std::invalid_argument);
+}
+
+TEST(ManagerTest, SendsTargetsOnFirstSample) {
+  MemoryManager mm(std::make_unique<StaticPolicy>(), 300);
+  std::vector<hyper::MmOut> sent;
+  mm.set_sender([&](const hyper::MmOut& out) { sent.push_back(out); });
+  mm.on_stats(make_stats(300, 3));
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_EQ(sent[0].size(), 3u);
+  EXPECT_EQ(sent[0][0].mm_target, 100u);
+}
+
+TEST(ManagerTest, SuppressesUnchangedTargets) {
+  MemoryManager mm(std::make_unique<StaticPolicy>(), 300);
+  int sends = 0;
+  mm.set_sender([&](const hyper::MmOut&) { ++sends; });
+  for (int i = 0; i < 5; ++i) mm.on_stats(make_stats(300, 3));
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(mm.targets_sent(), 1u);
+  EXPECT_EQ(mm.sends_suppressed(), 4u);
+  EXPECT_EQ(mm.samples_seen(), 5u);
+}
+
+TEST(ManagerTest, ResendsWhenTargetsChange) {
+  MemoryManager mm(std::make_unique<StaticPolicy>(), 300);
+  int sends = 0;
+  mm.set_sender([&](const hyper::MmOut&) { ++sends; });
+  mm.on_stats(make_stats(300, 3));
+  mm.on_stats(make_stats(300, 3));
+  mm.on_stats(make_stats(300, 2));  // VM destroyed: shares change
+  EXPECT_EQ(sends, 2);
+}
+
+TEST(ManagerTest, SuppressionCanBeDisabled) {
+  ManagerConfig cfg;
+  cfg.suppress_unchanged = false;
+  MemoryManager mm(std::make_unique<StaticPolicy>(), 300, cfg);
+  int sends = 0;
+  mm.set_sender([&](const hyper::MmOut&) { ++sends; });
+  for (int i = 0; i < 3; ++i) mm.on_stats(make_stats(300, 3));
+  EXPECT_EQ(sends, 3);
+}
+
+TEST(ManagerTest, RecordsHistory) {
+  MemoryManager mm(std::make_unique<ReconfStaticPolicy>(), 300);
+  mm.set_sender([](const hyper::MmOut&) {});
+  auto stats = make_stats(300, 2);
+  stats.vm[0].puts_total = 7;
+  stats.vm[0].puts_succ = 4;
+  mm.on_stats(stats);
+  EXPECT_EQ(mm.history().samples_recorded(), 1u);
+  EXPECT_EQ(mm.history().failed_puts_last_interval(1), 3u);
+  EXPECT_EQ(mm.history().failed_puts_last_interval(2), 0u);
+  EXPECT_FALSE(mm.history().nth_last(1, 5).has_value());
+}
+
+TEST(ManagerTest, HistoryDepthIsBounded) {
+  ManagerConfig cfg;
+  cfg.history_depth = 3;
+  MemoryManager mm(std::make_unique<StaticPolicy>(), 300, cfg);
+  mm.set_sender([](const hyper::MmOut&) {});
+  for (int i = 0; i < 10; ++i) {
+    auto stats = make_stats(300, 1);
+    stats.vm[0].puts_total = static_cast<std::uint64_t>(i);
+    mm.on_stats(stats);
+  }
+  EXPECT_TRUE(mm.history().nth_last(1, 2).has_value());
+  EXPECT_FALSE(mm.history().nth_last(1, 3).has_value());
+  EXPECT_EQ(mm.history().nth_last(1, 0)->puts_total, 9u);
+  EXPECT_EQ(mm.history().nth_last(1, 2)->puts_total, 7u);
+}
+
+TEST(ManagerTest, LastSentIsExposed) {
+  MemoryManager mm(std::make_unique<StaticPolicy>(), 300);
+  mm.set_sender([](const hyper::MmOut&) {});
+  EXPECT_FALSE(mm.last_sent().has_value());
+  mm.on_stats(make_stats(300, 3));
+  ASSERT_TRUE(mm.last_sent().has_value());
+  EXPECT_EQ(mm.last_sent()->size(), 3u);
+}
+
+}  // namespace
+}  // namespace smartmem::mm

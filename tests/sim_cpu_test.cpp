@@ -1,0 +1,70 @@
+// CpuPool: core reservation accounting for the contended-host model.
+#include "sim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem::sim {
+namespace {
+
+TEST(CpuPoolTest, UncontendedPoolIsTransparent) {
+  CpuPool pool(0);
+  EXPECT_FALSE(pool.contended());
+  EXPECT_EQ(pool.next_available(123), 123);
+  pool.occupy(0, 1000);  // no-op
+  EXPECT_EQ(pool.busy_time(), 0);
+}
+
+TEST(CpuPoolTest, SingleCoreSerializes) {
+  CpuPool pool(1);
+  EXPECT_TRUE(pool.contended());
+  EXPECT_EQ(pool.next_available(0), 0);
+  pool.occupy(0, 100);
+  EXPECT_EQ(pool.next_available(0), 100);
+  EXPECT_EQ(pool.next_available(150), 150);
+  pool.occupy(100, 200);
+  EXPECT_EQ(pool.next_available(0), 200);
+  EXPECT_EQ(pool.busy_time(), 200);
+}
+
+TEST(CpuPoolTest, TwoCoresRunTwoReservationsInParallel) {
+  CpuPool pool(2);
+  pool.occupy(0, 100);
+  EXPECT_EQ(pool.next_available(0), 0);  // second core still free
+  pool.occupy(0, 80);
+  EXPECT_EQ(pool.next_available(0), 80);  // earliest drain
+  pool.occupy(80, 120);
+  EXPECT_EQ(pool.next_available(0), 100);
+  EXPECT_EQ(pool.reservations(), 3u);
+}
+
+TEST(CpuPoolTest, LeastLoadedCoreIsPicked) {
+  CpuPool pool(2);
+  pool.occupy(0, 1000);  // core A busy long
+  pool.occupy(0, 10);    // core B short
+  // Next reservation should extend core B, not queue behind A.
+  pool.occupy(10, 50);
+  EXPECT_EQ(pool.next_available(0), 50);
+}
+
+TEST(CpuPoolTest, OverlappingReservationChargesOnlyNewTime) {
+  CpuPool pool(1);
+  pool.occupy(0, 100);
+  // Overlaps [0,100): only the [100,150) tail is new busy time.
+  pool.occupy(50, 150);
+  EXPECT_EQ(pool.busy_time(), 150);
+  // Fully contained: no extra busy time, horizon unchanged.
+  pool.occupy(120, 140);
+  EXPECT_EQ(pool.busy_time(), 150);
+  EXPECT_EQ(pool.next_available(0), 150);
+}
+
+TEST(CpuPoolTest, EmptyReservationIgnored) {
+  CpuPool pool(2);
+  pool.occupy(100, 100);
+  pool.occupy(100, 50);  // end < start
+  EXPECT_EQ(pool.reservations(), 0u);
+  EXPECT_EQ(pool.busy_time(), 0);
+}
+
+}  // namespace
+}  // namespace smartmem::sim

@@ -1,0 +1,94 @@
+#include "sim/disk.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem::sim {
+namespace {
+
+DiskModel test_model() {
+  DiskModel m;
+  m.access_latency = 100 * kMicrosecond;
+  m.bandwidth_bytes_per_sec = 100ull * 1024 * 1024;  // ~39us per 4 KiB
+  return m;
+}
+
+TEST(DiskTest, ServiceTimeIsLatencyPlusTransfer) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  const SimTime transfer = disk.service_time(0) - 0;
+  EXPECT_EQ(transfer, test_model().access_latency);
+  const SimTime four_k = disk.service_time(4096);
+  EXPECT_GT(four_k, test_model().access_latency);
+  // 4096 bytes at 100 MiB/s = 39.06 us.
+  EXPECT_NEAR(static_cast<double>(four_k - test_model().access_latency),
+              39.06 * kMicrosecond, 1.0 * kMicrosecond);
+}
+
+TEST(DiskTest, SingleReadCompletesAfterServiceTime) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  const SimTime done = disk.read(4096, 0);
+  EXPECT_EQ(done, disk.service_time(4096));
+}
+
+TEST(DiskTest, ReadsQueueBehindEachOther) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  const SimTime first = disk.read(4096, 0);
+  const SimTime second = disk.read(4096, 0);
+  EXPECT_EQ(second, first + disk.service_time(4096));
+  EXPECT_EQ(disk.read_busy_until(), second);
+}
+
+TEST(DiskTest, WritesDoNotBlockReads) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  for (int i = 0; i < 100; ++i) disk.write(4096, 0);
+  const SimTime read_done = disk.read(4096, 0);
+  EXPECT_EQ(read_done, disk.service_time(4096));
+  EXPECT_GT(disk.write_busy_until(), disk.read_busy_until());
+}
+
+TEST(DiskTest, SubmitTimeInTheFutureIsRespected) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  const SimTime done = disk.read(4096, 1 * kSecond);
+  EXPECT_EQ(done, 1 * kSecond + disk.service_time(4096));
+}
+
+TEST(DiskTest, IdleGapResetsQueue) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  const SimTime first = disk.read(4096, 0);
+  // Submitted long after the first completes: no queueing delay.
+  const SimTime second = disk.read(4096, first + kSecond);
+  EXPECT_EQ(second, first + kSecond + disk.service_time(4096));
+}
+
+TEST(DiskTest, CompletionCallbackFiresAtCompletionTime) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  SimTime fired_at = -1;
+  const SimTime done = disk.read(4096, 0, [&] { fired_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(fired_at, done);
+}
+
+TEST(DiskTest, StatsAccounting) {
+  Simulator sim;
+  DiskDevice disk(sim, test_model());
+  disk.read(4096, 0);
+  disk.read(8192, 0);
+  disk.write(4096, 0);
+  const DiskStats& s = disk.stats();
+  EXPECT_EQ(s.reads, 2u);
+  EXPECT_EQ(s.writes, 1u);
+  EXPECT_EQ(s.bytes_read, 12288u);
+  EXPECT_EQ(s.bytes_written, 4096u);
+  EXPECT_GT(s.read_busy_time, 0);
+  // Second read queued behind the first.
+  EXPECT_GT(s.read_queue_delay_ns.max(), 0.0);
+}
+
+}  // namespace
+}  // namespace smartmem::sim

@@ -1,0 +1,142 @@
+#include "sim/simulator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace smartmem::sim {
+namespace {
+
+TEST(SimulatorTest, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(SimulatorTest, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(30, [&] { order.push_back(3); });
+  sim.schedule(10, [&] { order.push_back(1); });
+  sim.schedule(20, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+  EXPECT_EQ(sim.executed_events(), 3u);
+}
+
+TEST(SimulatorTest, EqualTimestampsFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule(5, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<size_t>(i)], i);
+}
+
+TEST(SimulatorTest, NestedScheduling) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule(10, [&] {
+    fired.push_back(sim.now());
+    sim.schedule(5, [&] { fired.push_back(sim.now()); });
+  });
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 15}));
+}
+
+TEST(SimulatorTest, CancelPreventsExecution) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(h.pending());
+  h.cancel();
+  EXPECT_FALSE(h.pending());
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulatorTest, HandleNotPendingAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule(1, [] {});
+  sim.run();
+  EXPECT_FALSE(h.pending());
+  h.cancel();  // safe no-op
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  std::vector<SimTime> fired;
+  sim.schedule(10, [&] { fired.push_back(sim.now()); });
+  sim.schedule(50, [&] { fired.push_back(sim.now()); });
+  sim.run_until(30);
+  EXPECT_EQ(fired, (std::vector<SimTime>{10}));
+  EXPECT_EQ(sim.now(), 30);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<SimTime>{10, 50}));
+}
+
+TEST(SimulatorTest, RunUntilAdvancesClockOnEmptyQueue) {
+  Simulator sim;
+  sim.run_until(100);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(SimulatorTest, StepReturnsFalseWhenIdle) {
+  Simulator sim;
+  EXPECT_FALSE(sim.step());
+  sim.schedule(1, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(SimulatorTest, PeriodicFiresRepeatedlyUntilCancelled) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h = sim.schedule_periodic(10, [&] { ++count; });
+  sim.run_until(55);
+  EXPECT_EQ(count, 5);  // t = 10, 20, 30, 40, 50
+  h.cancel();
+  sim.run_until(200);
+  EXPECT_EQ(count, 5);
+}
+
+TEST(SimulatorTest, PeriodicCancelFromInsideCallback) {
+  Simulator sim;
+  int count = 0;
+  EventHandle h;
+  h = sim.schedule_periodic(10, [&] {
+    if (++count == 3) h.cancel();
+  });
+  sim.run_until(1000);
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulatorTest, ScheduleAtAbsoluteTime) {
+  Simulator sim;
+  SimTime fired_at = -1;
+  sim.schedule(10, [&] {
+    sim.schedule_at(25, [&] { fired_at = sim.now(); });
+  });
+  sim.run();
+  EXPECT_EQ(fired_at, 25);
+}
+
+TEST(SimulatorTest, ManyEventsStressOrdering) {
+  Simulator sim;
+  SimTime last = -1;
+  bool monotonic = true;
+  for (int i = 0; i < 10000; ++i) {
+    sim.schedule((i * 7919) % 1000, [&] {
+      if (sim.now() < last) monotonic = false;
+      last = sim.now();
+    });
+  }
+  sim.run();
+  EXPECT_TRUE(monotonic);
+  EXPECT_EQ(sim.executed_events(), 10000u);
+}
+
+}  // namespace
+}  // namespace smartmem::sim

@@ -1,0 +1,131 @@
+// Property test: drive the tmem store with long random operation sequences
+// and check its global invariants after every step.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "tmem/store.hpp"
+
+namespace smartmem::tmem {
+namespace {
+
+struct StoreParams {
+  PageCount capacity;
+  bool dedup;
+  std::uint64_t seed;
+};
+
+class StorePropertyTest : public ::testing::TestWithParam<StoreParams> {};
+
+TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
+  const StoreParams params = GetParam();
+  StoreConfig store_cfg;
+  store_cfg.total_pages = params.capacity;
+  store_cfg.zero_page_dedup = params.dedup;
+  TmemStore store(store_cfg);
+  Rng rng(params.seed);
+
+  // Model state: what we believe the store holds.
+  std::unordered_map<TmemKey, PagePayload, TmemKeyHash> model;
+  std::vector<PoolId> pools;
+  std::map<PoolId, VmId> owner;
+  std::map<PoolId, PoolType> type;
+
+  for (int vm = 1; vm <= 3; ++vm) {
+    for (PoolType t : {PoolType::kPersistent, PoolType::kEphemeral}) {
+      const PoolId p = store.create_pool(static_cast<VmId>(vm), t);
+      pools.push_back(p);
+      owner[p] = static_cast<VmId>(vm);
+      type[p] = t;
+    }
+  }
+
+  auto check_invariants = [&] {
+    // 1. free + used == capacity.
+    ASSERT_EQ(store.free_pages() + store.used_pages(), params.capacity);
+    // 2. per-VM counts sum to the number of modelled entries (entries only
+    //    disappear via flush/get-destructive/eviction, all of which we
+    //    mirror below).
+    PageCount total_vm = 0;
+    for (VmId vm = 1; vm <= 3; ++vm) total_vm += store.vm_pages(vm);
+    ASSERT_EQ(total_vm, model.size());
+    // 3. every modelled persistent entry must still be present (persistent
+    //    pages can never be silently dropped).
+    for (const auto& [key, payload] : model) {
+      if (type[key.pool] == PoolType::kPersistent) {
+        ASSERT_TRUE(store.contains(key));
+      }
+    }
+  };
+
+  for (int step = 0; step < 20000; ++step) {
+    const PoolId pool = pools[rng.uniform(pools.size())];
+    const std::uint64_t object = rng.uniform(4);
+    const auto index = static_cast<std::uint32_t>(rng.uniform(64));
+    const TmemKey key{pool, object, index};
+    switch (rng.uniform(4)) {
+      case 0:
+      case 1: {  // put (weighted 2x)
+        const PagePayload payload = params.dedup && rng.chance(0.3)
+                                        ? 0
+                                        : rng.next() | 1;
+        const PutResult r = store.put(key, payload);
+        if (r != PutResult::kNoMemory) {
+          model[key] = payload;
+        }
+        // Even a FAILED put may have evicted ephemeral entries while hunting
+        // for a frame (deduped victims free nothing); reconcile the model
+        // after every attempt.
+        for (auto it = model.begin(); it != model.end();) {
+          if (type[it->first.pool] == PoolType::kEphemeral &&
+              !store.contains(it->first)) {
+            it = model.erase(it);
+          } else {
+            ++it;
+          }
+        }
+        break;
+      }
+      case 2: {  // get
+        const auto result = store.get(key);
+        auto it = model.find(key);
+        if (it != model.end()) {
+          ASSERT_TRUE(result.has_value());
+          ASSERT_EQ(*result, it->second) << "payload corrupted";
+          if (type[pool] == PoolType::kEphemeral) model.erase(it);
+        } else {
+          ASSERT_FALSE(result.has_value());
+        }
+        break;
+      }
+      case 3: {  // flush
+        const bool existed = store.flush_page(key);
+        ASSERT_EQ(existed, model.erase(key) > 0);
+        break;
+      }
+    }
+    if (step % 500 == 0) check_invariants();
+  }
+  check_invariants();
+
+  // Teardown: destroying every pool must return the store to pristine state.
+  for (PoolId p : pools) store.destroy_pool(p);
+  EXPECT_EQ(store.free_pages(), params.capacity);
+  for (VmId vm = 1; vm <= 3; ++vm) EXPECT_EQ(store.vm_pages(vm), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, StorePropertyTest,
+    ::testing::Values(StoreParams{16, false, 1},    // tiny, heavy contention
+                      StoreParams{16, true, 2},     // tiny with dedup
+                      StoreParams{256, false, 3},   // comfortable
+                      StoreParams{256, true, 4},
+                      StoreParams{64, false, 5},
+                      StoreParams{1, false, 6},     // single page
+                      StoreParams{4096, false, 7}));
+
+}  // namespace
+}  // namespace smartmem::tmem

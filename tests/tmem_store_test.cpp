@@ -1,0 +1,209 @@
+#include "tmem/store.hpp"
+
+#include <gtest/gtest.h>
+
+namespace smartmem::tmem {
+namespace {
+
+TmemStore make_store(PageCount pages, bool dedup = false) {
+  StoreConfig cfg;
+  cfg.total_pages = pages;
+  cfg.zero_page_dedup = dedup;
+  return TmemStore(cfg);
+}
+
+TEST(TmemStoreTest, PoolLifecycle) {
+  TmemStore store = make_store(10);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  EXPECT_TRUE(store.pool_exists(p));
+  EXPECT_EQ(store.pool_type(p), PoolType::kPersistent);
+  EXPECT_EQ(store.pool_owner(p), 1u);
+  store.destroy_pool(p);
+  EXPECT_FALSE(store.pool_exists(p));
+}
+
+TEST(TmemStoreTest, PoolIdsNeverReused) {
+  TmemStore store = make_store(10);
+  const PoolId a = store.create_pool(1, PoolType::kPersistent);
+  store.destroy_pool(a);
+  const PoolId b = store.create_pool(1, PoolType::kPersistent);
+  EXPECT_NE(a, b);
+}
+
+TEST(TmemStoreTest, PutGetRoundTripPersistent) {
+  TmemStore store = make_store(10);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  EXPECT_EQ(store.put({p, 7, 3}, 0xabcd), PutResult::kStored);
+  EXPECT_EQ(store.get({p, 7, 3}), 0xabcdu);
+  // Persistent get is non-destructive at the store level (the hypervisor
+  // layer implements Xen's destructive-get convention via explicit flush).
+  EXPECT_TRUE(store.contains({p, 7, 3}));
+  EXPECT_EQ(store.used_pages(), 1u);
+}
+
+TEST(TmemStoreTest, EphemeralGetIsDestructive) {
+  TmemStore store = make_store(10);
+  const PoolId p = store.create_pool(1, PoolType::kEphemeral);
+  store.put({p, 1, 1}, 42);
+  EXPECT_EQ(store.get({p, 1, 1}), 42u);
+  EXPECT_FALSE(store.contains({p, 1, 1}));
+  EXPECT_EQ(store.free_pages(), 10u);
+}
+
+TEST(TmemStoreTest, GetMissReturnsNullopt) {
+  TmemStore store = make_store(10);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  EXPECT_FALSE(store.get({p, 1, 1}).has_value());
+  EXPECT_EQ(store.stats().gets_miss, 1u);
+}
+
+TEST(TmemStoreTest, PutReplacesInPlace) {
+  TmemStore store = make_store(2);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  EXPECT_EQ(store.put({p, 1, 1}, 1), PutResult::kStored);
+  EXPECT_EQ(store.put({p, 1, 1}, 2), PutResult::kReplaced);
+  EXPECT_EQ(store.used_pages(), 1u);
+  EXPECT_EQ(store.get({p, 1, 1}), 2u);
+}
+
+TEST(TmemStoreTest, CapacityExhaustionFailsPut) {
+  TmemStore store = make_store(2);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  EXPECT_EQ(store.put({p, 0, 0}, 1), PutResult::kStored);
+  EXPECT_EQ(store.put({p, 0, 1}, 2), PutResult::kStored);
+  EXPECT_EQ(store.put({p, 0, 2}, 3), PutResult::kNoMemory);
+  EXPECT_EQ(store.stats().puts_failed, 1u);
+  EXPECT_EQ(store.free_pages(), 0u);
+}
+
+TEST(TmemStoreTest, PersistentPutEvictsEphemeralVictim) {
+  TmemStore store = make_store(2);
+  const PoolId eph = store.create_pool(1, PoolType::kEphemeral);
+  const PoolId per = store.create_pool(2, PoolType::kPersistent);
+  store.put({eph, 0, 0}, 10);
+  store.put({eph, 0, 1}, 11);
+  EXPECT_EQ(store.free_pages(), 0u);
+  EXPECT_EQ(store.put({per, 0, 0}, 20), PutResult::kStored);
+  // The oldest ephemeral page was sacrificed.
+  EXPECT_FALSE(store.contains({eph, 0, 0}));
+  EXPECT_TRUE(store.contains({eph, 0, 1}));
+  EXPECT_EQ(store.stats().ephemeral_evictions, 1u);
+}
+
+TEST(TmemStoreTest, PersistentPagesAreNeverEvicted) {
+  TmemStore store = make_store(2);
+  const PoolId per = store.create_pool(1, PoolType::kPersistent);
+  store.put({per, 0, 0}, 1);
+  store.put({per, 0, 1}, 2);
+  EXPECT_EQ(store.put({per, 0, 2}, 3), PutResult::kNoMemory);
+  EXPECT_TRUE(store.contains({per, 0, 0}));
+  EXPECT_TRUE(store.contains({per, 0, 1}));
+}
+
+TEST(TmemStoreTest, FlushPage) {
+  TmemStore store = make_store(4);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  store.put({p, 1, 1}, 5);
+  EXPECT_TRUE(store.flush_page({p, 1, 1}));
+  EXPECT_FALSE(store.flush_page({p, 1, 1}));
+  EXPECT_EQ(store.free_pages(), 4u);
+  EXPECT_EQ(store.stats().pages_flushed, 1u);
+}
+
+TEST(TmemStoreTest, FlushObjectDropsAllItsPages) {
+  TmemStore store = make_store(10);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  for (std::uint32_t i = 0; i < 5; ++i) store.put({p, 7, i}, i);
+  store.put({p, 8, 0}, 99);
+  EXPECT_EQ(store.flush_object(p, 7), 5u);
+  EXPECT_EQ(store.pool_pages(p), 1u);
+  EXPECT_TRUE(store.contains({p, 8, 0}));
+  EXPECT_EQ(store.flush_object(p, 7), 0u);
+}
+
+TEST(TmemStoreTest, DestroyPoolFreesEverything) {
+  TmemStore store = make_store(10);
+  const PoolId a = store.create_pool(1, PoolType::kPersistent);
+  const PoolId b = store.create_pool(2, PoolType::kEphemeral);
+  for (std::uint32_t i = 0; i < 4; ++i) store.put({a, 0, i}, i);
+  for (std::uint32_t i = 0; i < 3; ++i) store.put({b, 0, i}, i);
+  store.destroy_pool(a);
+  EXPECT_EQ(store.free_pages(), 10u - 3u);
+  EXPECT_EQ(store.vm_pages(1), 0u);
+  EXPECT_EQ(store.vm_pages(2), 3u);
+}
+
+TEST(TmemStoreTest, PerVmAccounting) {
+  TmemStore store = make_store(10);
+  const PoolId a = store.create_pool(1, PoolType::kPersistent);
+  const PoolId b = store.create_pool(1, PoolType::kEphemeral);
+  const PoolId c = store.create_pool(2, PoolType::kPersistent);
+  store.put({a, 0, 0}, 1);
+  store.put({b, 0, 0}, 2);
+  store.put({c, 0, 0}, 3);
+  EXPECT_EQ(store.vm_pages(1), 2u);
+  EXPECT_EQ(store.vm_pages(2), 1u);
+  EXPECT_EQ(store.vm_pages(3), 0u);
+}
+
+TEST(TmemStoreTest, EvictEphemeralFromVmTargetsOnlyThatVm) {
+  TmemStore store = make_store(10);
+  const PoolId a = store.create_pool(1, PoolType::kEphemeral);
+  const PoolId b = store.create_pool(2, PoolType::kEphemeral);
+  for (std::uint32_t i = 0; i < 3; ++i) store.put({a, 0, i}, i);
+  for (std::uint32_t i = 0; i < 3; ++i) store.put({b, 0, i}, i);
+  EXPECT_EQ(store.evict_ephemeral_from_vm(1, 2), 2u);
+  EXPECT_EQ(store.vm_pages(1), 1u);
+  EXPECT_EQ(store.vm_pages(2), 3u);
+  // Asking for more than exists evicts what is there.
+  EXPECT_EQ(store.evict_ephemeral_from_vm(1, 99), 1u);
+}
+
+TEST(TmemStoreTest, PutToDeadPoolFails) {
+  TmemStore store = make_store(10);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  store.destroy_pool(p);
+  EXPECT_EQ(store.put({p, 0, 0}, 1), PutResult::kNoMemory);
+}
+
+TEST(TmemStoreTest, ZeroPageDedupConsumesNoFrame) {
+  TmemStore store = make_store(2, /*dedup=*/true);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  for (std::uint32_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(store.put({p, 0, i}, 0), PutResult::kStored);
+  }
+  EXPECT_EQ(store.free_pages(), 2u);
+  EXPECT_EQ(store.vm_pages(1), 100u);
+  EXPECT_EQ(store.get({p, 0, 50}), 0u);
+  EXPECT_EQ(store.stats().zero_pages_deduped, 100u);
+}
+
+TEST(TmemStoreTest, DedupTransitionZeroToNonZero) {
+  TmemStore store = make_store(1, /*dedup=*/true);
+  const PoolId p = store.create_pool(1, PoolType::kPersistent);
+  store.put({p, 0, 0}, 0);          // dedup'd, no frame
+  store.put({p, 0, 1}, 7);          // takes the only frame
+  EXPECT_EQ(store.free_pages(), 0u);
+  // Rewriting the zero page with data needs a frame and must fail.
+  EXPECT_EQ(store.put({p, 0, 0}, 9), PutResult::kNoMemory);
+  // Rewriting the data page to zero releases its frame.
+  EXPECT_EQ(store.put({p, 0, 1}, 0), PutResult::kReplaced);
+  EXPECT_EQ(store.free_pages(), 1u);
+}
+
+TEST(TmemStoreTest, KeysAreScopedByPoolObjectIndex) {
+  TmemStore store = make_store(10);
+  const PoolId a = store.create_pool(1, PoolType::kPersistent);
+  const PoolId b = store.create_pool(1, PoolType::kPersistent);
+  store.put({a, 1, 1}, 100);
+  store.put({b, 1, 1}, 200);
+  store.put({a, 2, 1}, 300);
+  store.put({a, 1, 2}, 400);
+  EXPECT_EQ(store.get({a, 1, 1}), 100u);
+  EXPECT_EQ(store.get({b, 1, 1}), 200u);
+  EXPECT_EQ(store.get({a, 2, 1}), 300u);
+  EXPECT_EQ(store.get({a, 1, 2}), 400u);
+}
+
+}  // namespace
+}  // namespace smartmem::tmem

@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Plot the CSV files the figure benches emit with --csv <dir>.
+
+Usage:
+    # generate the data
+    ./build/bench/fig03_scenario1_runtimes --csv out/
+    ./build/bench/fig04_scenario1_usage --csv out/
+    # render PNGs next to the CSVs
+    python3 tools/plot_figures.py out/
+
+Two CSV schemas are understood:
+  * runtime tables:  scenario,policy,vm,label,mean_s,stddev_s,n
+    -> grouped bar chart per (vm, label), one bar per policy (the paper's
+       Figures 3/5/7/9 format)
+  * usage series:    series,time_s,value
+    -> per-VM tmem pages over time, targets dashed (Figures 4/6/8/10)
+
+Only needs matplotlib; skips files it does not recognize.
+"""
+import csv
+import pathlib
+import sys
+from collections import defaultdict
+
+
+def plot_runtimes(path, plt):
+    rows = list(csv.DictReader(open(path)))
+    if not rows:
+        return False
+    policies = []
+    cells = defaultdict(dict)  # (vm,label) -> policy -> (mean, std)
+    for r in rows:
+        if r["policy"] not in policies:
+            policies.append(r["policy"])
+        cells[(r["vm"], r["label"])][r["policy"]] = (
+            float(r["mean_s"]), float(r["stddev_s"]))
+    groups = sorted(cells.keys())
+    width = 0.8 / max(len(policies), 1)
+    fig, ax = plt.subplots(figsize=(max(8, len(groups) * 1.2), 4.5))
+    for pi, pol in enumerate(policies):
+        xs, ys, es = [], [], []
+        for gi, key in enumerate(groups):
+            if pol in cells[key]:
+                xs.append(gi + pi * width)
+                ys.append(cells[key][pol][0])
+                es.append(cells[key][pol][1])
+        ax.bar(xs, ys, width=width, yerr=es, capsize=2, label=pol)
+    ax.set_xticks([g + 0.4 for g in range(len(groups))])
+    ax.set_xticklabels([f"{vm}\n{label}" for vm, label in groups], fontsize=8)
+    ax.set_ylabel("running time (s)")
+    ax.set_title(pathlib.Path(path).stem)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = str(path).rsplit(".", 1)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return True
+
+
+def plot_usage(path, plt):
+    rows = list(csv.DictReader(open(path)))
+    if not rows:
+        return False
+    series = defaultdict(list)
+    for r in rows:
+        series[r["series"]].append((float(r["time_s"]), float(r["value"])))
+    fig, ax = plt.subplots(figsize=(8, 4.5))
+    for name in sorted(series):
+        if name == "free":
+            continue
+        pts = sorted(series[name])
+        style = "--" if name.startswith("target-") else "-"
+        ax.plot([p[0] for p in pts], [p[1] for p in pts], style, label=name,
+                linewidth=1)
+    ax.set_xlabel("time (s)")
+    ax.set_ylabel("tmem pages")
+    ax.set_title(pathlib.Path(path).stem)
+    ax.legend(fontsize=8)
+    fig.tight_layout()
+    out = str(path).rsplit(".", 1)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+    return True
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib is required: pip install matplotlib")
+        return 1
+    for path in sorted(pathlib.Path(sys.argv[1]).glob("*.csv")):
+        with open(path) as f:
+            header = f.readline().strip()
+        if header.startswith("scenario,policy"):
+            plot_runtimes(path, plt)
+        elif header.startswith("series,"):
+            plot_usage(path, plt)
+        else:
+            print(f"skipping {path} (unknown schema)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
