@@ -1,43 +1,86 @@
 #include "bench_common.hpp"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "common/strfmt.hpp"
+#include "common/thread_pool.hpp"
 
 namespace smartmem::bench {
+
+void print_usage(std::FILE* out) {
+  std::fprintf(out,
+               "flags:\n"
+               "  --scale <f>   linear memory scale (default 0.125; 1.0 = "
+               "paper size)\n"
+               "  --reps <n>    repetitions per policy (default 3; paper "
+               "uses 5)\n"
+               "  --seed <n>    base seed (default 1)\n"
+               "  --jobs <n>    worker threads (default 1; 0 = all hardware "
+               "threads)\n"
+               "  --csv <dir>   write CSV files into <dir>\n"
+               "  --full        shorthand for --scale 1.0 --reps 5\n");
+}
+
+namespace {
+
+[[noreturn]] void usage_error(const std::string& message) {
+  std::fprintf(stderr, "%s\n", message.c_str());
+  print_usage(stderr);
+  std::exit(2);
+}
+
+double parse_double(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') {
+    usage_error("malformed value '" + std::string(text) + "' for " + flag);
+  }
+  return v;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const char* text) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text, &end, 10);
+  if (errno != 0 || end == text || *end != '\0' || text[0] == '-') {
+    usage_error("malformed value '" + std::string(text) + "' for " + flag);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
 
 Options parse_options(int argc, char** argv) {
   Options opts;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
-        std::exit(2);
-      }
+      if (i + 1 >= argc) usage_error("missing value for " + arg);
       return argv[++i];
     };
     if (arg == "--scale") {
-      opts.scale = std::atof(next());
+      opts.scale = parse_double(arg, next());
     } else if (arg == "--reps") {
-      opts.repetitions = static_cast<std::size_t>(std::atoi(next()));
+      opts.repetitions = static_cast<std::size_t>(parse_u64(arg, next()));
     } else if (arg == "--seed") {
-      opts.base_seed = static_cast<std::uint64_t>(std::atoll(next()));
+      opts.base_seed = parse_u64(arg, next());
+    } else if (arg == "--jobs") {
+      opts.jobs = static_cast<std::size_t>(parse_u64(arg, next()));
     } else if (arg == "--csv") {
       opts.csv_dir = next();
     } else if (arg == "--full") {
       opts.scale = 1.0;
       opts.repetitions = 5;
     } else if (arg == "--help" || arg == "-h") {
-      std::printf(
-          "flags: --scale <f> --reps <n> --seed <n> --csv <dir> --full\n");
+      print_usage(stdout);
       std::exit(0);
     } else {
-      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
-      std::exit(2);
+      usage_error("unknown flag " + arg);
     }
   }
   return opts;
@@ -48,18 +91,26 @@ std::vector<core::ExperimentResult> run_runtime_figure(
     core::ScenarioSpec (*scenario)(double),
     const std::vector<mm::PolicySpec>& policies, const Options& opts) {
   const core::ScenarioSpec spec = scenario(opts.scale);
+  const std::size_t jobs = ThreadPool::resolve_jobs(opts.jobs);
   std::printf("=== %s: %s ===\n", figure_id.c_str(), title.c_str());
   std::printf("scenario: %s\n", spec.description.c_str());
-  std::printf("scale %.4g (1.0 = paper geometry), %zu repetitions, seed %llu\n\n",
-              opts.scale, opts.repetitions,
-              static_cast<unsigned long long>(opts.base_seed));
+  std::printf(
+      "scale %.4g (1.0 = paper geometry), %zu repetitions, seed %llu, "
+      "%zu job%s\n\n",
+      opts.scale, opts.repetitions,
+      static_cast<unsigned long long>(opts.base_seed), jobs,
+      jobs == 1 ? "" : "s");
 
-  std::vector<core::ExperimentResult> results;
+  core::ExperimentConfig cfg;
+  cfg.repetitions = opts.repetitions;
+  cfg.base_seed = opts.base_seed;
+  cfg.jobs = opts.jobs;
+  // The whole policy x rep grid runs on one pool; results come back in
+  // `policies` order, and all printing/CSV writing happens after this
+  // barrier on the main thread.
+  std::vector<core::ExperimentResult> results =
+      core::run_experiments(spec, policies, cfg);
   for (const auto& policy : policies) {
-    core::ExperimentConfig cfg;
-    cfg.repetitions = opts.repetitions;
-    cfg.base_seed = opts.base_seed;
-    results.push_back(core::run_experiment(spec, policy, cfg));
     std::printf("  ran %s\n", policy.label().c_str());
   }
   std::printf("\n");
@@ -86,13 +137,20 @@ void run_usage_figure(const std::string& figure_id, const std::string& title,
               spec.description.c_str(), opts.scale,
               static_cast<unsigned long long>(opts.base_seed));
 
+  // One seeded run per panel, fanned out over the pool; panels print in
+  // order after the barrier.
+  std::vector<core::ScenarioResult> runs(panels.size());
+  parallel_for_each(opts.jobs, panels.size(), [&](std::size_t p) {
+    runs[p] = core::run_scenario(spec, panels[p], opts.base_seed);
+  });
+
   char panel = 'a';
-  for (const auto& policy : panels) {
-    const core::ScenarioResult run =
-        core::run_scenario(spec, policy, opts.base_seed);
+  for (std::size_t p = 0; p < panels.size(); ++p) {
+    const core::ScenarioResult& run = runs[p];
     core::print_usage_panel(
         std::cout,
-        strfmt("%s(%c) %s", figure_id.c_str(), panel, policy.label().c_str()),
+        strfmt("%s(%c) %s", figure_id.c_str(), panel,
+               panels[p].label().c_str()),
         run, include_targets);
     if (!opts.csv_dir.empty()) {
       const std::string path = strfmt("%s/%s_%c_usage.csv",

@@ -8,10 +8,17 @@
 //   --scale <f>   linear memory scale (default 0.125; 1.0 = paper size)
 //   --reps <n>    repetitions per policy (default 3; paper uses 5)
 //   --seed <n>    base seed (default 1)
+//   --jobs <n>    worker threads for the policy x rep grid (default 1;
+//                 0 = every hardware thread). Output is bit-identical for
+//                 every jobs value.
 //   --csv <dir>   write CSV files into <dir>
 //   --full        shorthand for --scale 1.0 --reps 5
+//
+// Unknown flags and malformed values are fatal (exit 2 with a usage
+// message): a typo like `--rep 5` must not silently run the default config.
 #pragma once
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -25,10 +32,14 @@ struct Options {
   double scale = 0.125;
   std::size_t repetitions = 3;
   std::uint64_t base_seed = 1;
+  std::size_t jobs = 1;  // 0 = hardware_concurrency
   std::string csv_dir;
 };
 
 Options parse_options(int argc, char** argv);
+
+/// Prints the flag reference to `out` (shared by --help and parse errors).
+void print_usage(std::FILE* out);
 
 /// Runs `scenario(scale)` under every policy, prints the Figure-style
 /// running-time table plus the paper's improvement lines, and returns the

@@ -1,6 +1,8 @@
 #include "common/csv.hpp"
 
+#include <mutex>
 #include <stdexcept>
+#include <unordered_set>
 
 #include "common/strfmt.hpp"
 #include "common/time_series.hpp"
@@ -8,12 +10,52 @@
 
 namespace smartmem {
 
+namespace {
+
+// Process-wide registry of paths held by live CsvWriters: enforces the
+// single-writer-per-file contract (see the class comment in csv.hpp).
+std::mutex& open_paths_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::unordered_set<std::string>& open_paths() {
+  static std::unordered_set<std::string> paths;
+  return paths;
+}
+
+void claim_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(open_paths_mutex());
+  if (!open_paths().insert(path).second) {
+    throw std::logic_error(
+        "CsvWriter: " + path +
+        " is already open by another writer — CSV files must be written by "
+        "exactly one thread, after the parallel barrier");
+  }
+}
+
+void unclaim_path(const std::string& path) {
+  std::lock_guard<std::mutex> lock(open_paths_mutex());
+  open_paths().erase(path);
+}
+
+}  // namespace
+
 CsvWriter::CsvWriter(std::ostream& out) : out_(&out) {}
 
-CsvWriter::CsvWriter(const std::string& path) : owned_(path), out_(&owned_) {
+CsvWriter::CsvWriter(const std::string& path) : out_(&owned_) {
+  claim_path(path);
+  path_ = path;
+  owned_.open(path);
   if (!owned_) {
+    unclaim_path(path);
+    path_.clear();
     throw std::runtime_error("CsvWriter: cannot open " + path);
   }
+}
+
+CsvWriter::~CsvWriter() {
+  if (!path_.empty()) unclaim_path(path_);
 }
 
 void CsvWriter::separator() {

@@ -13,13 +13,25 @@ namespace smartmem {
 class SeriesSet;
 
 /// Streaming CSV writer with RFC-4180 quoting.
+///
+/// Concurrency contract: a CsvWriter is single-threaded, and at most one
+/// writer may have a given path open at a time. The parallel bench flow
+/// honours this by construction — workers only fill pre-sized result slots,
+/// and every CSV file is written after the barrier, on the main thread. To
+/// fail loudly instead of interleaving rows if that discipline is ever
+/// broken, the path constructor registers the file in a process-wide table
+/// and throws std::logic_error when the path is already held by a live
+/// writer.
 class CsvWriter {
  public:
   /// Writes to an externally owned stream.
   explicit CsvWriter(std::ostream& out);
 
-  /// Opens (and truncates) `path`; throws std::runtime_error on failure.
+  /// Opens (and truncates) `path`; throws std::runtime_error on failure and
+  /// std::logic_error if another live CsvWriter already holds `path`.
   explicit CsvWriter(const std::string& path);
+
+  ~CsvWriter();
 
   CsvWriter(const CsvWriter&) = delete;
   CsvWriter& operator=(const CsvWriter&) = delete;
@@ -42,6 +54,7 @@ class CsvWriter {
 
   std::ofstream owned_;
   std::ostream* out_;
+  std::string path_;  // non-empty only for path-backed writers
   bool at_row_start_ = true;
 };
 

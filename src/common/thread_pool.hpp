@@ -1,0 +1,101 @@
+// Fixed-size worker pool for fanning out independent seeded simulation runs.
+//
+// The experiment grids (repetitions x policies x scenarios) are embarrassingly
+// parallel: every run is a pure function of its seed and shares no mutable
+// state with its siblings. The pool therefore stays deliberately small — no
+// work stealing, no task priorities — and the determinism story lives in the
+// callers: tasks write their results into pre-sized slots indexed by
+// (rep, policy), never by completion order, and all reading/printing happens
+// after the barrier on the submitting thread.
+//
+// Exception safety: a task that throws stores the exception in its future;
+// parallel_for_each() re-throws the lowest-index failure after every task has
+// finished, so no worker is left touching caller state.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smartmem {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means std::thread::hardware_concurrency()
+  /// (never less than 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains every queued task, then joins the workers. Tasks submitted
+  /// before destruction always run to completion.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Resolves a user-facing jobs knob: 0 -> hardware_concurrency (>= 1).
+  static std::size_t resolve_jobs(std::size_t jobs);
+
+  /// Enqueues `fn` and returns a future for its result. If `fn` throws, the
+  /// exception is rethrown from future::get() on the calling thread.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<std::decay_t<F>&>> {
+    using R = std::invoke_result_t<std::decay_t<F>&>;
+    std::packaged_task<R()> task(std::forward<F>(fn));
+    std::future<R> result = task.get_future();
+    enqueue(std::packaged_task<void()>(
+        [t = std::move(task)]() mutable { t(); }));
+    return result;
+  }
+
+  /// Runs fn(i) for every i in [0, count) on the pool and blocks until all
+  /// have finished. Results must go into caller-owned slots indexed by `i`
+  /// (deterministic ordering), never be ordered by completion. Rethrows the
+  /// exception of the lowest failing index after the barrier.
+  template <typename Fn>
+  void for_each_index(std::size_t count, Fn&& fn) {
+    std::vector<std::future<void>> pending;
+    pending.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      pending.push_back(submit([&fn, i] { fn(i); }));
+    }
+    for (auto& f : pending) f.wait();  // barrier before any rethrow
+    for (auto& f : pending) f.get();
+  }
+
+ private:
+  void enqueue(std::packaged_task<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Convenience wrapper used by the experiment and bench layers: runs fn(i)
+/// for i in [0, count). jobs <= 1 runs inline on the calling thread, in
+/// index order, with no pool construction — the serial path stays
+/// byte-identical to pre-parallel behaviour. jobs == 0 uses every hardware
+/// thread.
+template <typename Fn>
+void parallel_for_each(std::size_t jobs, std::size_t count, Fn&& fn) {
+  jobs = ThreadPool::resolve_jobs(jobs);
+  if (jobs <= 1 || count <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  ThreadPool pool(jobs < count ? jobs : count);
+  pool.for_each_index(count, fn);
+}
+
+}  // namespace smartmem

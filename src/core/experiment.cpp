@@ -1,8 +1,10 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/strfmt.hpp"
+#include "common/thread_pool.hpp"
 
 namespace smartmem::core {
 
@@ -65,18 +67,21 @@ ScenarioResult run_scenario(const ScenarioSpec& scenario,
   return result;
 }
 
-ExperimentResult run_experiment(const ScenarioSpec& scenario,
+namespace {
+
+/// Folds completed runs (already in repetition order) into an
+/// ExperimentResult. Aggregation is single-threaded and order-stable, so
+/// the result is bit-identical no matter how the runs were produced.
+ExperimentResult aggregate_runs(const ScenarioSpec& scenario,
                                 const mm::PolicySpec& policy,
-                                const ExperimentConfig& config) {
+                                std::vector<ScenarioResult>&& runs) {
   ExperimentResult exp;
   exp.scenario = scenario.name;
   exp.policy_label = policy.label();
 
   std::map<std::pair<std::string, std::string>, RunningStats> acc;
 
-  for (std::size_t rep = 0; rep < config.repetitions; ++rep) {
-    ScenarioResult run = run_scenario(scenario, policy,
-                                      config.base_seed + rep, config.overrides);
+  for (const ScenarioResult& run : runs) {
     for (const auto& vm : run.vms) {
       if (std::find(exp.vm_names.begin(), exp.vm_names.end(), vm.name) ==
           exp.vm_names.end()) {
@@ -90,8 +95,8 @@ ExperimentResult run_experiment(const ScenarioSpec& scenario,
         acc[{vm.name, label}].add(seconds);
       }
     }
-    if (rep == 0) exp.representative = std::move(run);
   }
+  if (!runs.empty()) exp.representative = std::move(runs.front());
 
   for (const auto& [key, rs] : acc) {
     Summary s;
@@ -103,6 +108,46 @@ ExperimentResult run_experiment(const ScenarioSpec& scenario,
     exp.cells[key] = s;
   }
   return exp;
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ScenarioSpec& scenario,
+                                const mm::PolicySpec& policy,
+                                const ExperimentConfig& config) {
+  // Pre-sized slots indexed by repetition: workers never touch shared state,
+  // and aggregation below consumes the slots in rep order.
+  std::vector<ScenarioResult> runs(config.repetitions);
+  parallel_for_each(config.jobs, config.repetitions, [&](std::size_t rep) {
+    runs[rep] = run_scenario(scenario, policy, config.base_seed + rep,
+                             config.overrides);
+  });
+  return aggregate_runs(scenario, policy, std::move(runs));
+}
+
+std::vector<ExperimentResult> run_experiments(
+    const ScenarioSpec& scenario, const std::vector<mm::PolicySpec>& policies,
+    const ExperimentConfig& config) {
+  const std::size_t reps = config.repetitions;
+  // One flat slot per (policy, rep) grid cell so a slow policy's runs can
+  // overlap a fast one's — a per-policy barrier would idle the pool.
+  std::vector<ScenarioResult> grid(policies.size() * reps);
+  parallel_for_each(config.jobs, grid.size(), [&](std::size_t cell) {
+    const std::size_t p = cell / reps;
+    const std::size_t rep = cell % reps;
+    grid[cell] = run_scenario(scenario, policies[p], config.base_seed + rep,
+                              config.overrides);
+  });
+
+  std::vector<ExperimentResult> results;
+  results.reserve(policies.size());
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    std::vector<ScenarioResult> runs(
+        std::make_move_iterator(grid.begin() + static_cast<std::ptrdiff_t>(p * reps)),
+        std::make_move_iterator(grid.begin() + static_cast<std::ptrdiff_t>((p + 1) * reps)));
+    results.push_back(aggregate_runs(scenario, policies[p], std::move(runs)));
+  }
+  return results;
 }
 
 }  // namespace smartmem::core

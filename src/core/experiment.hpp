@@ -53,6 +53,13 @@ struct ExperimentConfig {
   std::size_t repetitions = 5;  // the paper's repetition count
   std::uint64_t base_seed = 1;
   const NodeConfig* overrides = nullptr;
+  /// Worker threads for fanning the seeded runs out. 1 (the default) runs
+  /// serially on the calling thread — byte-identical to the pre-parallel
+  /// code path; 0 uses every hardware thread. Results are aggregated in
+  /// repetition order after all runs finish, so the output is bit-identical
+  /// for every jobs value (each run seeds its own Rng from base_seed + rep
+  /// and shares no state with its siblings).
+  std::size_t jobs = 1;
 };
 
 struct ExperimentResult {
@@ -75,6 +82,14 @@ struct ExperimentResult {
 ExperimentResult run_experiment(const ScenarioSpec& scenario,
                                 const mm::PolicySpec& policy,
                                 const ExperimentConfig& config = {});
+
+/// Runs the whole policy set over `scenario`, fanning every (policy, rep)
+/// cell of the grid out over one shared pool of `config.jobs` workers.
+/// Results come back in `policies` order regardless of completion order and
+/// are bit-identical to calling run_experiment() per policy.
+std::vector<ExperimentResult> run_experiments(
+    const ScenarioSpec& scenario, const std::vector<mm::PolicySpec>& policies,
+    const ExperimentConfig& config = {});
 
 /// Derives the duration list from a VM's milestones (exposed for tests).
 std::vector<std::pair<std::string, double>> derive_durations(

@@ -1,9 +1,51 @@
 #include "sim/simulator.hpp"
 
+#include <algorithm>
 #include <cassert>
+#include <memory>
 #include <utility>
 
 namespace smartmem::sim {
+
+namespace {
+// Enough for the steady-state event population of a full-scale scenario run
+// (vCPU slices + disk queue + samplers); avoids early regrowth churn.
+constexpr std::size_t kInitialQueueCapacity = 1024;
+}  // namespace
+
+Simulator::Simulator() {
+  heap_.reserve(kInitialQueueCapacity);
+  slots_.reserve(kInitialQueueCapacity);
+  free_slots_.reserve(kInitialQueueCapacity);
+}
+
+std::uint32_t Simulator::acquire_slot() {
+  if (free_slots_.empty()) {
+    slots_.emplace_back();
+    return static_cast<std::uint32_t>(slots_.size() - 1);
+  }
+  const std::uint32_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void Simulator::release_slot(std::uint32_t slot) {
+  ++slots_[slot].gen;  // outstanding handles now report !pending()
+  slots_[slot].cancelled = false;
+  free_slots_.push_back(slot);
+}
+
+void Simulator::heap_push(Event ev) {
+  heap_.push_back(std::move(ev));
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+Simulator::Event Simulator::heap_pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  return ev;
+}
 
 EventHandle Simulator::schedule(SimTime delay, Action action) {
   assert(delay >= 0);
@@ -12,14 +54,16 @@ EventHandle Simulator::schedule(SimTime delay, Action action) {
 
 EventHandle Simulator::schedule_at(SimTime when, Action action) {
   assert(when >= now_);
-  auto cancelled = std::make_shared<bool>(false);
-  queue_.push(Event{when, next_seq_++, std::move(action), cancelled});
-  return EventHandle(std::move(cancelled));
+  const std::uint32_t slot = acquire_slot();
+  const std::uint64_t gen = slots_[slot].gen;
+  heap_push(Event{when, next_seq_++, slot, std::move(action)});
+  return EventHandle(this, slot, gen);
 }
 
-// Periodic scheduling re-arms itself from inside the fired event. The shared
-// control block carries the cancellation flag that the returned handle sees,
-// so cancelling stops the chain at the next tick.
+// Periodic scheduling re-arms itself from inside the fired event. The chain
+// owns one long-lived slot (separate from the per-tick event slots) that the
+// returned handle cancels; the re-arming closure checks it before every tick
+// and releases it once cancellation is observed.
 struct Simulator::PeriodicState {
   std::function<void()> action;
   SimTime period;
@@ -28,35 +72,44 @@ struct Simulator::PeriodicState {
 EventHandle Simulator::schedule_periodic(SimTime period,
                                          std::function<void()> action) {
   assert(period > 0);
-  auto cancelled = std::make_shared<bool>(false);
+  const std::uint32_t slot = acquire_slot();
+  const std::uint64_t gen = slots_[slot].gen;
   auto state = std::make_shared<PeriodicState>(
       PeriodicState{std::move(action), period});
 
-  // The re-arming closure owns the state and checks the shared flag itself
-  // (the per-event flags created by schedule_at are not user-visible here).
   struct Rearm {
     Simulator* sim;
     std::shared_ptr<PeriodicState> state;
-    std::shared_ptr<bool> cancelled;
+    std::uint32_t slot;
+    std::uint64_t gen;
     void operator()() const {
-      if (*cancelled) return;
+      if (sim->slot_cancelled(slot, gen)) {
+        sim->release_slot(slot);
+        return;
+      }
       state->action();
-      if (*cancelled) return;
-      sim->schedule_at(sim->now() + state->period, Rearm{sim, state, cancelled});
+      if (sim->slot_cancelled(slot, gen)) {
+        sim->release_slot(slot);
+        return;
+      }
+      sim->schedule_at(sim->now() + state->period,
+                       Rearm{sim, state, slot, gen});
     }
   };
-  schedule_at(now_ + period, Rearm{this, state, cancelled});
-  return EventHandle(std::move(cancelled));
+  schedule_at(now_ + period, Rearm{this, state, slot, gen});
+  return EventHandle(this, slot, gen);
 }
 
 bool Simulator::step() {
-  while (!queue_.empty()) {
-    Event ev = queue_.top();
-    queue_.pop();
-    if (*ev.cancelled) continue;
+  while (!heap_.empty()) {
+    Event ev = heap_pop();
+    if (slots_[ev.slot].cancelled) {
+      release_slot(ev.slot);
+      continue;
+    }
     assert(ev.when >= now_);
     now_ = ev.when;
-    *ev.cancelled = true;  // mark fired so handles report !pending()
+    release_slot(ev.slot);  // mark fired so handles report !pending()
     ++executed_;
     ev.action();
     return true;
@@ -71,11 +124,11 @@ SimTime Simulator::run() {
 }
 
 SimTime Simulator::run_until(SimTime deadline) {
-  while (!queue_.empty()) {
+  while (!heap_.empty()) {
     // Peek without popping; skip cancelled heads so they don't block progress.
-    const Event& head = queue_.top();
-    if (*head.cancelled) {
-      queue_.pop();
+    const Event& head = heap_.front();
+    if (slots_[head.slot].cancelled) {
+      release_slot(heap_pop().slot);
       continue;
     }
     if (head.when > deadline) break;

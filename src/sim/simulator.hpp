@@ -5,43 +5,56 @@
 // manager's replies are all events on a single ordered queue. Events with
 // equal timestamps fire in scheduling order (a monotonic sequence number
 // breaks ties), which keeps runs bit-for-bit deterministic.
+//
+// Hot-path note: scheduling an event performs no heap allocation beyond
+// what the action's std::function itself needs. Cancellation state lives in
+// a slab of generation-counted slots owned by the simulator (slot indices
+// are recycled through a freelist; the generation counter invalidates stale
+// handles), replacing the former per-event shared_ptr<bool> control block.
+// The event queue is a binary heap over a reserved vector, and events are
+// moved (never copied) when popped.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <memory>
-#include <queue>
 #include <vector>
 
 #include "common/types.hpp"
 
 namespace smartmem::sim {
 
+class Simulator;
+
 /// Handle to a scheduled event; allows cancellation (e.g. tearing down a
-/// periodic sampler when a scenario completes).
+/// periodic sampler when a scenario completes). A non-empty handle refers
+/// into its simulator's slot slab and must not be used after that Simulator
+/// is destroyed (every holder in this codebase lives inside the node that
+/// owns the simulator, so lifetimes nest naturally).
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the event has neither fired nor been cancelled.
-  bool pending() const { return state_ && !*state_; }
+  bool pending() const;
 
   /// Prevents the event from firing. Safe to call repeatedly.
-  void cancel() {
-    if (state_) *state_ = true;
-  }
+  void cancel();
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::shared_ptr<bool> state) : state_(std::move(state)) {}
-  std::shared_ptr<bool> state_;
+  EventHandle(Simulator* sim, std::uint32_t slot, std::uint64_t gen)
+      : sim_(sim), slot_(slot), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t slot_ = 0;
+  std::uint64_t gen_ = 0;
 };
 
 class Simulator {
  public:
   using Action = std::function<void()>;
 
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -67,15 +80,17 @@ class Simulator {
   /// Executes the single earliest event; returns false if none remain.
   bool step();
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
  private:
+  friend class EventHandle;
+
   struct Event {
     SimTime when;
     std::uint64_t seq;
+    std::uint32_t slot;
     Action action;
-    std::shared_ptr<bool> cancelled;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
@@ -84,12 +99,47 @@ class Simulator {
     }
   };
 
+  struct Slot {
+    std::uint64_t gen = 0;
+    bool cancelled = false;
+  };
+
   struct PeriodicState;
+
+  /// Takes a slot from the freelist (growing the slab if empty).
+  std::uint32_t acquire_slot();
+
+  /// Invalidates outstanding handles (bumping the generation) and recycles
+  /// the slot.
+  void release_slot(std::uint32_t slot);
+
+  bool slot_live(std::uint32_t slot, std::uint64_t gen) const {
+    return slots_[slot].gen == gen && !slots_[slot].cancelled;
+  }
+  bool slot_cancelled(std::uint32_t slot, std::uint64_t gen) const {
+    return slots_[slot].gen != gen || slots_[slot].cancelled;
+  }
+  void cancel_slot(std::uint32_t slot, std::uint64_t gen) {
+    if (slots_[slot].gen == gen) slots_[slot].cancelled = true;
+  }
+
+  void heap_push(Event ev);
+  Event heap_pop();
 
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<Event> heap_;  // binary heap ordered by Later
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
+
+inline bool EventHandle::pending() const {
+  return sim_ != nullptr && sim_->slot_live(slot_, gen_);
+}
+
+inline void EventHandle::cancel() {
+  if (sim_ != nullptr) sim_->cancel_slot(slot_, gen_);
+}
 
 }  // namespace smartmem::sim

@@ -80,13 +80,41 @@ PageCount TmemStore::vm_pages(VmId vm) const {
   return it == vm_pages_.end() ? 0 : it->second;
 }
 
-void TmemStore::erase_entry(
-    std::unordered_map<TmemKey, Entry, TmemKeyHash>::iterator it) {
+void TmemStore::lru_push_back(Entry* e) {
+  e->lru_prev = lru_tail_;
+  e->lru_next = nullptr;
+  if (lru_tail_) {
+    lru_tail_->lru_next = e;
+  } else {
+    lru_head_ = e;
+  }
+  lru_tail_ = e;
+  ++ephemeral_count_;
+}
+
+void TmemStore::lru_unlink(Entry* e) {
+  if (e->lru_prev) {
+    e->lru_prev->lru_next = e->lru_next;
+  } else {
+    lru_head_ = e->lru_next;
+  }
+  if (e->lru_next) {
+    e->lru_next->lru_prev = e->lru_prev;
+  } else {
+    lru_tail_ = e->lru_prev;
+  }
+  e->lru_prev = nullptr;
+  e->lru_next = nullptr;
+  assert(ephemeral_count_ > 0);
+  --ephemeral_count_;
+}
+
+void TmemStore::erase_entry(EntryMap::iterator it) {
   const TmemKey key = it->first;
   Entry& entry = it->second;
 
   if (entry.type == PoolType::kEphemeral) {
-    ephemeral_lru_.erase(entry.lru_pos);
+    lru_unlink(&entry);
   }
   if (consumes_frame(entry)) {
     if (entry.tier == Tier::kNvm) {
@@ -113,10 +141,11 @@ void TmemStore::erase_entry(
 }
 
 bool TmemStore::evict_one_ephemeral() {
-  if (ephemeral_lru_.empty()) return false;
-  const TmemKey victim = ephemeral_lru_.front();
-  auto it = entries_.find(victim);
-  assert(it != entries_.end());
+  if (!lru_head_) return false;
+  Entry* victim = lru_head_;
+  // The cached hash avoids re-mixing the key on every eviction probe.
+  auto it = entries_.find(HashedTmemKey{*victim->key, victim->key_hash});
+  assert(it != entries_.end() && &it->second == victim);
   erase_entry(it);
   ++stats_.ephemeral_evictions;
   return true;
@@ -131,7 +160,10 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
   }
   PoolInfo& pool = pit->second;
 
-  if (auto eit = entries_.find(key); eit != entries_.end()) {
+  const std::size_t hash = TmemKeyHash{}(key);
+  const HashedTmemKey hashed{key, hash};
+
+  if (auto eit = entries_.find(hashed); eit != entries_.end()) {
     // Overwrite in place. A dedup'd zero page that becomes non-zero needs a
     // frame (and vice versa); handle the transitions explicitly.
     Entry& entry = eit->second;
@@ -147,7 +179,7 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
         }
       }
       // Re-check: eviction may have removed *this* entry if it was ephemeral.
-      eit = entries_.find(key);
+      eit = entries_.find(hashed);
       if (eit == entries_.end()) {
         return put(key, payload, tier);  // fall back to fresh insert
       }
@@ -174,6 +206,7 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
   entry.owner = pool.owner;
   entry.type = pool.type;
   entry.deduped = config_.zero_page_dedup && payload == 0;
+  entry.key_hash = hash;
 
   if (consumes_frame(entry)) {
     while (combined_free_pages() == 0) {
@@ -189,22 +222,23 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
     ++stats_.zero_pages_deduped;
   }
 
-  if (entry.type == PoolType::kEphemeral) {
-    ephemeral_lru_.push_back(key);
-    entry.lru_pos = std::prev(ephemeral_lru_.end());
+  auto [eit, inserted] = entries_.emplace(key, entry);
+  assert(inserted);
+  Entry& stored = eit->second;
+  stored.key = &eit->first;
+  if (stored.type == PoolType::kEphemeral) {
+    lru_push_back(&stored);
   }
-
-  entries_.emplace(key, entry);
   ++pool.pages;
   pool.objects[key.object].insert(key.index);
   ++vm_pages_[pool.owner];
   ++stats_.puts_stored;
-  if (tier) *tier = entry.tier;
+  if (tier) *tier = stored.tier;
   return PutResult::kStored;
 }
 
 std::optional<PagePayload> TmemStore::get(const TmemKey& key, Tier* tier) {
-  auto it = entries_.find(key);
+  auto it = entries_.find(HashedTmemKey{key, TmemKeyHash{}(key)});
   if (it == entries_.end()) {
     ++stats_.gets_miss;
     return std::nullopt;
@@ -224,7 +258,7 @@ bool TmemStore::contains(const TmemKey& key) const {
 }
 
 bool TmemStore::flush_page(const TmemKey& key) {
-  auto it = entries_.find(key);
+  auto it = entries_.find(HashedTmemKey{key, TmemKeyHash{}(key)});
   if (it == entries_.end()) return false;
   erase_entry(it);
   ++stats_.pages_flushed;
@@ -252,18 +286,17 @@ PageCount TmemStore::flush_object(PoolId pool, std::uint64_t object) {
 
 PageCount TmemStore::evict_ephemeral_from_vm(VmId vm, PageCount max_pages) {
   PageCount evicted = 0;
-  auto it = ephemeral_lru_.begin();
-  while (it != ephemeral_lru_.end() && evicted < max_pages) {
-    auto eit = entries_.find(*it);
-    assert(eit != entries_.end());
-    if (eit->second.owner != vm) {
-      ++it;
-      continue;
+  Entry* cursor = lru_head_;
+  while (cursor && evicted < max_pages) {
+    Entry* next = cursor->lru_next;  // grab before erase unlinks the node
+    if (cursor->owner == vm) {
+      auto eit = entries_.find(HashedTmemKey{*cursor->key, cursor->key_hash});
+      assert(eit != entries_.end() && &eit->second == cursor);
+      erase_entry(eit);
+      ++evicted;
+      ++stats_.ephemeral_evictions;
     }
-    ++it;  // advance before erase invalidates the current node
-    erase_entry(eit);
-    ++evicted;
-    ++stats_.ephemeral_evictions;
+    cursor = next;
   }
   return evicted;
 }

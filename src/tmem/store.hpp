@@ -8,7 +8,6 @@
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -113,19 +112,27 @@ class TmemStore {
     return config_.total_pages + config_.nvm_pages;
   }
   PageCount combined_free_pages() const { return free_pages_ + nvm_free_; }
-  PageCount ephemeral_pages() const { return ephemeral_lru_.size(); }
+  PageCount ephemeral_pages() const { return ephemeral_count_; }
 
   const StoreStats& stats() const { return stats_; }
 
  private:
+  // The global ephemeral LRU is an intrusive doubly-linked list threaded
+  // through the map's Entry values (unordered_map never moves its nodes, so
+  // the pointers stay stable across rehash/insert/erase of other keys).
+  // Compared to the former std::list<TmemKey>, linking costs no allocation
+  // and unlinking needs no second hash lookup; `key`/`key_hash` let the
+  // eviction path probe the entry table without re-mixing the key.
   struct Entry {
     PagePayload payload = 0;
     VmId owner = kInvalidVm;
     PoolType type = PoolType::kEphemeral;
     Tier tier = Tier::kDram;
     bool deduped = false;  // zero page, consumes no frame
-    // Position in the global ephemeral LRU (valid only for ephemeral pages).
-    std::list<TmemKey>::iterator lru_pos;
+    std::size_t key_hash = 0;      // cached TmemKeyHash of the map key
+    const TmemKey* key = nullptr;  // the map node's key (stable address)
+    Entry* lru_prev = nullptr;     // intrusive LRU links (ephemeral only)
+    Entry* lru_next = nullptr;
   };
 
   struct PoolInfo {
@@ -138,8 +145,17 @@ class TmemStore {
     std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> objects;
   };
 
+  using EntryMap =
+      std::unordered_map<TmemKey, Entry, TmemKeyHash, TmemKeyEq>;
+
   /// Removes an entry (updating all accounting); `it` must be valid.
-  void erase_entry(std::unordered_map<TmemKey, Entry, TmemKeyHash>::iterator it);
+  void erase_entry(EntryMap::iterator it);
+
+  /// Appends `e` (must be ephemeral) to the MRU end of the intrusive list.
+  void lru_push_back(Entry* e);
+
+  /// Unlinks `e` from the intrusive list.
+  void lru_unlink(Entry* e);
 
   /// Frees one page by dropping the least-recently-inserted ephemeral page.
   bool evict_one_ephemeral();
@@ -155,9 +171,11 @@ class TmemStore {
   PageCount nvm_free_;
   PoolId next_pool_ = 0;
   std::unordered_map<PoolId, PoolInfo> pools_;
-  std::unordered_map<TmemKey, Entry, TmemKeyHash> entries_;
+  EntryMap entries_;
   std::unordered_map<VmId, PageCount> vm_pages_;
-  std::list<TmemKey> ephemeral_lru_;  // front = oldest
+  Entry* lru_head_ = nullptr;  // oldest ephemeral entry
+  Entry* lru_tail_ = nullptr;  // newest ephemeral entry
+  PageCount ephemeral_count_ = 0;
   StoreStats stats_;
 };
 

@@ -44,6 +44,35 @@ TEST(CsvTest, BadPathThrows) {
   EXPECT_THROW(CsvWriter("/nonexistent-dir-zz/file.csv"), std::runtime_error);
 }
 
+TEST(CsvTest, SecondWriterOnSamePathFailsLoudly) {
+  // Single-writer-per-file contract: two live writers on one path would
+  // interleave rows, so the second constructor must throw instead.
+  const std::string path = ::testing::TempDir() + "/smartmem_csv_dup.csv";
+  {
+    CsvWriter first(path);
+    first.row({"a"});
+    EXPECT_THROW(CsvWriter second(path), std::logic_error);
+  }
+  // Once the first writer is destroyed the path is claimable again.
+  {
+    CsvWriter again(path);
+    again.row({"b"});
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "b");
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, FailedOpenDoesNotLeakPathClaim) {
+  const std::string path = "/nonexistent-dir-zz/file.csv";
+  EXPECT_THROW(CsvWriter{path}, std::runtime_error);
+  // The claim must have been rolled back, so the error stays runtime_error
+  // (bad path), not logic_error (duplicate writer).
+  EXPECT_THROW(CsvWriter{path}, std::runtime_error);
+}
+
 TEST(CsvTest, SeriesDump) {
   SeriesSet set;
   set.series("s1").push(kSecond, 10.0);

@@ -1,0 +1,108 @@
+// ThreadPool contract: futures carry results and exceptions, for_each_index
+// covers every slot exactly once, destruction drains queued work, and the
+// serial parallel_for_each path preserves index order.
+#include "common/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace smartmem {
+namespace {
+
+TEST(ThreadPoolTest, SubmitReturnsValues) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  std::vector<std::future<int>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(pool.submit([i] { return i * i; }));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(futures[static_cast<std::size_t>(i)].get(), i * i);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+  EXPECT_EQ(pool.size(), ThreadPool::resolve_jobs(0));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] { return 7; });
+  auto bad = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_EQ(ok.get(), 7);
+  EXPECT_THROW(bad.get(), std::runtime_error);
+  // The pool survives a throwing task.
+  EXPECT_EQ(pool.submit([] { return 1; }).get(), 1);
+}
+
+TEST(ThreadPoolTest, ForEachIndexCoversEverySlotOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.for_each_index(hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ForEachIndexRethrowsLowestFailingIndex) {
+  ThreadPool pool(4);
+  std::atomic<int> completed{0};
+  try {
+    pool.for_each_index(64, [&](std::size_t i) {
+      if (i == 5 || i == 40) {
+        throw std::out_of_range("idx " + std::to_string(i));
+      }
+      ++completed;
+    });
+    FAIL() << "expected out_of_range";
+  } catch (const std::out_of_range& e) {
+    EXPECT_STREQ(e.what(), "idx 5");  // lowest index wins, deterministically
+  }
+  // The rethrow happens only after the barrier: all healthy tasks ran.
+  EXPECT_EQ(completed.load(), 62);
+}
+
+TEST(ThreadPoolTest, DestructionDrainsQueuedTasksUnderLoad) {
+  std::atomic<int> done{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.submit([&done] {
+        std::this_thread::sleep_for(std::chrono::microseconds(50));
+        ++done;
+      });
+    }
+    // Destructor runs with most of the queue still pending.
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, SerialParallelForEachRunsInIndexOrderInline) {
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::size_t> order;
+  parallel_for_each(1, 16, [&](std::size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    order.push_back(i);
+  });
+  std::vector<std::size_t> expect(16);
+  std::iota(expect.begin(), expect.end(), 0u);
+  EXPECT_EQ(order, expect);
+}
+
+TEST(ThreadPoolTest, ParallelForEachFillsPreSizedSlots) {
+  std::vector<std::uint64_t> slots(100, 0);
+  parallel_for_each(4, slots.size(), [&](std::size_t i) {
+    slots[i] = 1000 + i;  // deterministic slot indexed by i, not completion
+  });
+  for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], 1000 + i);
+}
+
+}  // namespace
+}  // namespace smartmem

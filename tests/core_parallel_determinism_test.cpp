@@ -1,0 +1,145 @@
+// Cross-thread RNG/seed hygiene: fanning an experiment's seeded runs out
+// over a worker pool must be invisible in the results. Every repetition
+// constructs its own Rng from base_seed + rep inside run_scenario, shares
+// no mutable state with its siblings, and lands in a slot indexed by
+// (rep, policy) — so jobs=4 must reproduce jobs=1 bit-for-bit: durations,
+// usage series, milestones, guest/hypervisor counters and the aggregated
+// statistics.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+
+namespace smartmem::core {
+namespace {
+
+void expect_same_series(const SeriesSet& a, const SeriesSet& b) {
+  ASSERT_EQ(a.all().size(), b.all().size());
+  auto bit = b.all().begin();
+  for (const auto& [name, ts] : a.all()) {
+    ASSERT_EQ(name, bit->first);
+    const auto& sa = ts.samples();
+    const auto& sb = bit->second.samples();
+    ASSERT_EQ(sa.size(), sb.size()) << "series " << name;
+    for (std::size_t i = 0; i < sa.size(); ++i) {
+      EXPECT_EQ(sa[i].when, sb[i].when) << name << "[" << i << "]";
+      // Bit-for-bit: no tolerance.
+      EXPECT_EQ(sa[i].value, sb[i].value) << name << "[" << i << "]";
+    }
+    ++bit;
+  }
+}
+
+void expect_same_scenario_result(const ScenarioResult& a,
+                                 const ScenarioResult& b) {
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.policy, b.policy);
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.end_time, b.end_time);
+  ASSERT_EQ(a.vms.size(), b.vms.size());
+  for (std::size_t v = 0; v < a.vms.size(); ++v) {
+    const VmResult& va = a.vms[v];
+    const VmResult& vb = b.vms[v];
+    EXPECT_EQ(va.name, vb.name);
+    EXPECT_EQ(va.start_time, vb.start_time);
+    EXPECT_EQ(va.finish_time, vb.finish_time);
+    ASSERT_EQ(va.milestones.size(), vb.milestones.size());
+    for (std::size_t m = 0; m < va.milestones.size(); ++m) {
+      EXPECT_EQ(va.milestones[m].label, vb.milestones[m].label);
+      EXPECT_EQ(va.milestones[m].when, vb.milestones[m].when);
+    }
+    ASSERT_EQ(va.durations.size(), vb.durations.size());
+    for (std::size_t d = 0; d < va.durations.size(); ++d) {
+      EXPECT_EQ(va.durations[d].first, vb.durations[d].first);
+      EXPECT_EQ(va.durations[d].second, vb.durations[d].second);
+    }
+    EXPECT_EQ(va.guest.touches, vb.guest.touches);
+    EXPECT_EQ(va.guest.faults, vb.guest.faults);
+    EXPECT_EQ(va.guest.swapins_tmem, vb.guest.swapins_tmem);
+    EXPECT_EQ(va.guest.swapins_disk, vb.guest.swapins_disk);
+    EXPECT_EQ(va.guest.swapouts_tmem, vb.guest.swapouts_tmem);
+    EXPECT_EQ(va.guest.swapouts_disk, vb.guest.swapouts_disk);
+    EXPECT_EQ(va.guest.pages_reclaimed, vb.guest.pages_reclaimed);
+    EXPECT_EQ(va.vm_data.cumul_puts_total, vb.vm_data.cumul_puts_total);
+    EXPECT_EQ(va.vm_data.cumul_puts_succ, vb.vm_data.cumul_puts_succ);
+    EXPECT_EQ(va.vm_data.cumul_gets_hit, vb.vm_data.cumul_gets_hit);
+    EXPECT_EQ(va.vm_data.cumul_flushes, vb.vm_data.cumul_flushes);
+  }
+  expect_same_series(a.usage, b.usage);
+}
+
+void expect_same_experiment_result(const ExperimentResult& a,
+                                   const ExperimentResult& b) {
+  EXPECT_EQ(a.scenario, b.scenario);
+  EXPECT_EQ(a.policy_label, b.policy_label);
+  EXPECT_EQ(a.vm_names, b.vm_names);
+  EXPECT_EQ(a.labels, b.labels);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  auto bit = b.cells.begin();
+  for (const auto& [key, sa] : a.cells) {
+    EXPECT_EQ(key, bit->first);
+    const Summary& sb = bit->second;
+    // Aggregation folds the runs in repetition order on one thread, so even
+    // floating-point accumulation is exactly reproducible.
+    EXPECT_EQ(sa.mean, sb.mean) << key.first << "/" << key.second;
+    EXPECT_EQ(sa.stddev, sb.stddev) << key.first << "/" << key.second;
+    EXPECT_EQ(sa.min, sb.min);
+    EXPECT_EQ(sa.max, sb.max);
+    EXPECT_EQ(sa.n, sb.n);
+    ++bit;
+  }
+  expect_same_scenario_result(a.representative, b.representative);
+}
+
+std::vector<mm::PolicySpec> test_policies() {
+  return {mm::PolicySpec::greedy(), mm::PolicySpec::reconf_static(),
+          mm::PolicySpec::smart(1.0)};
+}
+
+class ParallelDeterminismTest
+    : public ::testing::TestWithParam<ScenarioSpec (*)(double)> {};
+
+TEST_P(ParallelDeterminismTest, Jobs4MatchesJobs1BitForBit) {
+  const ScenarioSpec spec = GetParam()(0.03125);  // 32 MiB VMs: fast runs
+  for (const auto& policy : test_policies()) {
+    ExperimentConfig serial;
+    serial.repetitions = 3;
+    serial.base_seed = 11;
+    serial.jobs = 1;
+    ExperimentConfig parallel = serial;
+    parallel.jobs = 4;
+
+    const ExperimentResult a = run_experiment(spec, policy, serial);
+    const ExperimentResult b = run_experiment(spec, policy, parallel);
+    SCOPED_TRACE(spec.name + " / " + policy.label());
+    expect_same_experiment_result(a, b);
+  }
+}
+
+TEST_P(ParallelDeterminismTest, GridRunnerMatchesPerPolicySerialRuns) {
+  const ScenarioSpec spec = GetParam()(0.03125);
+  const auto policies = test_policies();
+
+  ExperimentConfig cfg;
+  cfg.repetitions = 2;
+  cfg.base_seed = 5;
+  cfg.jobs = 4;
+  const std::vector<ExperimentResult> grid =
+      run_experiments(spec, policies, cfg);
+
+  ASSERT_EQ(grid.size(), policies.size());
+  ExperimentConfig serial = cfg;
+  serial.jobs = 1;
+  for (std::size_t p = 0; p < policies.size(); ++p) {
+    SCOPED_TRACE(spec.name + " / " + policies[p].label());
+    // Deterministic policy order regardless of completion order.
+    EXPECT_EQ(grid[p].policy_label, policies[p].label());
+    expect_same_experiment_result(grid[p],
+                                  run_experiment(spec, policies[p], serial));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Scenarios, ParallelDeterminismTest,
+                         ::testing::Values(&scenario1, &usemem_scenario));
+
+}  // namespace
+}  // namespace smartmem::core

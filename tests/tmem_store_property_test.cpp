@@ -1,7 +1,12 @@
 // Property test: drive the tmem store with long random operation sequences
-// and check its global invariants after every step.
+// and check its global invariants after every step. A side model of the
+// global ephemeral LRU (a plain std::list in insertion order — exactly the
+// data structure the store used before the intrusive-list rewrite) cross-
+// checks that evictions still happen strictly oldest-first.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <list>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -30,6 +35,8 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
 
   // Model state: what we believe the store holds.
   std::unordered_map<TmemKey, PagePayload, TmemKeyHash> model;
+  // Reference LRU: ephemeral keys in insertion order, oldest first.
+  std::list<TmemKey> lru_model;
   std::vector<PoolId> pools;
   std::map<PoolId, VmId> owner;
   std::map<PoolId, PoolType> type;
@@ -52,6 +59,8 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
     PageCount total_vm = 0;
     for (VmId vm = 1; vm <= 3; ++vm) total_vm += store.vm_pages(vm);
     ASSERT_EQ(total_vm, model.size());
+    // The intrusive list's element count must track the reference LRU.
+    ASSERT_EQ(store.ephemeral_pages(), lru_model.size());
     // 3. every modelled persistent entry must still be present (persistent
     //    pages can never be silently dropped).
     for (const auto& [key, payload] : model) {
@@ -76,16 +85,30 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
         if (r != PutResult::kNoMemory) {
           model[key] = payload;
         }
+        // A fresh store (kStored) lands at the MRU end. That includes the
+        // evict-then-reinsert corner where the put key itself was the
+        // (deduped) eviction victim mid-replace — drop any stale position
+        // first, the tail push below re-adds it.
+        if (r == PutResult::kStored && type[pool] == PoolType::kEphemeral) {
+          const auto stale =
+              std::find(lru_model.begin(), lru_model.end(), key);
+          if (stale != lru_model.end()) lru_model.erase(stale);
+        }
         // Even a FAILED put may have evicted ephemeral entries while hunting
-        // for a frame (deduped victims free nothing); reconcile the model
-        // after every attempt.
-        for (auto it = model.begin(); it != model.end();) {
-          if (type[it->first.pool] == PoolType::kEphemeral &&
-              !store.contains(it->first)) {
-            it = model.erase(it);
-          } else {
-            ++it;
-          }
+        // for a frame (deduped victims free nothing). Eviction is strictly
+        // oldest-first, so the vanished keys must form a *prefix* of the
+        // reference LRU; reconcile the models and then prove nothing past
+        // the prefix was touched.
+        while (!lru_model.empty() && !store.contains(lru_model.front())) {
+          model.erase(lru_model.front());
+          lru_model.pop_front();
+        }
+        for (const auto& k : lru_model) {
+          ASSERT_TRUE(store.contains(k))
+              << "non-oldest ephemeral entry evicted (LRU order violated)";
+        }
+        if (r == PutResult::kStored && type[pool] == PoolType::kEphemeral) {
+          lru_model.push_back(key);
         }
         break;
       }
@@ -95,7 +118,10 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
         if (it != model.end()) {
           ASSERT_TRUE(result.has_value());
           ASSERT_EQ(*result, it->second) << "payload corrupted";
-          if (type[pool] == PoolType::kEphemeral) model.erase(it);
+          if (type[pool] == PoolType::kEphemeral) {
+            model.erase(it);
+            lru_model.remove(key);  // destructive hit leaves the LRU
+          }
         } else {
           ASSERT_FALSE(result.has_value());
         }
@@ -104,6 +130,9 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
       case 3: {  // flush
         const bool existed = store.flush_page(key);
         ASSERT_EQ(existed, model.erase(key) > 0);
+        if (existed && type[pool] == PoolType::kEphemeral) {
+          lru_model.remove(key);
+        }
         break;
       }
     }
