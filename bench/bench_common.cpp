@@ -22,7 +22,34 @@ void print_usage(std::FILE* out) {
                "  --jobs <n>    worker threads (default 1; 0 = all hardware "
                "threads)\n"
                "  --csv <dir>   write CSV files into <dir>\n"
-               "  --full        shorthand for --scale 1.0 --reps 5\n");
+               "  --full        shorthand for --scale 1.0 --reps 5\n"
+               "  --comm-latency-x <f>  multiply control-plane hop latencies\n"
+               "  --comm-loss <p>       per-hop message loss probability\n"
+               "  --comm-queue <n>      bounded in-flight queue (0 = off)\n"
+               "  --comm-policy <p>     drop-newest|drop-oldest|backpressure\n");
+}
+
+bool comm_overridden(const Options& opts) {
+  return opts.comm_latency_x != 1.0 || opts.comm_loss != 0.0 ||
+         opts.comm_queue != 0 ||
+         opts.comm_policy != comm::QueuePolicy::kDropNewest;
+}
+
+void apply_comm_options(core::NodeConfig& cfg, const Options& opts) {
+  auto apply = [&opts](comm::ChannelConfig& ch) {
+    auto stretch = [&opts](SimTime t) {
+      return static_cast<SimTime>(static_cast<double>(t) *
+                                  opts.comm_latency_x);
+    };
+    ch.latency.fixed = stretch(ch.latency.fixed);
+    ch.latency.lo = stretch(ch.latency.lo);
+    ch.latency.hi = stretch(ch.latency.hi);
+    ch.faults.loss_rate = opts.comm_loss;
+    ch.queue_capacity = opts.comm_queue;
+    ch.queue_policy = opts.comm_policy;
+  };
+  apply(cfg.comm.uplink);
+  apply(cfg.comm.downlink);
 }
 
 namespace {
@@ -73,6 +100,21 @@ Options parse_options(int argc, char** argv) {
       opts.jobs = static_cast<std::size_t>(parse_u64(arg, next()));
     } else if (arg == "--csv") {
       opts.csv_dir = next();
+    } else if (arg == "--comm-latency-x") {
+      opts.comm_latency_x = parse_double(arg, next());
+      if (opts.comm_latency_x <= 0) usage_error("--comm-latency-x must be > 0");
+    } else if (arg == "--comm-loss") {
+      opts.comm_loss = parse_double(arg, next());
+      if (opts.comm_loss < 0 || opts.comm_loss >= 1.0) {
+        usage_error("--comm-loss must be in [0, 1)");
+      }
+    } else if (arg == "--comm-queue") {
+      opts.comm_queue = static_cast<std::size_t>(parse_u64(arg, next()));
+    } else if (arg == "--comm-policy") {
+      if (!comm::parse_queue_policy(next(), opts.comm_policy)) {
+        usage_error("--comm-policy must be drop-newest, drop-oldest or "
+                    "backpressure");
+      }
     } else if (arg == "--full") {
       opts.scale = 1.0;
       opts.repetitions = 5;
@@ -105,6 +147,17 @@ std::vector<core::ExperimentResult> run_runtime_figure(
   cfg.repetitions = opts.repetitions;
   cfg.base_seed = opts.base_seed;
   cfg.jobs = opts.jobs;
+  // --comm-* flags reshape the control plane; at their defaults no override
+  // is installed, keeping the default run byte-identical.
+  core::NodeConfig comm_cfg;
+  if (comm_overridden(opts)) {
+    comm_cfg = core::scaled_node_defaults(opts.scale);
+    apply_comm_options(comm_cfg, opts);
+    cfg.overrides = &comm_cfg;
+    std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n\n",
+                opts.comm_latency_x, opts.comm_loss, opts.comm_queue,
+                comm::to_string(opts.comm_policy));
+  }
   // The whole policy x rep grid runs on one pool; results come back in
   // `policies` order, and all printing/CSV writing happens after this
   // barrier on the main thread.
@@ -137,11 +190,22 @@ void run_usage_figure(const std::string& figure_id, const std::string& title,
               spec.description.c_str(), opts.scale,
               static_cast<unsigned long long>(opts.base_seed));
 
+  core::NodeConfig comm_cfg;
+  const core::NodeConfig* overrides = nullptr;
+  if (comm_overridden(opts)) {
+    comm_cfg = core::scaled_node_defaults(opts.scale);
+    apply_comm_options(comm_cfg, opts);
+    overrides = &comm_cfg;
+    std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n\n",
+                opts.comm_latency_x, opts.comm_loss, opts.comm_queue,
+                comm::to_string(opts.comm_policy));
+  }
+
   // One seeded run per panel, fanned out over the pool; panels print in
   // order after the barrier.
   std::vector<core::ScenarioResult> runs(panels.size());
   parallel_for_each(opts.jobs, panels.size(), [&](std::size_t p) {
-    runs[p] = core::run_scenario(spec, panels[p], opts.base_seed);
+    runs[p] = core::run_scenario(spec, panels[p], opts.base_seed, overrides);
   });
 
   char panel = 'a';

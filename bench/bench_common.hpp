@@ -14,6 +14,12 @@
 //   --csv <dir>   write CSV files into <dir>
 //   --full        shorthand for --scale 1.0 --reps 5
 //
+// Control-plane (src/comm) knobs, for staleness/fault what-ifs on any bench:
+//   --comm-latency-x <f>   multiply both hop latencies by <f> (default 1)
+//   --comm-loss <p>        per-hop message loss probability (default 0)
+//   --comm-queue <n>       bounded in-flight queue per hop (default 0 = off)
+//   --comm-policy <p>      drop-newest | drop-oldest | backpressure
+//
 // Unknown flags and malformed values are fatal (exit 2 with a usage
 // message): a typo like `--rep 5` must not silently run the default config.
 #pragma once
@@ -22,6 +28,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel.hpp"
 #include "core/experiment.hpp"
 #include "core/report.hpp"
 #include "core/scenario.hpp"
@@ -34,7 +41,19 @@ struct Options {
   std::uint64_t base_seed = 1;
   std::size_t jobs = 1;  // 0 = hardware_concurrency
   std::string csv_dir;
+  // --comm-* overrides; at these defaults the node config is left untouched,
+  // keeping every figure bench byte-identical to the pre-comm output.
+  double comm_latency_x = 1.0;
+  double comm_loss = 0.0;
+  std::size_t comm_queue = 0;
+  comm::QueuePolicy comm_policy = comm::QueuePolicy::kDropNewest;
 };
+
+/// True when any --comm-* flag deviates from its default.
+bool comm_overridden(const Options& opts);
+
+/// Applies the --comm-* flags onto cfg.comm (both hops).
+void apply_comm_options(core::NodeConfig& cfg, const Options& opts);
 
 Options parse_options(int argc, char** argv);
 

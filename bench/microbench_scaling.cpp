@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel.hpp"
 #include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
@@ -190,6 +191,35 @@ double sim_events_per_sec() {
   return static_cast<double>(sim.executed_events()) / elapsed;
 }
 
+/// Channel hot path: messages/sec through comm::Channel<T> send/deliver,
+/// the per-message cost the control plane adds over raw event dispatch.
+/// 32 self-re-sending ping chains keep the in-flight map populated like a
+/// busy fabric would.
+double channel_msgs_per_sec() {
+  sim::Simulator sim;
+  comm::ChannelConfig cfg;
+  cfg.name = "bench";
+  cfg.latency = comm::LatencySpec::fixed_at(kMicrosecond);
+  comm::Channel<std::uint64_t> chan(sim, cfg);
+
+  constexpr std::uint64_t kChains = 32;
+  constexpr std::uint64_t kMessages = 2'000'000;
+  chan.open([&chan](const std::uint64_t& v) {
+    if (v < kMessages) chan.send(v + kChains);
+  });
+  for (std::uint64_t c = 0; c < kChains; ++c) chan.send(c);
+
+  const auto start = Clock::now();
+  sim.run();
+  const double elapsed = seconds_since(start);
+  const auto delivered = chan.stats().delivered;
+  if (delivered < kMessages / kChains) {
+    std::fprintf(stderr, "channel bench delivered too few messages\n");
+    std::exit(1);
+  }
+  return static_cast<double>(delivered) / elapsed;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -215,6 +245,8 @@ int main(int argc, char** argv) {
   std::printf("      tmem store: %.3g ops/s\n", store_eps);
   const double sim_eps = sim_events_per_sec();
   std::printf("      simulator:  %.3g events/s\n", sim_eps);
+  const double chan_mps = channel_msgs_per_sec();
+  std::printf("      channel:    %.3g msgs/s\n", chan_mps);
 
   std::ofstream out(opts.out);
   if (!out) {
@@ -236,10 +268,11 @@ int main(int argc, char** argv) {
                 "  },\n"
                 "  \"speedup_j%zu\": %.3f,\n"
                 "  \"events_per_sec\": %.1f,\n"
-                "  \"sim_events_per_sec\": %.1f\n"
+                "  \"sim_events_per_sec\": %.1f,\n"
+                "  \"comm_msgs_per_sec\": %.1f\n"
                 "}\n",
                 hw, opts.scale, opts.repetitions, serial_s, parallel_s,
-                opts.jobs, opts.jobs, speedup, store_eps, sim_eps);
+                opts.jobs, opts.jobs, speedup, store_eps, sim_eps, chan_mps);
   out << buf;
   std::printf("\nwrote %s\n", opts.out.c_str());
   return 0;

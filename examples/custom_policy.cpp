@@ -98,8 +98,9 @@ int main() {
   // public extension point; MemoryManager, TKM and hypervisor stay stock.
   mm::MemoryManager custom_mm(std::make_unique<DeficitWeightedPolicy>(),
                               cfg.tmem_pages);
-  custom_mm.set_sender(
-      [&node](const hyper::MmOut& out) { node.tkm()->submit_targets(out); });
+  custom_mm.set_sender([&node](const hyper::TargetsMsg& msg) {
+    node.tkm()->submit_targets(msg);
+  });
   // node.start() wires the built-in manager to the TKM; re-registering the
   // sink afterwards redirects the statistics stream to the custom MM (the
   // built-in manager then simply never hears another sample).

@@ -1,0 +1,297 @@
+// The control-plane communication fabric.
+//
+// The paper's management loop rides a three-hop message path: the hypervisor
+// raises a VIRQ once per sampling interval, the TKM relays the memstats
+// payload to the user-space Memory Manager over a netlink socket, and the
+// MM's target vector travels back down through custom hypercalls. Section
+// IV's reconf-static discussion calls out the consequence: decisions always
+// act on data that is roughly one sampling interval stale.
+//
+// Channel<T> models one such hop as a first-class object on the simulator:
+//  * latency distributions (fixed / uniform / lognormal), drawn from a
+//    private deterministic Rng so that parallel experiment fan-out stays
+//    bit-identical for every jobs value;
+//  * a bounded in-flight queue with drop-oldest / drop-newest / backpressure
+//    policies (an unbounded queue models the paper's netlink socket, whose
+//    kernel buffer in practice never fills at one message per second);
+//  * fault injection — loss, duplication, reordering, and a down-window —
+//    so policies can be tested against the delivery hazards "Flexible
+//    Swapping for the Cloud" argues cloud control paths must tolerate;
+//  * per-channel counters and a delivery-latency histogram (common/stats).
+//
+// With the default config (fixed latency, no faults, unbounded queue) a
+// channel performs exactly one simulator schedule() per send and consumes no
+// randomness, so the refactor from the hard-coded std::function hops is
+// invisible: every figure bench reproduces byte-identical output.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/types.hpp"
+#include "sim/simulator.hpp"
+
+namespace smartmem::comm {
+
+/// One-way delay model for a hop.
+enum class LatencyModel : std::uint8_t {
+  kFixed,      // always `fixed`
+  kUniform,    // uniform in [lo, hi]
+  kLognormal,  // median `fixed`, log-space stddev `sigma`
+};
+
+struct LatencySpec {
+  LatencyModel model = LatencyModel::kFixed;
+  /// kFixed: the delay. kLognormal: the median delay.
+  SimTime fixed = 100 * kMicrosecond;
+  /// kUniform bounds (inclusive).
+  SimTime lo = 50 * kMicrosecond;
+  SimTime hi = 150 * kMicrosecond;
+  /// kLognormal log-space standard deviation.
+  double sigma = 0.5;
+
+  static LatencySpec fixed_at(SimTime t) {
+    LatencySpec s;
+    s.model = LatencyModel::kFixed;
+    s.fixed = t;
+    return s;
+  }
+  static LatencySpec uniform(SimTime lo, SimTime hi) {
+    LatencySpec s;
+    s.model = LatencyModel::kUniform;
+    s.lo = lo;
+    s.hi = hi;
+    return s;
+  }
+  static LatencySpec lognormal(SimTime median, double sigma) {
+    LatencySpec s;
+    s.model = LatencyModel::kLognormal;
+    s.fixed = median;
+    s.sigma = sigma;
+    return s;
+  }
+};
+
+/// What happens when a send finds the bounded in-flight queue full.
+enum class QueuePolicy : std::uint8_t {
+  kDropNewest,    // reject the new message
+  kDropOldest,    // cancel the oldest undelivered message, accept the new one
+  kBackpressure,  // refuse the send; the sender sees kBackpressured and may
+                  // retry at the next interval (in the real system the
+                  // netlink sendmsg would block or return EAGAIN)
+};
+
+/// Delivery hazards injected on the send path.
+struct FaultSpec {
+  /// Probability a message is silently lost.
+  double loss_rate = 0.0;
+  /// Probability a message is delivered twice (independent latency draws).
+  double duplication_rate = 0.0;
+  /// Probability a message is delayed by `reorder_extra` on top of its
+  /// latency draw, pushing it behind later sends.
+  double reorder_rate = 0.0;
+  SimTime reorder_extra = 10 * kMillisecond;
+  /// Half-open outage window [down_from, down_until): sends inside it are
+  /// dropped on the floor. Negative bounds disable the window.
+  SimTime down_from = -1;
+  SimTime down_until = -1;
+
+  bool any() const {
+    return loss_rate > 0.0 || duplication_rate > 0.0 || reorder_rate > 0.0 ||
+           down_from >= 0;
+  }
+};
+
+struct ChannelConfig {
+  std::string name = "chan";
+  LatencySpec latency;
+  FaultSpec faults;
+  /// Maximum in-flight (sent, not yet delivered) messages. 0 = unbounded.
+  std::size_t queue_capacity = 0;
+  QueuePolicy queue_policy = QueuePolicy::kDropNewest;
+  /// Seed for the channel's private Rng; 0 lets the owner derive one.
+  std::uint64_t seed = 0;
+
+  /// Scales every time constant by `f` (build_node's scenario scaling).
+  void scale_times(double f);
+};
+
+/// Outcome of Channel<T>::send().
+enum class SendResult : std::uint8_t {
+  kQueued,         // scheduled for delivery
+  kLost,           // dropped by loss_rate
+  kDown,           // dropped by the outage window
+  kDroppedFull,    // rejected: queue full under kDropNewest
+  kBackpressured,  // refused: queue full under kBackpressure
+  kClosed,         // channel not open
+};
+
+inline bool accepted(SendResult r) { return r == SendResult::kQueued; }
+
+struct ChannelStats {
+  std::uint64_t sent = 0;           // sends accepted onto the wire
+  std::uint64_t delivered = 0;      // receiver invocations
+  std::uint64_t dropped_loss = 0;   // lost to loss_rate
+  std::uint64_t dropped_down = 0;   // lost to the outage window
+  std::uint64_t dropped_queue = 0;  // queue-full victims (either drop policy)
+  std::uint64_t backpressured = 0;  // sends refused under kBackpressure
+  std::uint64_t duplicated = 0;     // extra deliveries scheduled
+  std::uint64_t reordered = 0;      // messages given the reorder penalty
+  std::uint64_t cancelled = 0;      // in-flight deliveries killed by close()
+  /// Delivery latency in microseconds (mean/min/max and a histogram for
+  /// quantiles; the 10 ms upper edge covers every configured hop, slower
+  /// deliveries land in the overflow bucket and still count in `latency`).
+  RunningStats latency;
+  Histogram latency_hist{0.0, 10'000.0, 100};
+};
+
+/// Draws one one-way delay from `spec` (exposed for tests and benches).
+SimTime sample_latency(const LatencySpec& spec, Rng& rng);
+
+/// Queue-policy <-> flag-string helpers for bench front-ends. parse returns
+/// false (leaving `out` untouched) on an unknown name.
+const char* to_string(QueuePolicy p);
+bool parse_queue_policy(const std::string& text, QueuePolicy& out);
+
+/// A typed, unidirectional, simulated message channel.
+///
+/// Not movable: in-flight delivery events capture `this`. Owners hold
+/// channels as direct members or behind unique_ptr and never relocate them.
+template <typename T>
+class Channel {
+ public:
+  using Receiver = std::function<void(const T&)>;
+
+  Channel(sim::Simulator& sim, ChannelConfig config)
+      : sim_(sim),
+        config_(std::move(config)),
+        rng_(config_.seed != 0 ? config_.seed : 0x6368616e6e656cULL) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Attaches the receiving endpoint and starts accepting sends.
+  void open(Receiver receiver) {
+    receiver_ = std::move(receiver);
+    open_ = true;
+  }
+
+  /// Closes the channel: every in-flight delivery is cancelled (counted in
+  /// stats().cancelled) and further sends return kClosed. open() re-arms.
+  void close() {
+    open_ = false;
+    receiver_ = nullptr;
+    stats_.cancelled += pending_.size();
+    for (auto& [id, handle] : pending_) handle.cancel();
+    pending_.clear();
+  }
+
+  bool is_open() const { return open_; }
+
+  SendResult send(const T& msg) {
+    if (!open_) return SendResult::kClosed;
+    const FaultSpec& f = config_.faults;
+    if (f.down_from >= 0 && sim_.now() >= f.down_from &&
+        sim_.now() < f.down_until) {
+      ++stats_.dropped_down;
+      return SendResult::kDown;
+    }
+    if (f.loss_rate > 0.0 && rng_.chance(f.loss_rate)) {
+      ++stats_.dropped_loss;
+      return SendResult::kLost;
+    }
+    if (config_.queue_capacity != 0 &&
+        pending_.size() >= config_.queue_capacity) {
+      switch (config_.queue_policy) {
+        case QueuePolicy::kDropNewest:
+          ++stats_.dropped_queue;
+          return SendResult::kDroppedFull;
+        case QueuePolicy::kBackpressure:
+          ++stats_.backpressured;
+          return SendResult::kBackpressured;
+        case QueuePolicy::kDropOldest: {
+          auto oldest = pending_.begin();
+          oldest->second.cancel();
+          pending_.erase(oldest);
+          ++stats_.dropped_queue;
+          break;
+        }
+      }
+    }
+    ++stats_.sent;
+    SimTime delay = sample_latency(config_.latency, rng_);
+    if (f.reorder_rate > 0.0 && rng_.chance(f.reorder_rate)) {
+      ++stats_.reordered;
+      delay += f.reorder_extra;
+    }
+    schedule_delivery(msg, delay);
+    if (f.duplication_rate > 0.0 && rng_.chance(f.duplication_rate)) {
+      ++stats_.duplicated;
+      schedule_delivery(msg, sample_latency(config_.latency, rng_));
+    }
+    return SendResult::kQueued;
+  }
+
+  /// Messages sent but not yet delivered (the bounded-queue occupancy).
+  std::size_t in_flight() const { return pending_.size(); }
+
+  const ChannelStats& stats() const { return stats_; }
+  const ChannelConfig& config() const { return config_; }
+
+ private:
+  void schedule_delivery(const T& msg, SimTime delay) {
+    const std::uint64_t id = next_delivery_id_++;
+    // schedule() never fires synchronously (even at delay 0 the event waits
+    // for the next step), so inserting the handle after scheduling is safe.
+    pending_.emplace(id, sim_.schedule(delay, [this, id, delay, msg] {
+      pending_.erase(id);
+      ++stats_.delivered;
+      const double us =
+          static_cast<double>(delay) / static_cast<double>(kMicrosecond);
+      stats_.latency.add(us);
+      stats_.latency_hist.add(us);
+      if (receiver_) receiver_(msg);
+    }));
+  }
+
+  sim::Simulator& sim_;
+  ChannelConfig config_;
+  Rng rng_;
+  Receiver receiver_;
+  bool open_ = false;
+  std::uint64_t next_delivery_id_ = 0;
+  // Ordered by send sequence so kDropOldest can cancel begin(); deliveries
+  // erase themselves when they fire.
+  std::map<std::uint64_t, sim::EventHandle> pending_;
+  ChannelStats stats_;
+};
+
+/// Configuration of the whole VIRQ/netlink/hypercall control plane: the
+/// uplink (hypervisor -> MM) and downlink (MM -> hypervisor) hops. The
+/// defaults reproduce the pre-comm wiring: 100 us per hop, perfectly
+/// reliable, unbounded.
+struct CommConfig {
+  ChannelConfig uplink;
+  ChannelConfig downlink;
+  /// Base seed the per-channel Rngs derive from when their own seed is 0.
+  /// build_node() mixes the repetition seed in so fault draws differ across
+  /// repetitions yet stay reproducible.
+  std::uint64_t seed = 0x736d61727463686eULL;
+
+  CommConfig() {
+    uplink.name = "uplink";
+    downlink.name = "downlink";
+  }
+
+  void scale_times(double f) {
+    uplink.scale_times(f);
+    downlink.scale_times(f);
+  }
+};
+
+}  // namespace smartmem::comm

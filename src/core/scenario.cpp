@@ -224,10 +224,7 @@ NodeConfig scaled_node_defaults(double scale) {
   NodeConfig cfg;
   cfg.sample_interval = scaled_time(cfg.sample_interval, scale);
   cfg.usage_sample_interval = scaled_time(cfg.usage_sample_interval, scale);
-  cfg.tkm.stats_uplink_latency =
-      scaled_time(cfg.tkm.stats_uplink_latency, scale);
-  cfg.tkm.target_downlink_latency =
-      scaled_time(cfg.tkm.target_downlink_latency, scale);
+  cfg.comm.scale_times(scale);
   cfg.slow_reclaim_pages_per_tick = static_cast<PageCount>(
       static_cast<double>(cfg.slow_reclaim_pages_per_tick) * scale);
   return cfg;
@@ -241,6 +238,11 @@ std::unique_ptr<VirtualNode> build_node(const ScenarioSpec& scenario,
       overrides ? *overrides : scaled_node_defaults(scenario.scale);
   cfg.tmem_pages = scenario.tmem_pages;
   cfg.policy = policy;
+  // Mix the repetition seed into the comm fabric so fault/latency draws
+  // differ across repetitions but stay a pure function of the seed. With
+  // the default reliable fixed-latency channels the Rng is never consulted,
+  // so this cannot perturb deterministic baseline runs.
+  cfg.comm.seed ^= seed * 0x9e3779b97f4a7c15ULL + 0xc2b2ae3d27d4eb4fULL;
 
   auto node = std::make_unique<VirtualNode>(cfg);
   Rng jitter_rng(seed ^ 0x6a09e667f3bcc908ULL);

@@ -18,6 +18,7 @@
 //   auto result = core::run_experiment(spec, mm::PolicySpec::smart(0.75));
 #pragma once
 
+#include "comm/channel.hpp"
 #include "common/csv.hpp"
 #include "common/logging.hpp"
 #include "common/rng.hpp"

@@ -29,9 +29,9 @@ VirtualNode::VirtualNode(NodeConfig config)
     manager_ = std::make_unique<mm::MemoryManager>(
         mm::make_policy(config_.policy),
         config_.tmem_pages + config_.nvm_tmem_pages);
-    tkm_ = std::make_unique<guest::Tkm>(sim_, *hyp_, config_.tkm);
+    tkm_ = std::make_unique<guest::Tkm>(sim_, *hyp_, config_.comm);
     manager_->set_sender(
-        [this](const hyper::MmOut& out) { tkm_->submit_targets(out); });
+        [this](const hyper::TargetsMsg& msg) { tkm_->submit_targets(msg); });
   }
 }
 
@@ -196,7 +196,13 @@ SimTime VirtualNode::run(SimTime deadline) {
   // Final usage sample so the series cover the full run.
   if (config_.usage_sample_interval > 0) record_usage();
   usage_sampler_.cancel();
-  hyp_->stop_sampling();
+  // Quiesce the control plane: closing the TKM's channels also cancels any
+  // in-flight stats/target deliveries, so nothing lands after run() returns.
+  if (tkm_) {
+    tkm_->stop();
+  } else {
+    hyp_->stop_sampling();
+  }
   return sim_.now();
 }
 

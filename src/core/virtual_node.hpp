@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "comm/channel.hpp"
 #include "common/time_series.hpp"
 #include "common/types.hpp"
 #include "guest/guest_kernel.hpp"
@@ -48,8 +49,10 @@ struct NodeConfig {
   /// Guest kernel-op costs (hypercalls, faults, reclaim).
   guest::CostModel costs;
 
-  /// TKM channel latencies.
-  guest::TkmConfig tkm;
+  /// Control-plane fabric: the VIRQ/netlink uplink and hypercall downlink
+  /// the TKM runs on — latency distributions, bounded-queue policies and
+  /// fault injection. Defaults reproduce the paper's reliable 100 us hops.
+  comm::CommConfig comm;
 
   /// Destructive frontswap gets (see GuestConfig); the paper's kernel
   /// defaults to non-exclusive.

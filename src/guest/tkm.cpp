@@ -4,27 +4,51 @@
 
 namespace smartmem::guest {
 
-Tkm::Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor, TkmConfig config)
-    : sim_(sim), hyp_(hypervisor), config_(config) {}
-
-void Tkm::start(StatsSink sink) {
-  sink_ = std::move(sink);
-  hyp_.start_sampling([this](const hyper::MemStats& stats) {
-    // Copy the sample; it is delivered to user space after the uplink delay.
-    sim_.schedule(config_.stats_uplink_latency, [this, stats] {
-      ++stats_forwarded_;
-      if (sink_) sink_(stats);
-    });
-  });
+comm::ChannelConfig Tkm::seeded(comm::ChannelConfig cfg,
+                                std::uint64_t base_seed,
+                                std::uint64_t which) {
+  if (cfg.seed == 0) {
+    // splitmix64-style diffusion keeps the two hops' streams independent
+    // even for adjacent base seeds.
+    std::uint64_t z = base_seed + (which + 1) * 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    cfg.seed = z ^ (z >> 31);
+    if (cfg.seed == 0) cfg.seed = 1;
+  }
+  return cfg;
 }
 
-void Tkm::stop() { hyp_.stop_sampling(); }
+Tkm::Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor,
+         comm::CommConfig config)
+    : sim_(sim),
+      hyp_(hypervisor),
+      uplink_(sim, seeded(std::move(config.uplink), config.seed, 0)),
+      downlink_(sim, seeded(std::move(config.downlink), config.seed, 1)) {
+  // The downlink terminates in the sequenced hypercall from construction on,
+  // so an MM (or test) may submit targets before start().
+  downlink_.open(
+      [this](const hyper::TargetsMsg& msg) { hyp_.apply_targets(msg); });
+}
 
-void Tkm::submit_targets(const hyper::MmOut& targets) {
-  sim_.schedule(config_.target_downlink_latency, [this, targets] {
-    ++targets_forwarded_;
-    hyp_.set_targets(targets);
-  });
+void Tkm::start(StatsSink sink) {
+  uplink_.open(std::move(sink));
+  if (!downlink_.is_open()) {
+    downlink_.open(
+        [this](const hyper::TargetsMsg& msg) { hyp_.apply_targets(msg); });
+  }
+  hyp_.start_sampling(
+      [this](const hyper::MemStats& stats) { uplink_.send(stats); });
+}
+
+void Tkm::stop() {
+  hyp_.stop_sampling();
+  uplink_.close();
+  downlink_.close();
+}
+
+comm::SendResult Tkm::submit_targets(const hyper::TargetsMsg& msg) {
+  return downlink_.send(msg);
 }
 
 }  // namespace smartmem::guest

@@ -5,55 +5,71 @@
 // memstats payload to the user-space Memory Manager over a netlink socket,
 // and ships the MM's target vector back down through custom hypercalls.
 //
-// Here the TKM is the glue object that models both hops with a configurable
-// one-way latency each, so that policy decisions always act on slightly
-// stale data — exactly the staleness the paper's reconf-static discussion
-// calls out ("the latency ... is roughly one second").
+// Here the TKM owns the two comm::Channel hops that model that path — the
+// stats uplink (VIRQ + netlink) and the target downlink (netlink + custom
+// hypercall) — so that policy decisions always act on slightly stale data,
+// exactly the staleness the paper's reconf-static discussion calls out
+// ("the latency ... is roughly one second"). Latency distributions, fault
+// injection and bounded-queue policies all come from comm::CommConfig;
+// per-hop delivery counters and latency histograms are exposed through the
+// channels themselves.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
+#include "comm/channel.hpp"
 #include "common/types.hpp"
 #include "hyper/hypervisor.hpp"
 #include "sim/simulator.hpp"
 
 namespace smartmem::guest {
 
-struct TkmConfig {
-  /// VIRQ handling + netlink delivery to user space.
-  SimTime stats_uplink_latency = 100 * kMicrosecond;
-  /// Netlink receive + custom hypercall into Xen.
-  SimTime target_downlink_latency = 100 * kMicrosecond;
-};
-
 class Tkm {
  public:
   /// `stats_sink` is the user-space (MM) receiver of memstats samples.
   using StatsSink = std::function<void(const hyper::MemStats&)>;
 
-  Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor, TkmConfig config);
+  Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor,
+      comm::CommConfig config);
 
   /// Hooks the hypervisor VIRQ and starts forwarding samples to `sink`.
+  /// Re-opens both channels if a previous stop() closed them.
   void start(StatsSink sink);
 
-  /// Stops the hypervisor sampler.
+  /// Stops the hypervisor sampler and closes both channels; in-flight
+  /// deliveries (stats already relayed, targets already submitted) are
+  /// cancelled, so nothing arrives after stop() returns.
   void stop();
 
-  /// Called by the MM: forwards a target vector to the hypervisor after the
-  /// downlink latency (the custom hypercall of Section III-C).
-  void submit_targets(const hyper::MmOut& targets);
+  /// Called by the MM: forwards a sequenced target vector to the hypervisor
+  /// over the downlink (the custom hypercall of Section III-C). Returns the
+  /// channel's verdict — kLost/kDroppedFull/... under fault injection.
+  comm::SendResult submit_targets(const hyper::TargetsMsg& msg);
 
-  std::uint64_t stats_forwarded() const { return stats_forwarded_; }
-  std::uint64_t targets_forwarded() const { return targets_forwarded_; }
+  std::uint64_t stats_forwarded() const {
+    return uplink_.stats().delivered;
+  }
+  std::uint64_t targets_forwarded() const {
+    return downlink_.stats().delivered;
+  }
+
+  const comm::Channel<hyper::MemStats>& uplink() const { return uplink_; }
+  const comm::Channel<hyper::TargetsMsg>& downlink() const {
+    return downlink_;
+  }
 
  private:
+  /// Derives the channel seed for `which` (0 = uplink, 1 = downlink) when
+  /// the per-channel config leaves it at 0.
+  static comm::ChannelConfig seeded(comm::ChannelConfig cfg,
+                                    std::uint64_t base_seed,
+                                    std::uint64_t which);
+
   sim::Simulator& sim_;
   hyper::Hypervisor& hyp_;
-  TkmConfig config_;
-  StatsSink sink_;
-  std::uint64_t stats_forwarded_ = 0;
-  std::uint64_t targets_forwarded_ = 0;
+  comm::Channel<hyper::MemStats> uplink_;
+  comm::Channel<hyper::TargetsMsg> downlink_;
 };
 
 }  // namespace smartmem::guest

@@ -198,6 +198,20 @@ void Hypervisor::set_targets(const MmOut& targets) {
   ++target_updates_;
 }
 
+void Hypervisor::apply_targets(const TargetsMsg& msg) {
+  if (msg.seq != 0) {
+    if (msg.seq <= last_target_seq_) {
+      ++stale_targets_dropped_;
+      log::debug("hypervisor: dropped stale mm_out seq %llu (last %llu)",
+                 static_cast<unsigned long long>(msg.seq),
+                 static_cast<unsigned long long>(last_target_seq_));
+      return;
+    }
+    last_target_seq_ = msg.seq;
+  }
+  set_targets(msg.targets);
+}
+
 MemStats Hypervisor::snapshot() const {
   MemStats stats;
   stats.when = sim_.now();
@@ -219,8 +233,9 @@ MemStats Hypervisor::snapshot() const {
 }
 
 void Hypervisor::sample_tick() {
-  const MemStats stats = snapshot();
+  MemStats stats = snapshot();
   ++samples_taken_;
+  stats.seq = samples_taken_;  // 1-based; lets the MM reject stale deliveries
   if (virq_handler_) virq_handler_(stats);
   // Interval counters restart after each VIRQ (Table I: "in the current
   // sampling interval").

@@ -105,8 +105,13 @@ class Hypervisor {
   // ---- MM control path -----------------------------------------------------
 
   /// Applies a target vector from the Memory Manager (the custom hypercall
-  /// the TKM issues on the MM's behalf).
+  /// the TKM issues on the MM's behalf). Unconditional: no sequence check.
   void set_targets(const MmOut& targets);
+
+  /// The sequenced hypercall used by the comm downlink: applies the vector
+  /// only if msg.seq is newer than the last applied sequence, so reordered
+  /// or duplicated deliveries cannot regress targets. seq 0 always applies.
+  void apply_targets(const TargetsMsg& msg);
 
   /// Registers the privileged-domain callback for the sampling VIRQ and
   /// starts the periodic sampler.
@@ -131,6 +136,10 @@ class Hypervisor {
   const HypervisorConfig& config() const { return config_; }
   std::uint64_t samples_taken() const { return samples_taken_; }
   std::uint64_t target_updates() const { return target_updates_; }
+  std::uint64_t stale_targets_dropped() const {
+    return stale_targets_dropped_;
+  }
+  std::uint64_t last_target_seq() const { return last_target_seq_; }
   std::vector<VmId> registered_vms() const;
 
  private:
@@ -157,6 +166,8 @@ class Hypervisor {
   sim::EventHandle sampler_;
   std::uint64_t samples_taken_ = 0;
   std::uint64_t target_updates_ = 0;
+  std::uint64_t last_target_seq_ = 0;
+  std::uint64_t stale_targets_dropped_ = 0;
 };
 
 }  // namespace smartmem::hyper

@@ -31,6 +31,11 @@ struct VmMemStats {
 
 /// One sample of node-wide memory statistics (memstats in Table I).
 struct MemStats {
+  /// Sampling sequence number, stamped by the hypervisor's VIRQ tick
+  /// (1-based; 0 = unsequenced snapshot). The MM uses it to discard
+  /// duplicated or out-of-order uplink deliveries instead of folding a
+  /// stale sample into its history.
+  std::uint64_t seq = 0;
   SimTime when = 0;
   PageCount total_tmem = 0;          // node_info.total_tmem
   PageCount free_tmem = 0;           // node_info.free_tmem
@@ -48,5 +53,15 @@ struct MmTarget {
 
 /// The full policy output: one target per VM.
 using MmOut = std::vector<MmTarget>;
+
+/// Sequenced envelope for an mm_out transmission (the netlink + hypercall
+/// downlink hop). A reordered or duplicated delivery would silently regress
+/// targets to an older vector; the hypervisor drops any message whose seq
+/// is not newer than the last applied one. seq 0 = unsequenced (always
+/// applied — the raw hypercall path used by tests and tooling).
+struct TargetsMsg {
+  std::uint64_t seq = 0;
+  MmOut targets;
+};
 
 }  // namespace smartmem::hyper

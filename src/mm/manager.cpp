@@ -19,6 +19,16 @@ MemoryManager::MemoryManager(PolicyPtr policy, PageCount total_tmem,
 }
 
 void MemoryManager::on_stats(const hyper::MemStats& stats) {
+  if (stats.seq != 0) {
+    if (stats.seq <= last_sample_seq_) {
+      ++stale_samples_dropped_;
+      log::debug("MemoryManager: dropped stale memstats seq %llu (last %llu)",
+                 static_cast<unsigned long long>(stats.seq),
+                 static_cast<unsigned long long>(last_sample_seq_));
+      return;
+    }
+    last_sample_seq_ = stats.seq;
+  }
   ++samples_seen_;
   history_.record(stats);
 
@@ -37,7 +47,7 @@ void MemoryManager::on_stats(const hyper::MemStats& stats) {
   last_sent_ = out;
   ++targets_sent_;
   if (sender_) {
-    sender_(out);
+    sender_(hyper::TargetsMsg{++next_send_seq_, std::move(out)});
   } else {
     log::warn("MemoryManager: no sender attached; targets dropped");
   }

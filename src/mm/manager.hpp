@@ -28,16 +28,20 @@ struct ManagerConfig {
 
 class MemoryManager {
  public:
-  /// `sender` delivers an mm_out vector towards the hypervisor (in the full
-  /// stack this is Tkm::submit_targets).
-  using TargetSender = std::function<void(const hyper::MmOut&)>;
+  /// `sender` delivers a sequenced mm_out message towards the hypervisor
+  /// (in the full stack this is Tkm::submit_targets, i.e. the downlink
+  /// channel). The MM stamps a fresh monotonic seq on every transmission.
+  using TargetSender = std::function<void(const hyper::TargetsMsg&)>;
 
   MemoryManager(PolicyPtr policy, PageCount total_tmem,
                 ManagerConfig config = {});
 
   void set_sender(TargetSender sender) { sender_ = std::move(sender); }
 
-  /// Entry point: one memstats sample arriving from the TKM.
+  /// Entry point: one memstats sample arriving from the TKM. Sequenced
+  /// samples (seq != 0) that are older than — or duplicates of — the newest
+  /// sample already seen are discarded: a faulty uplink must not fold stale
+  /// intervals into the history the policies read.
   void on_stats(const hyper::MemStats& stats);
 
   const Policy& policy() const { return *policy_; }
@@ -47,6 +51,10 @@ class MemoryManager {
   std::uint64_t samples_seen() const { return samples_seen_; }
   std::uint64_t targets_sent() const { return targets_sent_; }
   std::uint64_t sends_suppressed() const { return sends_suppressed_; }
+  std::uint64_t stale_samples_dropped() const {
+    return stale_samples_dropped_;
+  }
+  std::uint64_t last_sample_seq() const { return last_sample_seq_; }
   const std::optional<hyper::MmOut>& last_sent() const { return last_sent_; }
 
  private:
@@ -59,6 +67,9 @@ class MemoryManager {
   std::uint64_t samples_seen_ = 0;
   std::uint64_t targets_sent_ = 0;
   std::uint64_t sends_suppressed_ = 0;
+  std::uint64_t last_sample_seq_ = 0;
+  std::uint64_t stale_samples_dropped_ = 0;
+  std::uint64_t next_send_seq_ = 0;
 };
 
 }  // namespace smartmem::mm

@@ -7,6 +7,7 @@
 // statistics.
 #include <gtest/gtest.h>
 
+#include "comm/channel.hpp"
 #include "core/experiment.hpp"
 
 namespace smartmem::core {
@@ -140,6 +141,37 @@ TEST_P(ParallelDeterminismTest, GridRunnerMatchesPerPolicySerialRuns) {
 
 INSTANTIATE_TEST_SUITE_P(Scenarios, ParallelDeterminismTest,
                          ::testing::Values(&scenario1, &usemem_scenario));
+
+// The comm channels draw from their own per-repetition Rngs, so even a
+// heavily faulted control plane — random latencies, loss, duplication,
+// reordering, a tiny bounded queue — must fan out bit-identically.
+TEST(ParallelDeterminismTest, FaultInjectedChannelsStayDeterministic) {
+  const ScenarioSpec spec = scenario1(0.03125);
+  NodeConfig cfg = scaled_node_defaults(0.03125);
+  for (comm::ChannelConfig* ch : {&cfg.comm.uplink, &cfg.comm.downlink}) {
+    ch->latency = comm::LatencySpec::uniform(kMillisecond, 20 * kMillisecond);
+    ch->faults.loss_rate = 0.05;
+    ch->faults.duplication_rate = 0.05;
+    ch->faults.reorder_rate = 0.2;
+    ch->faults.reorder_extra = 50 * kMillisecond;
+    ch->queue_capacity = 2;
+    ch->queue_policy = comm::QueuePolicy::kDropOldest;
+  }
+
+  ExperimentConfig serial;
+  serial.repetitions = 3;
+  serial.base_seed = 17;
+  serial.jobs = 1;
+  serial.overrides = &cfg;
+  ExperimentConfig parallel = serial;
+  parallel.jobs = 4;
+
+  const ExperimentResult a =
+      run_experiment(spec, mm::PolicySpec::smart(1.0), serial);
+  const ExperimentResult b =
+      run_experiment(spec, mm::PolicySpec::smart(1.0), parallel);
+  expect_same_experiment_result(a, b);
+}
 
 }  // namespace
 }  // namespace smartmem::core

@@ -1,5 +1,5 @@
 // TKM relay: VIRQ samples travel up with the uplink latency; target vectors
-// travel down and land in the hypervisor.
+// travel down and land in the hypervisor; stop() quiesces both channels.
 #include "guest/tkm.hpp"
 
 #include <gtest/gtest.h>
@@ -9,6 +9,14 @@
 namespace smartmem::guest {
 namespace {
 
+comm::CommConfig comm_config(SimTime uplink_latency = 100 * kMicrosecond,
+                             SimTime downlink_latency = 100 * kMicrosecond) {
+  comm::CommConfig cfg;
+  cfg.uplink.latency = comm::LatencySpec::fixed_at(uplink_latency);
+  cfg.downlink.latency = comm::LatencySpec::fixed_at(downlink_latency);
+  return cfg;
+}
+
 TEST(TkmTest, ForwardsStatsWithUplinkLatency) {
   sim::Simulator sim;
   hyper::HypervisorConfig hcfg;
@@ -17,9 +25,7 @@ TEST(TkmTest, ForwardsStatsWithUplinkLatency) {
   hyper::Hypervisor hyp(sim, hcfg);
   hyp.register_vm(1);
 
-  TkmConfig tcfg;
-  tcfg.stats_uplink_latency = 3 * kMillisecond;
-  Tkm tkm(sim, hyp, tcfg);
+  Tkm tkm(sim, hyp, comm_config(3 * kMillisecond));
 
   std::vector<std::pair<SimTime, SimTime>> deliveries;  // (sampled, delivered)
   tkm.start([&](const hyper::MemStats& stats) {
@@ -31,6 +37,8 @@ TEST(TkmTest, ForwardsStatsWithUplinkLatency) {
     EXPECT_EQ(delivered - sampled, 3 * kMillisecond);
   }
   EXPECT_EQ(tkm.stats_forwarded(), 3u);
+  EXPECT_EQ(tkm.uplink().stats().sent, 3u);
+  EXPECT_EQ(tkm.uplink().stats().delivered, 3u);
 }
 
 TEST(TkmTest, SubmitTargetsReachesHypervisorAfterDownlink) {
@@ -40,11 +48,9 @@ TEST(TkmTest, SubmitTargetsReachesHypervisorAfterDownlink) {
   hyper::Hypervisor hyp(sim, hcfg);
   hyp.register_vm(1);
 
-  TkmConfig tcfg;
-  tcfg.target_downlink_latency = 5 * kMillisecond;
-  Tkm tkm(sim, hyp, tcfg);
+  Tkm tkm(sim, hyp, comm_config(100 * kMicrosecond, 5 * kMillisecond));
 
-  tkm.submit_targets({{1, 7}});
+  EXPECT_TRUE(comm::accepted(tkm.submit_targets({1, {{1, 7}}})));
   EXPECT_EQ(hyp.target(1), kUnlimitedTarget) << "must not apply synchronously";
   sim.run_until(4 * kMillisecond);
   EXPECT_EQ(hyp.target(1), kUnlimitedTarget);
@@ -59,13 +65,80 @@ TEST(TkmTest, StopHaltsSampling) {
   hcfg.total_tmem_pages = 10;
   hyper::Hypervisor hyp(sim, hcfg);
 
-  Tkm tkm(sim, hyp, TkmConfig{});
+  Tkm tkm(sim, hyp, comm_config());
   int count = 0;
   tkm.start([&](const hyper::MemStats&) { ++count; });
   sim.run_until(2 * kSecond + kMillisecond);
   tkm.stop();
   sim.run_until(10 * kSecond);
   EXPECT_EQ(count, 2);
+}
+
+// Regression: before the comm refactor, uplink/downlink events scheduled
+// ahead of stop() still fired afterwards, delivering stats and applying
+// targets behind the stopped TKM's back. Closing a channel must cancel
+// its in-flight deliveries.
+TEST(TkmTest, StopCancelsInFlightUplinkDeliveries) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hcfg.sample_interval = kSecond;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  Tkm tkm(sim, hyp, comm_config(3 * kMillisecond));
+  int delivered = 0;
+  tkm.start([&](const hyper::MemStats&) { ++delivered; });
+
+  // The VIRQ fires at t = 1 s; its uplink delivery is in flight until
+  // t = 1 s + 3 ms. Stop exactly between the two.
+  sim.run_until(kSecond);
+  EXPECT_EQ(tkm.uplink().in_flight(), 1u);
+  tkm.stop();
+  sim.run();
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(tkm.stats_forwarded(), 0u);
+  EXPECT_EQ(tkm.uplink().stats().cancelled, 1u);
+}
+
+TEST(TkmTest, StopCancelsInFlightTargetDeliveries) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  Tkm tkm(sim, hyp, comm_config(100 * kMicrosecond, 5 * kMillisecond));
+  EXPECT_TRUE(comm::accepted(tkm.submit_targets({1, {{1, 7}}})));
+  tkm.stop();
+  sim.run();
+  EXPECT_EQ(hyp.target(1), kUnlimitedTarget)
+      << "in-flight target delivery must die with the channel";
+  EXPECT_EQ(tkm.downlink().stats().cancelled, 1u);
+  // A stopped TKM refuses further submissions outright.
+  EXPECT_EQ(tkm.submit_targets({2, {{1, 8}}}), comm::SendResult::kClosed);
+}
+
+TEST(TkmTest, RestartAfterStopResumesForwarding) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hcfg.sample_interval = kSecond;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  Tkm tkm(sim, hyp, comm_config());
+  int count = 0;
+  tkm.start([&](const hyper::MemStats&) { ++count; });
+  sim.run_until(kSecond + kMillisecond);
+  EXPECT_EQ(count, 1);
+  tkm.stop();
+  tkm.start([&](const hyper::MemStats&) { ++count; });
+  sim.run_until(3 * kSecond + 2 * kMillisecond);
+  EXPECT_EQ(count, 3);
+  EXPECT_TRUE(comm::accepted(tkm.submit_targets({1, {{1, 4}}})));
+  sim.run_until(4 * kSecond);
+  EXPECT_EQ(hyp.target(1), 4u);
 }
 
 }  // namespace

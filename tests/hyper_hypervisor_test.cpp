@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 namespace smartmem::hyper {
 namespace {
 
@@ -45,6 +47,58 @@ TEST(HypervisorTest, EqualShareModeDividesOnRegistration) {
   EXPECT_EQ(hyp.target(3), 30u);
   hyp.unregister_vm(2);
   EXPECT_EQ(hyp.target(1), 45u);
+}
+
+// The sequenced hypercall path: a reordered or duplicated downlink delivery
+// must not regress targets to an older vector.
+TEST(HypervisorTest, ApplyTargetsDropsStaleSequences) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+
+  hyp.apply_targets({2, {{1, 40}}});
+  EXPECT_EQ(hyp.target(1), 40u);
+  EXPECT_EQ(hyp.last_target_seq(), 2u);
+
+  hyp.apply_targets({1, {{1, 10}}});  // reordered: older than seq 2
+  EXPECT_EQ(hyp.target(1), 40u);
+  hyp.apply_targets({2, {{1, 10}}});  // duplicated delivery of seq 2
+  EXPECT_EQ(hyp.target(1), 40u);
+  EXPECT_EQ(hyp.stale_targets_dropped(), 2u);
+  EXPECT_EQ(hyp.target_updates(), 1u);
+
+  hyp.apply_targets({3, {{1, 60}}});  // fresh: applies
+  EXPECT_EQ(hyp.target(1), 60u);
+  EXPECT_EQ(hyp.last_target_seq(), 3u);
+}
+
+// seq 0 marks the raw unsequenced hypercall (tests/tooling): always applied.
+TEST(HypervisorTest, UnsequencedTargetsAlwaysApply) {
+  sim::Simulator sim;
+  Hypervisor hyp(sim, config(100));
+  hyp.register_vm(1);
+  hyp.apply_targets({5, {{1, 40}}});
+  hyp.apply_targets({0, {{1, 25}}});
+  EXPECT_EQ(hyp.target(1), 25u);
+  EXPECT_EQ(hyp.last_target_seq(), 5u);
+  EXPECT_EQ(hyp.stale_targets_dropped(), 0u);
+}
+
+TEST(HypervisorTest, SampleTicksStampMonotonicSequences) {
+  sim::Simulator sim;
+  HypervisorConfig cfg = config(100);
+  cfg.sample_interval = kSecond;
+  Hypervisor hyp(sim, cfg);
+  hyp.register_vm(1);
+
+  std::vector<std::uint64_t> seqs;
+  hyp.start_sampling([&](const MemStats& s) { seqs.push_back(s.seq); });
+  sim.run_until(3 * kSecond);
+  hyp.stop_sampling();
+  ASSERT_EQ(seqs.size(), 3u);
+  EXPECT_EQ(seqs, (std::vector<std::uint64_t>{1, 2, 3}));
+  // Monitoring snapshots stay unsequenced.
+  EXPECT_EQ(hyp.snapshot().seq, 0u);
 }
 
 TEST(HypervisorTest, PutGetFlushRoundTrip) {
