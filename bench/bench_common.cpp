@@ -26,13 +26,62 @@ void print_usage(std::FILE* out) {
                "  --comm-latency-x <f>  multiply control-plane hop latencies\n"
                "  --comm-loss <p>       per-hop message loss probability\n"
                "  --comm-queue <n>      bounded in-flight queue (0 = off)\n"
-               "  --comm-policy <p>     drop-newest|drop-oldest|backpressure\n");
+               "  --comm-policy <p>     drop-newest|drop-oldest|backpressure\n"
+               "  --trace-out <file>    write a Perfetto trace from one extra "
+               "observed run\n"
+               "  --metrics-out <file>  write metrics snapshots (JSONL; .csv "
+               "for CSV)\n"
+               "  --audit-out <file>    write the policy decision audit log "
+               "(JSONL)\n"
+               "  --trace-cats <list>   trace categories "
+               "(tmem,hyper,comm,mm,guest,workload,sim|all)\n");
 }
 
 bool comm_overridden(const Options& opts) {
   return opts.comm_latency_x != 1.0 || opts.comm_loss != 0.0 ||
          opts.comm_queue != 0 ||
          opts.comm_policy != comm::QueuePolicy::kDropNewest;
+}
+
+bool obs_requested(const Options& opts) {
+  return !opts.trace_out.empty() || !opts.metrics_out.empty() ||
+         !opts.audit_out.empty();
+}
+
+void run_observed(const std::string& figure_id,
+                  core::ScenarioSpec (*scenario)(double),
+                  const std::vector<mm::PolicySpec>& policies,
+                  const Options& opts) {
+  if (!obs_requested(opts) || policies.empty()) return;
+  // Prefer a managed policy so the trace/audit carry MM decisions.
+  const mm::PolicySpec* policy = &policies.front();
+  for (const auto& p : policies) {
+    if (p.needs_manager()) {
+      policy = &p;
+      break;
+    }
+  }
+  core::NodeConfig cfg = core::scaled_node_defaults(opts.scale);
+  if (comm_overridden(opts)) apply_comm_options(cfg, opts);
+  cfg.obs.trace_out = opts.trace_out;
+  cfg.obs.metrics_out = opts.metrics_out;
+  cfg.obs.audit_out = opts.audit_out;
+  cfg.obs.trace_categories = opts.trace_categories;
+
+  const core::ScenarioSpec spec = scenario(opts.scale);
+  std::printf("observability run (%s, %s, seed %llu)...\n", figure_id.c_str(),
+              policy->label().c_str(),
+              static_cast<unsigned long long>(opts.base_seed));
+  core::run_scenario(spec, *policy, opts.base_seed, &cfg);
+  if (!opts.trace_out.empty()) {
+    std::printf("wrote %s\n", opts.trace_out.c_str());
+  }
+  if (!opts.metrics_out.empty()) {
+    std::printf("wrote %s\n", opts.metrics_out.c_str());
+  }
+  if (!opts.audit_out.empty()) {
+    std::printf("wrote %s\n", opts.audit_out.c_str());
+  }
 }
 
 void apply_comm_options(core::NodeConfig& cfg, const Options& opts) {
@@ -115,6 +164,18 @@ Options parse_options(int argc, char** argv) {
         usage_error("--comm-policy must be drop-newest, drop-oldest or "
                     "backpressure");
       }
+    } else if (arg == "--trace-out") {
+      opts.trace_out = next();
+    } else if (arg == "--metrics-out") {
+      opts.metrics_out = next();
+    } else if (arg == "--audit-out") {
+      opts.audit_out = next();
+    } else if (arg == "--trace-cats") {
+      if (!obs::parse_categories(next(), opts.trace_categories)) {
+        usage_error(
+            "--trace-cats must be a comma-separated subset of "
+            "tmem,hyper,comm,mm,guest,workload,sim (or 'all')");
+      }
     } else if (arg == "--full") {
       opts.scale = 1.0;
       opts.repetitions = 5;
@@ -176,6 +237,9 @@ std::vector<core::ExperimentResult> run_runtime_figure(
     core::write_runtime_csv(path, results);
     std::printf("wrote %s\n", path.c_str());
   }
+  // The measured grid above always runs with observability off; the
+  // requested trace/metrics/audit files come from one extra dedicated run.
+  run_observed(figure_id, scenario, policies, opts);
   std::printf("\n");
   return results;
 }
@@ -225,6 +289,7 @@ void run_usage_figure(const std::string& figure_id, const std::string& title,
     }
     ++panel;
   }
+  run_observed(figure_id, scenario, panels, opts);
 }
 
 }  // namespace smartmem::bench

@@ -20,6 +20,16 @@
 //   --comm-queue <n>       bounded in-flight queue per hop (default 0 = off)
 //   --comm-policy <p>      drop-newest | drop-oldest | backpressure
 //
+// Observability (src/obs) outputs. The measured figure grid always runs
+// with observability off (byte-identical output); when any --*-out flag is
+// given, ONE extra dedicated run executes after the grid with the requested
+// pillars enabled and writes the files:
+//   --trace-out <file>     Chrome trace-event JSON (Perfetto-loadable)
+//   --metrics-out <file>   metrics snapshots, JSONL (or CSV via .csv suffix)
+//   --audit-out <file>     policy decision audit log, JSONL
+//   --trace-cats <list>    comma-separated trace categories (default all:
+//                          tmem,hyper,comm,mm,guest,workload,sim)
+//
 // Unknown flags and malformed values are fatal (exit 2 with a usage
 // message): a typo like `--rep 5` must not silently run the default config.
 #pragma once
@@ -47,6 +57,12 @@ struct Options {
   double comm_loss = 0.0;
   std::size_t comm_queue = 0;
   comm::QueuePolicy comm_policy = comm::QueuePolicy::kDropNewest;
+  // --trace-out / --metrics-out / --audit-out / --trace-cats; empty paths
+  // leave observability off entirely.
+  std::string trace_out;
+  std::string metrics_out;
+  std::string audit_out;
+  std::uint32_t trace_categories = obs::kCatAll;
 };
 
 /// True when any --comm-* flag deviates from its default.
@@ -54,6 +70,18 @@ bool comm_overridden(const Options& opts);
 
 /// Applies the --comm-* flags onto cfg.comm (both hops).
 void apply_comm_options(core::NodeConfig& cfg, const Options& opts);
+
+/// True when any --*-out observability flag was given.
+bool obs_requested(const Options& opts);
+
+/// Runs the one dedicated observed run (observability pillars per `opts`)
+/// and reports the written files. Uses the first policy that runs a Memory
+/// Manager (falling back to the first policy) so the trace and audit carry
+/// mm activity. No-op when !obs_requested(opts).
+void run_observed(const std::string& figure_id,
+                  core::ScenarioSpec (*scenario)(double),
+                  const std::vector<mm::PolicySpec>& policies,
+                  const Options& opts);
 
 Options parse_options(int argc, char** argv);
 

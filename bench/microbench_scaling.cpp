@@ -1,8 +1,10 @@
 // Perf-baseline harness: measures (a) serial vs. parallel wall-time of a
 // mid-size scenario grid — the figure benches' policy x repetition fan-out —
-// and (b) raw events/sec of the two simulation hot paths (tmem store ops,
-// simulator event dispatch), then persists everything to a machine-readable
-// JSON baseline so later PRs have a trajectory to compare against.
+// (b) raw events/sec of the two simulation hot paths (tmem store ops,
+// simulator event dispatch), and (c) the wall-time overhead of running with
+// every observability pillar enabled (in-memory capture), then persists
+// everything to a machine-readable JSON baseline so later PRs have a
+// trajectory to compare against.
 //
 //   ./microbench_scaling [--scale f] [--reps n] [--jobs n] [--seed n]
 //                        [--out path]
@@ -25,6 +27,7 @@
 #include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
+#include "obs/observer.hpp"
 #include "sim/simulator.hpp"
 #include "tmem/store.hpp"
 
@@ -220,6 +223,39 @@ double channel_msgs_per_sec() {
   return static_cast<double>(delivered) / elapsed;
 }
 
+/// Observability overhead: one seeded smart-policy run of scenario 1 with
+/// all three obs pillars capturing in memory (no file I/O) vs. the same run
+/// with obs off. Returns the enabled-over-disabled overhead in percent; the
+/// acceptance bar keeps it under 5%.
+double obs_overhead_pct(const ScalingOptions& o) {
+  const core::ScenarioSpec spec = core::scenario1(o.scale);
+  const mm::PolicySpec policy = mm::PolicySpec::smart(0.75);
+  const int reps = 3;
+
+  auto timed_run = [&](const core::NodeConfig* overrides) {
+    const auto start = Clock::now();
+    core::run_scenario(spec, policy, o.base_seed, overrides);
+    return seconds_since(start);
+  };
+
+  // Same node config for both variants — only the obs pillars differ, so
+  // the delta is pure instrumentation cost. Runs interleave off/on pairs
+  // and keep the per-variant minimum, so background-load drift on the
+  // measuring host biases both variants equally.
+  core::NodeConfig off_cfg = core::scaled_node_defaults(o.scale);
+  core::NodeConfig on_cfg = core::scaled_node_defaults(o.scale);
+  on_cfg.obs = obs::ObsConfig::capture_all();
+  double off_s = 0.0;
+  double on_s = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double off = timed_run(&off_cfg);
+    const double on = timed_run(&on_cfg);
+    if (r == 0 || off < off_s) off_s = off;
+    if (r == 0 || on < on_s) on_s = on;
+  }
+  return off_s > 0 ? 100.0 * (on_s - off_s) / off_s : 0.0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -230,23 +266,27 @@ int main(int argc, char** argv) {
   std::printf("host: %zu hardware thread(s); measuring jobs=%zu\n\n", hw,
               opts.jobs);
 
-  std::printf("[1/3] figure grid, serial (4 policies x %zu reps, scale %g)\n",
+  std::printf("[1/4] figure grid, serial (4 policies x %zu reps, scale %g)\n",
               opts.repetitions, opts.scale);
   const double serial_s = time_grid(opts, 1);
   std::printf("      %.3f s\n", serial_s);
 
-  std::printf("[2/3] figure grid, %zu jobs\n", opts.jobs);
+  std::printf("[2/4] figure grid, %zu jobs\n", opts.jobs);
   const double parallel_s = time_grid(opts, opts.jobs);
   const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
   std::printf("      %.3f s  (speedup %.2fx)\n", parallel_s, speedup);
 
-  std::printf("[3/3] hot paths\n");
+  std::printf("[3/4] hot paths\n");
   const double store_eps = store_events_per_sec();
   std::printf("      tmem store: %.3g ops/s\n", store_eps);
   const double sim_eps = sim_events_per_sec();
   std::printf("      simulator:  %.3g events/s\n", sim_eps);
   const double chan_mps = channel_msgs_per_sec();
   std::printf("      channel:    %.3g msgs/s\n", chan_mps);
+
+  std::printf("[4/4] observability overhead (all pillars, in-memory)\n");
+  const double obs_pct = obs_overhead_pct(opts);
+  std::printf("      %+.2f%% vs. obs-off\n", obs_pct);
 
   std::ofstream out(opts.out);
   if (!out) {
@@ -269,10 +309,12 @@ int main(int argc, char** argv) {
                 "  \"speedup_j%zu\": %.3f,\n"
                 "  \"events_per_sec\": %.1f,\n"
                 "  \"sim_events_per_sec\": %.1f,\n"
-                "  \"comm_msgs_per_sec\": %.1f\n"
+                "  \"comm_msgs_per_sec\": %.1f,\n"
+                "  \"obs_overhead_pct\": %.2f\n"
                 "}\n",
                 hw, opts.scale, opts.repetitions, serial_s, parallel_s,
-                opts.jobs, opts.jobs, speedup, store_eps, sim_eps, chan_mps);
+                opts.jobs, opts.jobs, speedup, store_eps, sim_eps, chan_mps,
+                obs_pct);
   out << buf;
   std::printf("\nwrote %s\n", opts.out.c_str());
   return 0;

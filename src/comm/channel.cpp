@@ -54,6 +54,26 @@ const char* to_string(QueuePolicy p) {
   return "?";
 }
 
+void register_channel_metrics(obs::Registry& reg, const std::string& prefix,
+                              const ChannelStats* stats) {
+  reg.add_counter(prefix + "sent", &stats->sent);
+  reg.add_counter(prefix + "delivered", &stats->delivered);
+  reg.add_counter(prefix + "dropped_loss", &stats->dropped_loss);
+  reg.add_counter(prefix + "dropped_down", &stats->dropped_down);
+  reg.add_counter(prefix + "dropped_queue", &stats->dropped_queue);
+  reg.add_counter(prefix + "backpressured", &stats->backpressured);
+  reg.add_counter(prefix + "duplicated", &stats->duplicated);
+  reg.add_running_stats(prefix + "latency_us", &stats->latency);
+  // Quantiles come from the histogram; .count already covered above.
+  const Histogram* hist = &stats->latency_hist;
+  reg.add_gauge(prefix + "latency_us.p50",
+                [hist] { return hist->quantile(0.50); });
+  reg.add_gauge(prefix + "latency_us.p95",
+                [hist] { return hist->quantile(0.95); });
+  reg.add_gauge(prefix + "latency_us.p99",
+                [hist] { return hist->quantile(0.99); });
+}
+
 bool parse_queue_policy(const std::string& text, QueuePolicy& out) {
   if (text == "drop-newest") {
     out = QueuePolicy::kDropNewest;

@@ -34,6 +34,8 @@
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 
 namespace smartmem::comm {
@@ -199,10 +201,12 @@ class Channel {
     if (f.down_from >= 0 && sim_.now() >= f.down_from &&
         sim_.now() < f.down_until) {
       ++stats_.dropped_down;
+      trace_drop("drop:down");
       return SendResult::kDown;
     }
     if (f.loss_rate > 0.0 && rng_.chance(f.loss_rate)) {
       ++stats_.dropped_loss;
+      trace_drop("drop:loss");
       return SendResult::kLost;
     }
     if (config_.queue_capacity != 0 &&
@@ -210,15 +214,18 @@ class Channel {
       switch (config_.queue_policy) {
         case QueuePolicy::kDropNewest:
           ++stats_.dropped_queue;
+          trace_drop("drop:queue_full");
           return SendResult::kDroppedFull;
         case QueuePolicy::kBackpressure:
           ++stats_.backpressured;
+          trace_drop("backpressure");
           return SendResult::kBackpressured;
         case QueuePolicy::kDropOldest: {
           auto oldest = pending_.begin();
           oldest->second.cancel();
           pending_.erase(oldest);
           ++stats_.dropped_queue;
+          trace_drop("drop:oldest");
           break;
         }
       }
@@ -243,6 +250,14 @@ class Channel {
   const ChannelStats& stats() const { return stats_; }
   const ChannelConfig& config() const { return config_; }
 
+  /// Attaches a trace recorder: each delivery becomes a flight span (from
+  /// send to delivery on `track`) and each drop an instant. nullptr detaches.
+  void set_trace(obs::TraceRecorder* trace, std::uint16_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+    trace_name_ = trace != nullptr ? trace->intern(config_.name) : nullptr;
+  }
+
  private:
   void schedule_delivery(const T& msg, SimTime delay) {
     const std::uint64_t id = next_delivery_id_++;
@@ -255,8 +270,21 @@ class Channel {
           static_cast<double>(delay) / static_cast<double>(kMicrosecond);
       stats_.latency.add(us);
       stats_.latency_hist.add(us);
+      if (trace_ != nullptr && trace_->enabled(obs::kCatComm)) {
+        // Span covers the message's flight: begins at send, ends now.
+        trace_->span(obs::kCatComm, trace_track_, trace_name_,
+                     sim_.now() - delay, delay,
+                     {{"latency_us", us},
+                      {"msg_id", static_cast<double>(id)}});
+      }
       if (receiver_) receiver_(msg);
     }));
+  }
+
+  void trace_drop(const char* kind) {
+    if (trace_ != nullptr && trace_->enabled(obs::kCatComm)) {
+      trace_->instant(obs::kCatComm, trace_track_, kind, sim_.now(), {});
+    }
   }
 
   sim::Simulator& sim_;
@@ -269,7 +297,15 @@ class Channel {
   // erase themselves when they fire.
   std::map<std::uint64_t, sim::EventHandle> pending_;
   ChannelStats stats_;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_track_ = 0;
+  const char* trace_name_ = nullptr;  // interned config_.name
 };
+
+/// Registers one channel's counters and latency summary into `reg` under
+/// `prefix` (e.g. "comm.uplink."). The stats object must outlive `reg`.
+void register_channel_metrics(obs::Registry& reg, const std::string& prefix,
+                              const ChannelStats* stats);
 
 /// Configuration of the whole VIRQ/netlink/hypercall control plane: the
 /// uplink (hypervisor -> MM) and downlink (MM -> hypervisor) hops. The

@@ -11,9 +11,17 @@ namespace {
 
 std::atomic<Level> g_level{Level::kWarn};
 
-void vwrite(Level lvl, const char* fmt, std::va_list args) {
+// Thread-local so each parallel experiment worker stamps its own node's
+// simulated time. Plain (non-atomic) is fine: set and read on one thread.
+thread_local SimClockFn t_clock = nullptr;
+thread_local const void* t_clock_ctx = nullptr;
+
+void vwrite(Level lvl, Component component, const char* fmt,
+            std::va_list args) {
   const std::string msg = vstrfmt(fmt, args);
-  std::fprintf(stderr, "[%s] %s\n", level_name(lvl), msg.c_str());
+  const std::string line = format_line(lvl, component, msg);
+  // One fprintf keeps the line atomic across parallel --jobs workers.
+  std::fprintf(stderr, "%s\n", line.c_str());
 }
 
 }  // namespace
@@ -23,6 +31,13 @@ void set_level(Level lvl) { g_level.store(lvl, std::memory_order_relaxed); }
 Level level() { return g_level.load(std::memory_order_relaxed); }
 
 bool enabled(Level lvl) { return lvl >= level(); }
+
+void set_sim_clock(SimClockFn clock, const void* ctx) {
+  t_clock = clock;
+  t_clock_ctx = clock != nullptr ? ctx : nullptr;
+}
+
+bool has_sim_clock() { return t_clock != nullptr; }
 
 const char* level_name(Level lvl) {
   switch (lvl) {
@@ -36,11 +51,52 @@ const char* level_name(Level lvl) {
   return "?";
 }
 
+const char* component_name(Component component) {
+  switch (component) {
+    case Component::kGeneric: return "";
+    case Component::kSim: return "sim";
+    case Component::kTmem: return "tmem";
+    case Component::kHyper: return "hyper";
+    case Component::kGuest: return "guest";
+    case Component::kComm: return "comm";
+    case Component::kMm: return "mm";
+    case Component::kCore: return "core";
+    case Component::kObs: return "obs";
+  }
+  return "?";
+}
+
+std::string format_line(Level lvl, Component component,
+                        const std::string& message) {
+  const char* comp = component_name(component);
+  const bool tagged = comp[0] != '\0';
+  if (t_clock != nullptr) {
+    const double t_s = to_seconds(t_clock(t_clock_ctx));
+    if (tagged) {
+      return strfmt("[t=%.3fs %s] [%s] %s", t_s, comp, level_name(lvl),
+                    message.c_str());
+    }
+    return strfmt("[t=%.3fs] [%s] %s", t_s, level_name(lvl), message.c_str());
+  }
+  if (tagged) {
+    return strfmt("[%s] [%s] %s", comp, level_name(lvl), message.c_str());
+  }
+  return strfmt("[%s] %s", level_name(lvl), message.c_str());
+}
+
 void write(Level lvl, const char* fmt, ...) {
   if (!enabled(lvl)) return;
   std::va_list args;
   va_start(args, fmt);
-  vwrite(lvl, fmt, args);
+  vwrite(lvl, Component::kGeneric, fmt, args);
+  va_end(args);
+}
+
+void write(Level lvl, Component component, const char* fmt, ...) {
+  if (!enabled(lvl)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  vwrite(lvl, component, fmt, args);
   va_end(args);
 }
 
@@ -49,7 +105,14 @@ void write(Level lvl, const char* fmt, ...) {
     if (!enabled(lvl)) return;                        \
     std::va_list args;                                \
     va_start(args, fmt);                              \
-    vwrite(lvl, fmt, args);                           \
+    vwrite(lvl, Component::kGeneric, fmt, args);      \
+    va_end(args);                                     \
+  }                                                   \
+  void name(Component component, const char* fmt, ...) { \
+    if (!enabled(lvl)) return;                        \
+    std::va_list args;                                \
+    va_start(args, fmt);                              \
+    vwrite(lvl, component, fmt, args);                \
     va_end(args);                                     \
   }
 

@@ -157,6 +157,11 @@ void VcpuRunner::run_batch() {
   const SimTime deadline = t + config_.batch_budget;
   auto release_core = [&](SimTime compute_end) {
     if (config_.cpu) config_.cpu->occupy(batch_start, compute_end);
+    if (trace_ != nullptr && compute_end > batch_start &&
+        trace_->enabled(obs::kCatGuest)) {
+      trace_->span(obs::kCatGuest, trace_track_, "vcpu_batch", batch_start,
+                   compute_end - batch_start);
+    }
   };
 
   while (t < deadline) {

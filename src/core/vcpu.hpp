@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "guest/guest_kernel.hpp"
+#include "obs/trace.hpp"
 #include "sim/cpu.hpp"
 #include "sim/simulator.hpp"
 #include "workloads/workload.hpp"
@@ -59,6 +60,13 @@ class VcpuRunner {
   void request_stop();
 
   void set_marker_hook(MarkerHook hook) { marker_hook_ = std::move(hook); }
+
+  /// Attaches a trace recorder: every executed batch becomes a span on
+  /// `track` (category guest). nullptr detaches.
+  void set_trace(obs::TraceRecorder* trace, std::uint16_t track) {
+    trace_ = trace;
+    trace_track_ = track;
+  }
 
   bool started() const { return started_; }
   bool finished() const { return finished_; }
@@ -113,6 +121,8 @@ class VcpuRunner {
   SimTime finish_time_ = 0;
   std::vector<Milestone> milestones_;
   MarkerHook marker_hook_;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint16_t trace_track_ = 0;
 };
 
 }  // namespace smartmem::core

@@ -6,8 +6,32 @@
 
 namespace smartmem::core {
 
+namespace {
+
+SimTime node_sim_clock(const void* ctx) {
+  return static_cast<const sim::Simulator*>(ctx)->now();
+}
+
+/// Stamps this thread's log lines with the node's simulated time for the
+/// guard's lifetime (run() installs one; parallel workers each get their
+/// own thread-local clock).
+class LogClockGuard {
+ public:
+  explicit LogClockGuard(const sim::Simulator& sim) {
+    log::set_sim_clock(&node_sim_clock, &sim);
+  }
+  ~LogClockGuard() { log::set_sim_clock(nullptr, nullptr); }
+  LogClockGuard(const LogClockGuard&) = delete;
+  LogClockGuard& operator=(const LogClockGuard&) = delete;
+};
+
+}  // namespace
+
 VirtualNode::VirtualNode(NodeConfig config)
     : config_(std::move(config)), cpu_pool_(config_.physical_cores) {
+  if (config_.obs.any()) {
+    observer_ = std::make_unique<obs::Observer>(config_.obs);
+  }
   hyper::HypervisorConfig hcfg;
   hcfg.total_tmem_pages = config_.tmem_pages;
   hcfg.nvm_tmem_pages = config_.nvm_tmem_pages;
@@ -26,9 +50,12 @@ VirtualNode::VirtualNode(NodeConfig config)
   }
 
   if (config_.policy.needs_manager()) {
+    mm::ManagerConfig mcfg;
+    mcfg.sample_interval = config_.sample_interval;
     manager_ = std::make_unique<mm::MemoryManager>(
         mm::make_policy(config_.policy),
-        config_.tmem_pages + config_.nvm_tmem_pages);
+        config_.tmem_pages + config_.nvm_tmem_pages, mcfg);
+    manager_->set_clock([this] { return sim_.now(); });
     tkm_ = std::make_unique<guest::Tkm>(sim_, *hyp_, config_.comm);
     manager_->set_sender(
         [this](const hyper::TargetsMsg& msg) { tkm_->submit_targets(msg); });
@@ -74,6 +101,13 @@ VmId VirtualNode::add_vm(VmSpec spec) {
                                            std::move(spec.workload), vcfg);
   vm.runner->set_marker_hook([this, id](const std::string& label,
                                         SimTime when) {
+    if (observer_) {
+      obs::TraceRecorder* tr = observer_->trace();
+      if (tr != nullptr && tr->enabled(obs::kCatWorkload)) {
+        tr->instant(obs::kCatWorkload, workload_track_, tr->intern(label),
+                    when, {{"vm", static_cast<double>(id)}});
+      }
+    }
     if (marker_hook_) marker_hook_(id, label, when);
   });
 
@@ -117,11 +151,53 @@ void VirtualNode::record_usage() {
   usage_.series("free").push(now, static_cast<double>(hyp_->free_tmem()));
 }
 
+void VirtualNode::wire_observability() {
+  obs::TraceRecorder* trace = observer_->trace();
+  obs::Registry* registry = observer_->registry();
+
+  if (trace != nullptr) {
+    workload_track_ = trace->register_track("workload", "markers");
+    hyp_->set_trace(trace);
+    for (VmId id = 1; id <= vms_.size(); ++id) {
+      vms_[id - 1].runner->set_trace(
+          trace, trace->register_track("guest", vms_[id - 1].name));
+    }
+  }
+  if (tkm_) tkm_->attach_obs(trace, registry);
+  if (manager_) {
+    manager_->attach_obs(trace, observer_->audit());
+    if (registry != nullptr) manager_->register_metrics(*registry);
+  }
+  if (registry != nullptr) {
+    hyp_->register_metrics(*registry);
+    registry->add_counter("sim.executed_events", [this] {
+      return static_cast<double>(sim_.executed_events());
+    });
+    registry->add_counter("sim.cancelled_events", [this] {
+      return static_cast<double>(sim_.cancelled_events());
+    });
+    registry->add_gauge("sim.pending_events", [this] {
+      return static_cast<double>(sim_.pending_events());
+    });
+    registry->add_gauge("sim.peak_pending_events", [this] {
+      return static_cast<double>(sim_.peak_pending_events());
+    });
+    // Snapshot every sampling interval; these events only read state, so
+    // the simulation's own event interleaving is unaffected.
+    registry->snapshot(sim_.now());
+    metrics_sampler_ = sim_.schedule_periodic(
+        config_.sample_interval,
+        [this] { observer_->registry()->snapshot(sim_.now()); });
+  }
+}
+
 void VirtualNode::start() {
   if (started_) {
     throw std::logic_error("VirtualNode: started twice");
   }
   started_ = true;
+
+  if (observer_) wire_observability();
 
   if (manager_) {
     tkm_->start(
@@ -181,12 +257,14 @@ bool VirtualNode::all_done() const {
 }
 
 SimTime VirtualNode::run(SimTime deadline) {
+  LogClockGuard log_clock(sim_);
   if (!started_) start();
   while (!all_done() && sim_.now() < deadline) {
     if (!sim_.step()) break;
   }
   if (!all_done()) {
-    log::warn("VirtualNode: run() hit the deadline at %.1fs with unfinished VMs",
+    log::warn(log::Component::kCore,
+              "run() hit the deadline at %.1fs with unfinished VMs",
               to_seconds(sim_.now()));
     stop_all();
     // Let the stop requests land so finish times are recorded.
@@ -196,12 +274,24 @@ SimTime VirtualNode::run(SimTime deadline) {
   // Final usage sample so the series cover the full run.
   if (config_.usage_sample_interval > 0) record_usage();
   usage_sampler_.cancel();
+  metrics_sampler_.cancel();
   // Quiesce the control plane: closing the TKM's channels also cancels any
   // in-flight stats/target deliveries, so nothing lands after run() returns.
   if (tkm_) {
     tkm_->stop();
   } else {
     hyp_->stop_sampling();
+  }
+  if (observer_) {
+    // Final snapshot so the metrics cover the full run, then write every
+    // pillar with a configured output path.
+    if (observer_->registry() != nullptr) {
+      observer_->registry()->snapshot(sim_.now());
+    }
+    std::string err;
+    if (!observer_->export_all(&err)) {
+      log::error(log::Component::kObs, "export failed: %s", err.c_str());
+    }
   }
   return sim_.now();
 }

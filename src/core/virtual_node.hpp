@@ -20,6 +20,7 @@
 #include "hyper/hypervisor.hpp"
 #include "mm/manager.hpp"
 #include "mm/policy_factory.hpp"
+#include "obs/observer.hpp"
 #include "core/vcpu.hpp"
 #include "sim/cpu.hpp"
 #include "sim/disk.hpp"
@@ -92,6 +93,11 @@ struct NodeConfig {
   /// then queues behind every other VM's. false gives each VM its own
   /// independent device.
   bool shared_disk = true;
+
+  /// Observability: sim-time tracing, metrics registry and decision audit.
+  /// All off by default — the node then allocates no Observer at all and
+  /// every instrumentation site reduces to one null-pointer test.
+  obs::ObsConfig obs;
 };
 
 struct VmSpec {
@@ -159,6 +165,10 @@ class VirtualNode {
   const sim::CpuPool& cpu_pool() const { return cpu_pool_; }
   bool all_done() const;
 
+  /// The node's observability root; nullptr when config().obs is all-off.
+  obs::Observer* observer() { return observer_.get(); }
+  const obs::Observer* observer() const { return observer_.get(); }
+
  private:
   struct VmSlot {
     std::string name;
@@ -174,6 +184,10 @@ class VirtualNode {
   const VmSlot& slot(VmId vm) const;
   void record_usage();
 
+  /// Wires the Observer into every component and registers metrics; called
+  /// once from start(), after all VMs exist.
+  void wire_observability();
+
   NodeConfig config_;
   sim::Simulator sim_;
   sim::CpuPool cpu_pool_;
@@ -186,6 +200,9 @@ class VirtualNode {
   SeriesSet usage_;
   sim::EventHandle usage_sampler_;
   bool started_ = false;
+  std::unique_ptr<obs::Observer> observer_;
+  std::uint16_t workload_track_ = 0;
+  sim::EventHandle metrics_sampler_;
 };
 
 }  // namespace smartmem::core

@@ -51,4 +51,22 @@ comm::SendResult Tkm::submit_targets(const hyper::TargetsMsg& msg) {
   return downlink_.send(msg);
 }
 
+void Tkm::attach_obs(obs::TraceRecorder* trace, obs::Registry* registry) {
+  if (trace != nullptr) {
+    uplink_.set_trace(trace,
+                      trace->register_track("comm", uplink_.config().name));
+    downlink_.set_trace(
+        trace, trace->register_track("comm", downlink_.config().name));
+  } else {
+    uplink_.set_trace(nullptr, 0);
+    downlink_.set_trace(nullptr, 0);
+  }
+  if (registry != nullptr) {
+    comm::register_channel_metrics(*registry, "comm.uplink.",
+                                   &uplink_.stats());
+    comm::register_channel_metrics(*registry, "comm.downlink.",
+                                   &downlink_.stats());
+  }
+}
+
 }  // namespace smartmem::guest

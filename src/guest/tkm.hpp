@@ -59,6 +59,10 @@ class Tkm {
     return downlink_;
   }
 
+  /// Attaches a trace recorder to both hops (one "comm" track per hop) and
+  /// registers their counters/latency metrics; either pointer may be null.
+  void attach_obs(obs::TraceRecorder* trace, obs::Registry* registry);
+
  private:
   /// Derives the channel seed for `which` (0 = uplink, 1 = downlink) when
   /// the per-channel config leaves it at 0.

@@ -2,11 +2,19 @@
 
 #include <algorithm>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
 
 #include "common/logging.hpp"
+#include "common/strfmt.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace smartmem::hyper {
+
+namespace {
+constexpr auto kLogComp = log::Component::kHyper;
+}
 
 Hypervisor::Hypervisor(sim::Simulator& sim, HypervisorConfig config)
     : sim_(sim),
@@ -26,7 +34,8 @@ void Hypervisor::register_vm(VmId vm) {
   if (config_.default_target_mode == DefaultTargetMode::kEqualShare) {
     apply_equal_share_targets();
   }
-  log::debug("hypervisor: registered VM %u (%u VMs total)", vm, vm_count());
+  if (trace_ != nullptr) vm_track(vm);
+  log::debug(kLogComp, "registered VM %u (%u VMs total)", vm, vm_count());
 }
 
 void Hypervisor::unregister_vm(VmId vm) {
@@ -77,11 +86,21 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
   const PageCount used = store_.vm_pages(vm);
   if (used >= data->mm_target) {  // line 5
     ++data->cumul_puts_failed;
+    if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+      trace_->instant(obs::kCatHyper, vm_track(vm), "put_reject:target",
+                      sim_.now(),
+                      {{"used", static_cast<double>(used)},
+                       {"target", static_cast<double>(data->mm_target)}});
+    }
     return OpStatus::kNoCapacity;
   }
   if (store_.combined_free_pages() == 0 &&
       store_.ephemeral_pages() == 0) {  // line 7
     ++data->cumul_puts_failed;
+    if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+      trace_->instant(obs::kCatHyper, vm_track(vm), "put_reject:node_full",
+                      sim_.now(), {{"used", static_cast<double>(used)}});
+    }
     return OpStatus::kNoCapacity;
   }
 
@@ -89,6 +108,10 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
       tmem::TmemKey{pool, object, index}, payload, tier);  // line 10
   if (result == tmem::PutResult::kNoMemory) {
     ++data->cumul_puts_failed;
+    if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+      trace_->instant(obs::kCatHyper, vm_track(vm), "put_reject:store_full",
+                      sim_.now(), {{"used", static_cast<double>(used)}});
+    }
     return OpStatus::kNoCapacity;
   }
 
@@ -189,8 +212,14 @@ void Hypervisor::set_targets(const MmOut& targets) {
   for (const MmTarget& t : targets) {
     VmData* data = find_vm(t.vm_id);
     if (data == nullptr) {
-      log::warn("hypervisor: target for unknown VM %u ignored", t.vm_id);
+      log::warn(kLogComp, "target for unknown VM %u ignored", t.vm_id);
       continue;
+    }
+    if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+      trace_->instant(obs::kCatHyper, vm_track(t.vm_id), "target_applied",
+                      sim_.now(),
+                      {{"before", static_cast<double>(data->mm_target)},
+                       {"after", static_cast<double>(t.mm_target)}});
     }
     data->mm_target = t.mm_target;
     ++data->targets_applied;
@@ -202,7 +231,13 @@ void Hypervisor::apply_targets(const TargetsMsg& msg) {
   if (msg.seq != 0) {
     if (msg.seq <= last_target_seq_) {
       ++stale_targets_dropped_;
-      log::debug("hypervisor: dropped stale mm_out seq %llu (last %llu)",
+      if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+        trace_->instant(obs::kCatHyper, hyper_track_, "targets_stale",
+                        sim_.now(),
+                        {{"seq", static_cast<double>(msg.seq)},
+                         {"last_seq", static_cast<double>(last_target_seq_)}});
+      }
+      log::debug(kLogComp, "dropped stale mm_out seq %llu (last %llu)",
                  static_cast<unsigned long long>(msg.seq),
                  static_cast<unsigned long long>(last_target_seq_));
       return;
@@ -236,6 +271,31 @@ void Hypervisor::sample_tick() {
   MemStats stats = snapshot();
   ++samples_taken_;
   stats.seq = samples_taken_;  // 1-based; lets the MM reject stale deliveries
+  if (trace_ != nullptr) {
+    const SimTime now = sim_.now();
+    if (trace_->enabled(obs::kCatHyper)) {
+      // The VIRQ span covers the interval the emitted stats summarize.
+      trace_->span(obs::kCatHyper, hyper_track_, "virq_sample",
+                   last_sample_tick_, now - last_sample_tick_,
+                   {{"seq", static_cast<double>(stats.seq)},
+                    {"free_tmem", static_cast<double>(stats.free_tmem)}});
+      trace_->counter(obs::kCatHyper, hyper_track_, "tmem_pages", now,
+                      {{"used", static_cast<double>(store_.used_pages())},
+                       {"free", static_cast<double>(stats.free_tmem)}});
+    }
+    if (trace_->enabled(obs::kCatTmem)) {
+      // Per-VM interval span: the put/get/flush batch of this interval.
+      for (const auto& [id, data] : vms_) {
+        trace_->span(
+            obs::kCatTmem, vm_track(id), "tmem_interval", last_sample_tick_,
+            now - last_sample_tick_,
+            {{"puts", static_cast<double>(data.puts_total)},
+             {"gets", static_cast<double>(data.gets_total)},
+             {"used", static_cast<double>(store_.vm_pages(id))}});
+      }
+    }
+    last_sample_tick_ = now;
+  }
   if (virq_handler_) virq_handler_(stats);
   // Interval counters restart after each VIRQ (Table I: "in the current
   // sampling interval").
@@ -259,7 +319,13 @@ void Hypervisor::slow_reclaim() {
     const PageCount reclaimed = store_.evict_ephemeral_from_vm(id, quota);
     data.pages_reclaimed += reclaimed;
     if (reclaimed > 0) {
-      log::trace("hypervisor: slow-reclaimed %llu pages from VM %u",
+      if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+        trace_->instant(obs::kCatHyper, vm_track(id), "slow_reclaim",
+                        sim_.now(),
+                        {{"pages", static_cast<double>(reclaimed)},
+                         {"excess", static_cast<double>(excess)}});
+      }
+      log::trace(kLogComp, "slow-reclaimed %llu pages from VM %u",
                  static_cast<unsigned long long>(reclaimed), id);
     }
   }
@@ -294,6 +360,55 @@ std::vector<VmId> Hypervisor::registered_vms() const {
   out.reserve(vms_.size());
   for (const auto& [id, data] : vms_) out.push_back(id);
   return out;
+}
+
+void Hypervisor::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  vm_tracks_.clear();
+  last_sample_tick_ = sim_.now();
+  if (trace_ == nullptr) return;
+  hyper_track_ = trace_->register_track("hyper", "virq");
+  for (const auto& [id, data] : vms_) vm_track(id);
+}
+
+std::uint16_t Hypervisor::vm_track(VmId vm) {
+  auto it = vm_tracks_.find(vm);
+  if (it != vm_tracks_.end()) return it->second;
+  const std::uint16_t track =
+      trace_->register_track("tmem", strfmt("vm%u", vm));
+  vm_tracks_.emplace(vm, track);
+  return track;
+}
+
+void Hypervisor::register_metrics(obs::Registry& reg) const {
+  store_.register_metrics(reg, "tmem.");
+  reg.add_counter("hyper.samples_taken", &samples_taken_);
+  reg.add_counter("hyper.target_updates", &target_updates_);
+  reg.add_counter("hyper.stale_targets_dropped", &stale_targets_dropped_);
+  for (const auto& [id, data] : vms_) {
+    const std::string prefix = strfmt("hyper.vm%u.", id);
+    const VmId vm = id;
+    reg.add_gauge(prefix + "tmem_used", [this, vm] {
+      return static_cast<double>(store_.vm_pages(vm));
+    });
+    reg.add_gauge(prefix + "target", [this, vm] {
+      const VmData* d = find_vm(vm);
+      if (d == nullptr || d->mm_target == kUnlimitedTarget) return -1.0;
+      return static_cast<double>(d->mm_target);
+    });
+    // Signed target-vs-usage gap: positive = headroom below target,
+    // negative = over target (awaiting slow reclaim). NaN when unlimited.
+    reg.add_gauge(prefix + "target_gap", [this, vm] {
+      const VmData* d = find_vm(vm);
+      if (d == nullptr || d->mm_target == kUnlimitedTarget) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      return static_cast<double>(d->mm_target) -
+             static_cast<double>(store_.vm_pages(vm));
+    });
+    reg.add_counter(prefix + "puts_failed", &data.cumul_puts_failed);
+    reg.add_counter(prefix + "pages_reclaimed", &data.pages_reclaimed);
+  }
 }
 
 }  // namespace smartmem::hyper

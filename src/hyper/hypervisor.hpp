@@ -25,6 +25,11 @@
 #include "sim/simulator.hpp"
 #include "tmem/store.hpp"
 
+namespace smartmem::obs {
+class Registry;
+class TraceRecorder;
+}
+
 namespace smartmem::hyper {
 
 /// Return status of a tmem hypercall (S_TMEM / E_TMEM in Table I).
@@ -142,6 +147,19 @@ class Hypervisor {
   std::uint64_t last_target_seq() const { return last_target_seq_; }
   std::vector<VmId> registered_vms() const;
 
+  // ---- Observability --------------------------------------------------------
+
+  /// Attaches a trace recorder: sampling VIRQs become interval spans on a
+  /// "hyper" track, each VM gets a tmem-activity track with per-interval
+  /// spans, and Algorithm 1 rejections / target updates / slow reclaim emit
+  /// instants. nullptr detaches. The disabled path costs one pointer test.
+  void set_trace(obs::TraceRecorder* trace);
+
+  /// Registers hypervisor + store counters and per-VM target-vs-usage gap
+  /// gauges into `reg`. Call after all VMs are registered (registration
+  /// closes at the first snapshot).
+  void register_metrics(obs::Registry& reg) const;
+
  private:
   VmData* find_vm(VmId vm);
   const VmData* find_vm(VmId vm) const;
@@ -156,6 +174,9 @@ class Hypervisor {
   void apply_equal_share_targets();
   void slow_reclaim();
 
+  /// Creates (once) the per-VM trace track. Only called when trace_ is set.
+  std::uint16_t vm_track(VmId vm);
+
   sim::Simulator& sim_;
   HypervisorConfig config_;
   tmem::TmemStore store_;
@@ -168,6 +189,10 @@ class Hypervisor {
   std::uint64_t target_updates_ = 0;
   std::uint64_t last_target_seq_ = 0;
   std::uint64_t stale_targets_dropped_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::uint16_t hyper_track_ = 0;
+  std::map<VmId, std::uint16_t> vm_tracks_;
+  SimTime last_sample_tick_ = 0;
 };
 
 }  // namespace smartmem::hyper

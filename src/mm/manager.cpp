@@ -1,11 +1,19 @@
 #include "mm/manager.hpp"
 
+#include <cmath>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
 
 namespace smartmem::mm {
+
+namespace {
+constexpr auto kLogComp = log::Component::kMm;
+}
 
 MemoryManager::MemoryManager(PolicyPtr policy, PageCount total_tmem,
                              ManagerConfig config)
@@ -18,11 +26,77 @@ MemoryManager::MemoryManager(PolicyPtr policy, PageCount total_tmem,
   }
 }
 
+void MemoryManager::attach_obs(obs::TraceRecorder* trace,
+                               obs::AuditLog* audit) {
+  trace_ = trace;
+  audit_ = audit;
+  if (trace_ != nullptr) mm_track_ = trace_->register_track("mm", "policy");
+}
+
+void MemoryManager::register_metrics(obs::Registry& reg) const {
+  reg.add_counter("mm.samples_seen", &samples_seen_);
+  reg.add_counter("mm.targets_sent", &targets_sent_);
+  reg.add_counter("mm.sends_suppressed", &sends_suppressed_);
+  reg.add_counter("mm.stale_samples_dropped", &stale_samples_dropped_);
+  reg.add_gauge("mm.last_sample_seq",
+                [this] { return static_cast<double>(last_sample_seq_); });
+  // Derived staleness gauge: age *now* of the newest delivered sample, in
+  // sampling intervals. NaN until the first delivery or without a clock.
+  reg.add_gauge("mm.stats_staleness_intervals", [this] {
+    if (!clock_ || last_stats_when_ < 0 || config_.sample_interval <= 0) {
+      return std::numeric_limits<double>::quiet_NaN();
+    }
+    return static_cast<double>(clock_() - last_stats_when_) /
+           static_cast<double>(config_.sample_interval);
+  });
+}
+
+void MemoryManager::fill_audit_verdicts(obs::DecisionRecord& record,
+                                        const hyper::MemStats& stats,
+                                        const hyper::MmOut& out) {
+  if (!scratch_.vms.empty()) {
+    record.renormalized = scratch_.renormalized;
+    record.renorm_factor = scratch_.renorm_factor;
+    record.vms = scratch_.vms;
+    return;
+  }
+  // Policy did not fill the scratch: synthesize a before/after diff so the
+  // record still names a verdict per VM.
+  record.vms.reserve(out.size());
+  for (const hyper::MmTarget& t : out) {
+    obs::VmVerdict v;
+    v.vm = t.vm_id;
+    v.target_after = t.mm_target;
+    v.condition = "policy:diff";
+    for (const hyper::VmMemStats& s : stats.vm) {
+      if (s.vm_id != t.vm_id) continue;
+      v.target_before = s.mm_target;
+      v.failed_puts = s.puts_total - s.puts_succ;
+      v.tmem_used = s.tmem_used;
+      if (s.mm_target != kUnlimitedTarget) {
+        v.slack_pages = static_cast<double>(s.mm_target) -
+                        static_cast<double>(s.tmem_used);
+      }
+      break;
+    }
+    if (v.target_before == kUnlimitedTarget) {
+      v.verdict = t.mm_target == kUnlimitedTarget ? "hold" : "limit";
+    } else if (t.mm_target > v.target_before) {
+      v.verdict = "grow";
+    } else if (t.mm_target < v.target_before) {
+      v.verdict = "shrink";
+    } else {
+      v.verdict = "hold";
+    }
+    record.vms.push_back(v);
+  }
+}
+
 void MemoryManager::on_stats(const hyper::MemStats& stats) {
   if (stats.seq != 0) {
     if (stats.seq <= last_sample_seq_) {
       ++stale_samples_dropped_;
-      log::debug("MemoryManager: dropped stale memstats seq %llu (last %llu)",
+      log::debug(kLogComp, "dropped stale memstats seq %llu (last %llu)",
                  static_cast<unsigned long long>(stats.seq),
                  static_cast<unsigned long long>(last_sample_seq_));
       return;
@@ -32,24 +106,74 @@ void MemoryManager::on_stats(const hyper::MemStats& stats) {
   ++samples_seen_;
   history_.record(stats);
 
+  const SimTime now = clock_ ? clock_() : stats.when;
+  last_stats_when_ = stats.when;
+  last_stats_age_ =
+      config_.sample_interval > 0
+          ? static_cast<double>(now - stats.when) /
+                static_cast<double>(config_.sample_interval)
+          : 0.0;
+
   PolicyContext ctx;
   ctx.total_tmem = total_tmem_;
   ctx.history = &history_;
+  ctx.stats_age_intervals = last_stats_age_;
+  if (audit_ != nullptr) {
+    scratch_.clear();
+    ctx.audit = &scratch_;
+  }
 
   hyper::MmOut out = policy_->compute(stats, ctx);
-  if (out.empty()) return;
+
+  if (trace_ != nullptr && trace_->enabled(obs::kCatMm)) {
+    // Span from sample capture to decision: its length is the staleness the
+    // decision acted under (uplink latency included).
+    trace_->span(obs::kCatMm, mm_track_, "policy_decide", stats.when,
+                 now - stats.when,
+                 {{"seq", static_cast<double>(stats.seq)},
+                  {"targets", static_cast<double>(out.size())},
+                  {"age_intervals", last_stats_age_}});
+  }
+
+  obs::DecisionRecord record;
+  const bool auditing = audit_ != nullptr;
+  if (auditing) {
+    record.stats_seq = stats.seq;
+    record.stats_when = stats.when;
+    record.decided_at = now;
+    record.stats_age_intervals = last_stats_age_;
+    record.policy = policy_->name();
+    fill_audit_verdicts(record, stats, out);
+  }
+
+  if (out.empty()) {
+    if (auditing) {
+      record.empty_output = true;
+      audit_->append(std::move(record));
+    }
+    return;
+  }
 
   // send_to_hypervisor(): skip transmission when nothing changed.
   if (config_.suppress_unchanged && last_sent_ && *last_sent_ == out) {
     ++sends_suppressed_;
+    if (auditing) {
+      record.suppressed = true;
+      audit_->append(std::move(record));
+    }
     return;
   }
   last_sent_ = out;
   ++targets_sent_;
+  if (auditing) {
+    record.sent = true;
+    record.send_seq = next_send_seq_ + 1;
+    audit_->append(std::move(record));
+  }
   if (sender_) {
     sender_(hyper::TargetsMsg{++next_send_seq_, std::move(out)});
   } else {
-    log::warn("MemoryManager: no sender attached; targets dropped");
+    log::warn(kLogComp, "no sender attached; targets dropped");
   }
 }
 

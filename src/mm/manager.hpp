@@ -16,6 +16,12 @@
 #include "common/types.hpp"
 #include "hyper/memstats.hpp"
 #include "mm/policy.hpp"
+#include "obs/audit.hpp"
+
+namespace smartmem::obs {
+class Registry;
+class TraceRecorder;
+}
 
 namespace smartmem::mm {
 
@@ -24,6 +30,9 @@ struct ManagerConfig {
   bool suppress_unchanged = true;
   /// History depth in samples.
   std::size_t history_depth = 120;
+  /// The hypervisor's sampling interval; only used to normalize the
+  /// stats-staleness readings to "intervals".
+  SimTime sample_interval = kSecond;
 };
 
 class MemoryManager {
@@ -57,7 +66,31 @@ class MemoryManager {
   std::uint64_t last_sample_seq() const { return last_sample_seq_; }
   const std::optional<hyper::MmOut>& last_sent() const { return last_sent_; }
 
+  // ---- Observability --------------------------------------------------------
+
+  /// Installs a simulated-time source. Needed for staleness readings and
+  /// the decision trace spans; without it stats_age_intervals stays 0.
+  using Clock = std::function<SimTime()>;
+  void set_clock(Clock clock) { clock_ = std::move(clock); }
+
+  /// Attaches the trace recorder (policy invocations become spans on an
+  /// "mm" track) and/or the decision audit log. nullptr disables either.
+  void attach_obs(obs::TraceRecorder* trace, obs::AuditLog* audit);
+
+  /// Registers MM counters plus the stats-staleness gauge into `reg`.
+  void register_metrics(obs::Registry& reg) const;
+
+  /// Staleness of the most recently delivered sample, measured at delivery
+  /// time, in sampling intervals.
+  double last_stats_age_intervals() const { return last_stats_age_; }
+
  private:
+  /// Fills `record` from the scratch the policy populated, or synthesizes
+  /// generic before/after verdicts when the policy ignored the scratch.
+  void fill_audit_verdicts(obs::DecisionRecord& record,
+                           const hyper::MemStats& stats,
+                           const hyper::MmOut& out);
+
   PolicyPtr policy_;
   PageCount total_tmem_;
   ManagerConfig config_;
@@ -70,6 +103,13 @@ class MemoryManager {
   std::uint64_t last_sample_seq_ = 0;
   std::uint64_t stale_samples_dropped_ = 0;
   std::uint64_t next_send_seq_ = 0;
+  Clock clock_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::AuditLog* audit_ = nullptr;
+  std::uint16_t mm_track_ = 0;
+  obs::PolicyAuditScratch scratch_;  // reused across decisions
+  SimTime last_stats_when_ = -1;     // capture time of last delivered sample
+  double last_stats_age_ = 0.0;
 };
 
 }  // namespace smartmem::mm

@@ -12,6 +12,7 @@
 #include "common/types.hpp"
 #include "hyper/memstats.hpp"
 #include "mm/history.hpp"
+#include "obs/audit.hpp"
 
 namespace smartmem::mm {
 
@@ -21,6 +22,18 @@ struct PolicyContext {
 
   /// Sample history recorded by the MM (never null during compute()).
   const StatsHistory* history = nullptr;
+
+  /// Read-only staleness of the sample being acted on, in sampling
+  /// intervals: (delivery time - capture time) / sample_interval. 0.0 when
+  /// the MM has no clock (tests driving on_stats directly). Policies may
+  /// consult it (e.g. to damp decisions on stale data); none do by default,
+  /// so behaviour is unchanged.
+  double stats_age_intervals = 0.0;
+
+  /// Non-null when decision auditing is enabled. Policies record per-VM
+  /// verdicts (with the Algorithm 4 condition that fired) here; policies
+  /// that ignore it get a generic before/after diff synthesized by the MM.
+  obs::PolicyAuditScratch* audit = nullptr;
 };
 
 class Policy {

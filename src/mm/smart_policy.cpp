@@ -31,6 +31,8 @@ hyper::MmOut SmartPolicy::compute(const hyper::MemStats& stats,
   hyper::MmOut out;
   out.reserve(stats.vm.size());
   double sum_targets = 0.0;  // line 4
+  obs::PolicyAuditScratch* audit = ctx.audit;
+  if (audit != nullptr) audit->vms.reserve(stats.vm.size());
 
   for (const auto& vm : stats.vm) {  // lines 5-26
     // The hypervisor reports an unlimited target before any MM update has
@@ -42,24 +44,43 @@ hyper::MmOut SmartPolicy::compute(const hyper::MemStats& stats,
             : static_cast<double>(vm.mm_target);
 
     const std::uint64_t failed_puts = vm.puts_total - vm.puts_succ;  // line 8
+    const double difference = curr_tgt - static_cast<double>(vm.tmem_used);
+    const char* verdict = "hold";
+    const char* condition = "alg4:slack<=threshold";
     double mm_target;
     if (failed_puts > 0) {
       // Lines 10-12: the VM hit its ceiling during the last interval; grant
       // it P% of the node's tmem more.
       const double incr = config_.p_percent * local_tmem / 100.0;
       mm_target = curr_tgt + incr;
+      verdict = "grow";
+      condition = "alg4:failed_puts>0";
     } else {
       // Lines 14-21: shrink only when the VM leaves more slack than the
       // threshold, to avoid oscillation.
-      const double difference = curr_tgt - static_cast<double>(vm.tmem_used);
       if (difference > static_cast<double>(threshold)) {
         mm_target = (100.0 - config_.p_percent) * curr_tgt / 100.0;
+        verdict = "shrink";
+        condition = "alg4:slack>threshold";
       } else {
         mm_target = curr_tgt;
       }
     }
     out.push_back({vm.vm_id, static_cast<PageCount>(mm_target)});
     sum_targets += mm_target;  // line 25
+
+    if (audit != nullptr) {
+      obs::VmVerdict v;
+      v.vm = vm.vm_id;
+      v.verdict = verdict;
+      v.condition = condition;
+      v.target_before = static_cast<PageCount>(curr_tgt);
+      v.target_after = static_cast<PageCount>(mm_target);
+      v.failed_puts = failed_puts;
+      v.tmem_used = vm.tmem_used;
+      v.slack_pages = difference;
+      audit->vms.push_back(v);
+    }
   }
 
   // Lines 27-33 (Equation 2): proportional scale-down when over-allocated,
@@ -67,9 +88,18 @@ hyper::MmOut SmartPolicy::compute(const hyper::MemStats& stats,
   // page stays assigned (Equation 1).
   if (sum_targets > local_tmem && sum_targets > 0.0) {
     const double factor = local_tmem / sum_targets;  // line 28
-    for (auto& t : out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      auto& t = out[i];
       t.mm_target = static_cast<PageCount>(
           std::floor(static_cast<double>(t.mm_target) * factor));
+      if (audit != nullptr) {
+        audit->vms[i].target_after = t.mm_target;
+        audit->vms[i].renormalized = true;
+      }
+    }
+    if (audit != nullptr) {
+      audit->renormalized = true;
+      audit->renorm_factor = factor;
     }
   }
   return out;  // line 34 (send; the MM suppresses unchanged vectors)

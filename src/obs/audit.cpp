@@ -1,0 +1,77 @@
+#include "obs/audit.hpp"
+
+#include <fstream>
+
+#include "common/strfmt.hpp"
+
+namespace smartmem::obs {
+
+namespace {
+
+std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// kUnlimitedTarget would print as 2^64-1 and dwarf every real value; encode
+/// the greedy "no limit" sentinel as JSON null instead.
+std::string target_json(PageCount t) {
+  if (t == kUnlimitedTarget) return "null";
+  return strfmt("%llu", static_cast<unsigned long long>(t));
+}
+
+}  // namespace
+
+std::string AuditLog::to_json_line(const DecisionRecord& r) {
+  std::string line = strfmt(
+      "{\"stats_seq\":%llu,\"stats_when_s\":%.6f,\"decided_at_s\":%.6f,"
+      "\"stats_age_intervals\":%.4f,\"policy\":\"%s\",\"sent\":%s,"
+      "\"suppressed\":%s,\"empty_output\":%s,\"send_seq\":%llu,"
+      "\"renormalized\":%s,\"renorm_factor\":%.6f,\"vms\":[",
+      static_cast<unsigned long long>(r.stats_seq), to_seconds(r.stats_when),
+      to_seconds(r.decided_at), r.stats_age_intervals,
+      escape(r.policy).c_str(), r.sent ? "true" : "false",
+      r.suppressed ? "true" : "false", r.empty_output ? "true" : "false",
+      static_cast<unsigned long long>(r.send_seq),
+      r.renormalized ? "true" : "false", r.renorm_factor);
+  for (std::size_t i = 0; i < r.vms.size(); ++i) {
+    const VmVerdict& v = r.vms[i];
+    if (i > 0) line += ",";
+    line += strfmt(
+        "{\"vm\":%u,\"verdict\":\"%s\",\"condition\":\"%s\","
+        "\"target_before\":%s,\"target_after\":%s,\"failed_puts\":%llu,"
+        "\"tmem_used\":%llu,\"slack_pages\":%.1f,\"renormalized\":%s}",
+        v.vm, escape(v.verdict).c_str(), escape(v.condition).c_str(),
+        target_json(v.target_before).c_str(),
+        target_json(v.target_after).c_str(),
+        static_cast<unsigned long long>(v.failed_puts),
+        static_cast<unsigned long long>(v.tmem_used), v.slack_pages,
+        v.renormalized ? "true" : "false");
+  }
+  line += "]}";
+  return line;
+}
+
+bool AuditLog::export_jsonl(const std::string& path, std::string* err) const {
+  std::ofstream out(path);
+  if (!out) {
+    if (err) *err = "cannot open " + path;
+    return false;
+  }
+  for (const DecisionRecord& r : records_) {
+    out << to_json_line(r) << "\n";
+  }
+  out.close();
+  if (!out) {
+    if (err) *err = "write failed for " + path;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace smartmem::obs

@@ -1,0 +1,88 @@
+// Policy decision audit log (observability pillar 3).
+//
+// Every Memory Manager decision — one per delivered memstats sample — is
+// recorded as a structured DecisionRecord: which sample (seq + capture time)
+// it acted on, how stale that sample was, the per-VM verdicts with the
+// Algorithm 4 condition that fired, targets before and after, and whether
+// the resulting vector was sent or suppressed. The log answers "why did
+// smart-alloc grow VM2's target at t=417s" without rerunning anything.
+//
+// Policies fill a PolicyAuditScratch handed to them through PolicyContext
+// (null when auditing is off — the zero-cost disabled path); the MM turns
+// the scratch into a DecisionRecord. Policies that ignore the scratch get a
+// generic before/after diff synthesized by the MM instead, so every record
+// carries a verdict and a condition regardless of policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace smartmem::obs {
+
+/// One VM's slice of a policy decision. `verdict` and `condition` are
+/// static strings supplied by the policy ("grow" / "alg4:failed_puts>0").
+struct VmVerdict {
+  VmId vm = kInvalidVm;
+  const char* verdict = "hold";
+  const char* condition = "";
+  PageCount target_before = 0;
+  PageCount target_after = 0;
+  std::uint64_t failed_puts = 0;  // in the sample's interval
+  PageCount tmem_used = 0;
+  double slack_pages = 0.0;  // target_before - tmem_used (Alg 4 "difference")
+  bool renormalized = false;  // Equation 2 scale-down touched this target
+};
+
+/// Scratch the policy fills during compute() when auditing is enabled.
+struct PolicyAuditScratch {
+  bool renormalized = false;
+  double renorm_factor = 1.0;
+  std::vector<VmVerdict> vms;
+
+  void clear() {
+    renormalized = false;
+    renorm_factor = 1.0;
+    vms.clear();
+  }
+};
+
+/// One Memory Manager decision, ready for JSONL export.
+struct DecisionRecord {
+  std::uint64_t stats_seq = 0;   // seq of the memstats sample acted on
+  SimTime stats_when = 0;        // when the hypervisor captured it
+  SimTime decided_at = 0;        // when the MM ran the policy
+  double stats_age_intervals = 0.0;
+  std::string policy;
+  bool sent = false;        // a (new) target vector went to the hypervisor
+  bool suppressed = false;  // vector unchanged; transmission skipped
+  bool empty_output = false;  // policy returned "no targets"
+  std::uint64_t send_seq = 0;   // downlink seq when sent
+  bool renormalized = false;
+  double renorm_factor = 1.0;
+  std::vector<VmVerdict> vms;
+};
+
+class AuditLog {
+ public:
+  void append(DecisionRecord record) {
+    records_.push_back(std::move(record));
+  }
+
+  const std::vector<DecisionRecord>& records() const { return records_; }
+  std::size_t size() const { return records_.size(); }
+
+  /// Serializes one record as a single JSON line (exposed for tests).
+  static std::string to_json_line(const DecisionRecord& record);
+
+  /// Writes every record as one JSON object per line. Returns false and
+  /// sets *err on failure.
+  bool export_jsonl(const std::string& path, std::string* err) const;
+
+ private:
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace smartmem::obs

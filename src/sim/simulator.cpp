@@ -38,6 +38,7 @@ void Simulator::release_slot(std::uint32_t slot) {
 void Simulator::heap_push(Event ev) {
   heap_.push_back(std::move(ev));
   std::push_heap(heap_.begin(), heap_.end(), Later{});
+  if (heap_.size() > peak_pending_) peak_pending_ = heap_.size();
 }
 
 Simulator::Event Simulator::heap_pop() {
@@ -105,6 +106,7 @@ bool Simulator::step() {
     Event ev = heap_pop();
     if (slots_[ev.slot].cancelled) {
       release_slot(ev.slot);
+      ++cancelled_;
       continue;
     }
     assert(ev.when >= now_);
@@ -129,6 +131,7 @@ SimTime Simulator::run_until(SimTime deadline) {
     const Event& head = heap_.front();
     if (slots_[head.slot].cancelled) {
       release_slot(heap_pop().slot);
+      ++cancelled_;
       continue;
     }
     if (head.when > deadline) break;

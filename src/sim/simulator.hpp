@@ -83,6 +83,13 @@ class Simulator {
   std::size_t pending_events() const { return heap_.size(); }
   std::uint64_t executed_events() const { return executed_; }
 
+  /// High-water mark of the event queue over the simulator's lifetime.
+  std::size_t peak_pending_events() const { return peak_pending_; }
+
+  /// Events that reached the head of the queue already cancelled (they are
+  /// discarded without executing).
+  std::uint64_t cancelled_events() const { return cancelled_; }
+
  private:
   friend class EventHandle;
 
@@ -129,6 +136,8 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
+  std::size_t peak_pending_ = 0;
   std::vector<Event> heap_;  // binary heap ordered by Later
   std::vector<Slot> slots_;
   std::vector<std::uint32_t> free_slots_;

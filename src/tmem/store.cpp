@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/registry.hpp"
+
 namespace smartmem::tmem {
 
 TmemStore::TmemStore(StoreConfig config)
@@ -299,6 +301,27 @@ PageCount TmemStore::evict_ephemeral_from_vm(VmId vm, PageCount max_pages) {
     cursor = next;
   }
   return evicted;
+}
+
+void TmemStore::register_metrics(obs::Registry& reg,
+                                 const std::string& prefix) const {
+  reg.add_counter(prefix + "puts_stored", &stats_.puts_stored);
+  reg.add_counter(prefix + "puts_replaced", &stats_.puts_replaced);
+  reg.add_counter(prefix + "puts_failed", &stats_.puts_failed);
+  reg.add_counter(prefix + "gets_hit", &stats_.gets_hit);
+  reg.add_counter(prefix + "gets_miss", &stats_.gets_miss);
+  reg.add_counter(prefix + "pages_flushed", &stats_.pages_flushed);
+  reg.add_counter(prefix + "ephemeral_evictions", &stats_.ephemeral_evictions);
+  reg.add_gauge(prefix + "used_pages",
+                [this] { return static_cast<double>(used_pages()); });
+  reg.add_gauge(prefix + "free_pages",
+                [this] { return static_cast<double>(free_pages_); });
+  reg.add_gauge(prefix + "ephemeral_pages",
+                [this] { return static_cast<double>(ephemeral_count_); });
+  if (config_.nvm_pages > 0) {
+    reg.add_gauge(prefix + "nvm_used_pages",
+                  [this] { return static_cast<double>(nvm_used_pages()); });
+  }
 }
 
 }  // namespace smartmem::tmem

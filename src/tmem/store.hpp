@@ -9,12 +9,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/types.hpp"
 #include "tmem/key.hpp"
+
+namespace smartmem::obs {
+class Registry;
+}
 
 namespace smartmem::tmem {
 
@@ -115,6 +120,11 @@ class TmemStore {
   PageCount ephemeral_pages() const { return ephemeral_count_; }
 
   const StoreStats& stats() const { return stats_; }
+
+  /// Registers the store's counters and capacity gauges into `reg`, names
+  /// prefixed with `prefix` (e.g. "tmem."). The registry reads the live
+  /// counters at snapshot time; the store must outlive it.
+  void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
   // The global ephemeral LRU is an intrusive doubly-linked list threaded

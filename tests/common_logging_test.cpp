@@ -1,0 +1,65 @@
+#include "common/logging.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/types.hpp"
+
+namespace smartmem::log {
+namespace {
+
+SimTime fixed_clock(const void* ctx) {
+  return *static_cast<const SimTime*>(ctx);
+}
+
+class LoggingFormatTest : public ::testing::Test {
+ protected:
+  void TearDown() override { set_sim_clock(nullptr, nullptr); }
+};
+
+TEST_F(LoggingFormatTest, BareLineWithoutClockOrComponent) {
+  EXPECT_FALSE(has_sim_clock());
+  EXPECT_EQ(format_line(Level::kWarn, Component::kGeneric, "msg"),
+            "[warn] msg");
+}
+
+TEST_F(LoggingFormatTest, ComponentTagOnly) {
+  EXPECT_EQ(format_line(Level::kError, Component::kHyper, "bad target"),
+            "[hyper] [error] bad target");
+}
+
+TEST_F(LoggingFormatTest, SimTimeStampOnly) {
+  const SimTime t = 412 * kSecond + 3 * kMillisecond;
+  set_sim_clock(&fixed_clock, &t);
+  EXPECT_TRUE(has_sim_clock());
+  EXPECT_EQ(format_line(Level::kInfo, Component::kGeneric, "msg"),
+            "[t=412.003s] [info] msg");
+}
+
+TEST_F(LoggingFormatTest, SimTimeStampAndComponentTag) {
+  const SimTime t = 412 * kSecond + 3 * kMillisecond;
+  set_sim_clock(&fixed_clock, &t);
+  EXPECT_EQ(format_line(Level::kWarn, Component::kHyper, "target ignored"),
+            "[t=412.003s hyper] [warn] target ignored");
+}
+
+TEST_F(LoggingFormatTest, ClockClearRestoresBareFormat) {
+  const SimTime t = kSecond;
+  set_sim_clock(&fixed_clock, &t);
+  set_sim_clock(nullptr, nullptr);
+  EXPECT_FALSE(has_sim_clock());
+  EXPECT_EQ(format_line(Level::kWarn, Component::kMm, "m"), "[mm] [warn] m");
+}
+
+TEST_F(LoggingFormatTest, ComponentNames) {
+  EXPECT_STREQ(component_name(Component::kSim), "sim");
+  EXPECT_STREQ(component_name(Component::kTmem), "tmem");
+  EXPECT_STREQ(component_name(Component::kHyper), "hyper");
+  EXPECT_STREQ(component_name(Component::kGuest), "guest");
+  EXPECT_STREQ(component_name(Component::kComm), "comm");
+  EXPECT_STREQ(component_name(Component::kMm), "mm");
+  EXPECT_STREQ(component_name(Component::kCore), "core");
+  EXPECT_STREQ(component_name(Component::kObs), "obs");
+}
+
+}  // namespace
+}  // namespace smartmem::log

@@ -63,6 +63,43 @@ TEST(RunningStatsTest, MergeWithEmpty) {
   EXPECT_DOUBLE_EQ(c.mean(), 2.0);
 }
 
+TEST(RunningStatsTest, MergeTwoEmpties) {
+  RunningStats a, b;
+  a.merge(b);
+  EXPECT_EQ(a.count(), 0u);
+  EXPECT_EQ(a.mean(), 0.0);
+  EXPECT_EQ(a.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MergeSingletons) {
+  RunningStats a, b;
+  a.add(2.0);
+  b.add(6.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_DOUBLE_EQ(a.mean(), 4.0);
+  // Sample variance of {2, 6}: (4 + 4) / 1 = 8.
+  EXPECT_NEAR(a.variance(), 8.0, 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), 2.0);
+  EXPECT_DOUBLE_EQ(a.max(), 6.0);
+  EXPECT_DOUBLE_EQ(a.sum(), 8.0);
+}
+
+TEST(RunningStatsTest, MergeSingletonIntoLarger) {
+  RunningStats all, a, b;
+  for (double x : {1.0, 2.0, 3.0, 4.0}) {
+    all.add(x);
+    a.add(x);
+  }
+  all.add(100.0);
+  b.add(100.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.max(), 100.0);
+}
+
 TEST(RunningStatsTest, Reset) {
   RunningStats rs;
   rs.add(5.0);
@@ -105,6 +142,42 @@ TEST(HistogramTest, QuantileOfUniformFill) {
 TEST(HistogramTest, QuantileEmpty) {
   Histogram h(0.0, 1.0, 2);
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInUnderflow) {
+  Histogram h(10.0, 20.0, 4);
+  for (int i = 0; i < 5; ++i) h.add(1.0);
+  // Every sample sits below lo(): all quantiles collapse to the lo() bound.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileAllMassInOverflow) {
+  Histogram h(10.0, 20.0, 4);
+  for (int i = 0; i < 5; ++i) h.add(100.0);
+  // All mass above hi(): every positive quantile saturates at the hi() bound
+  // (q=0 degenerates to lo(), the "nothing below this" answer).
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 20.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 20.0);
+}
+
+TEST(HistogramTest, QuantileSingleBucketInterpolates) {
+  Histogram h(0.0, 10.0, 1);
+  for (int i = 0; i < 4; ++i) h.add(5.0);
+  // One bucket holds everything: the quantile interpolates linearly across
+  // the full [lo, hi) width regardless of where the mass actually sits.
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(HistogramTest, QuantileClampsOutOfRangeQ) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
 }
 
 TEST(SummaryTest, Summarize) {

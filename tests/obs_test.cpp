@@ -1,0 +1,321 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "obs/audit.hpp"
+#include "obs/observer.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smartmem::obs {
+namespace {
+
+std::size_t count_occurrences(const std::string& haystack,
+                              const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// ---- parse_categories -----------------------------------------------------
+
+TEST(TraceCategoriesTest, ParsesSingleAndLists) {
+  std::uint32_t mask = 0;
+  EXPECT_TRUE(parse_categories("tmem", mask));
+  EXPECT_EQ(mask, kCatTmem);
+  EXPECT_TRUE(parse_categories("tmem,hyper,mm", mask));
+  EXPECT_EQ(mask, kCatTmem | kCatHyper | kCatMm);
+  EXPECT_TRUE(parse_categories("comm,guest,workload,sim", mask));
+  EXPECT_EQ(mask, kCatComm | kCatGuest | kCatWorkload | kCatSim);
+}
+
+TEST(TraceCategoriesTest, AllKeyword) {
+  std::uint32_t mask = 0;
+  EXPECT_TRUE(parse_categories("all", mask));
+  EXPECT_EQ(mask, kCatAll);
+}
+
+TEST(TraceCategoriesTest, RejectsUnknownAndEmptyLeavingOutputUntouched) {
+  std::uint32_t mask = 0x1234;
+  EXPECT_FALSE(parse_categories("bogus", mask));
+  EXPECT_FALSE(parse_categories("tmem,bogus", mask));
+  EXPECT_FALSE(parse_categories("", mask));
+  EXPECT_FALSE(parse_categories("tmem,", mask));
+  EXPECT_EQ(mask, 0x1234u);
+}
+
+// ---- TraceRecorder --------------------------------------------------------
+
+TEST(TraceRecorderTest, RecordsSpansInstantsAndCounters) {
+  TraceRecorder trace(TraceConfig{});
+  const auto track = trace.register_track("tmem", "vm1");
+  trace.span(kCatTmem, track, "interval", 1000, 500, {{"puts", 3.0}});
+  trace.instant(kCatTmem, track, "reject", 1200);
+  trace.counter(kCatTmem, track, "pages", 1500, {{"used", 42.0}});
+  EXPECT_EQ(trace.recorded(), 3u);
+  EXPECT_EQ(trace.size(), 3u);
+  EXPECT_EQ(trace.dropped(), 0u);
+
+  const std::string json = trace.to_json();
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"i\""), 1u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 1u);
+  // Spans carry dur, instants carry scope, args render as numbers.
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  EXPECT_NE(json.find("\"s\":\"t\""), std::string::npos);
+  EXPECT_NE(json.find("\"puts\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"used\":42"), std::string::npos);
+}
+
+TEST(TraceRecorderTest, DisabledCategoryRecordsNothing) {
+  TraceConfig cfg;
+  cfg.categories = kCatHyper;
+  TraceRecorder trace(cfg);
+  const auto track = trace.register_track("tmem", "vm1");
+  EXPECT_FALSE(trace.enabled(kCatTmem));
+  EXPECT_TRUE(trace.enabled(kCatHyper));
+  trace.span(kCatTmem, track, "filtered", 0, 10);
+  trace.instant(kCatGuest, track, "filtered", 0);
+  EXPECT_EQ(trace.recorded(), 0u);
+  trace.instant(kCatHyper, track, "kept", 0);
+  EXPECT_EQ(trace.recorded(), 1u);
+}
+
+TEST(TraceRecorderTest, RingDropsOldestWhenFull) {
+  TraceConfig cfg;
+  cfg.capacity = 4;
+  TraceRecorder trace(cfg);
+  const auto track = trace.register_track("sim", "events");
+  for (int i = 0; i < 10; ++i) {
+    trace.instant(kCatSim, track, i < 6 ? "old" : "new",
+                  static_cast<SimTime>(i));
+  }
+  EXPECT_EQ(trace.recorded(), 10u);
+  EXPECT_EQ(trace.size(), 4u);
+  EXPECT_EQ(trace.dropped(), 6u);
+  // Only the most recent window survives.
+  const std::string json = trace.to_json();
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"old\""), 0u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"new\""), 4u);
+}
+
+TEST(TraceRecorderTest, InternDeduplicatesAndOutlivesLookups) {
+  TraceRecorder trace(TraceConfig{});
+  const char* a = trace.intern("phase-1");
+  const char* b = trace.intern("phase-1");
+  const char* c = trace.intern("phase-2");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_STREQ(a, "phase-1");
+}
+
+TEST(TraceRecorderTest, TracksGroupByProcessAndExportIsLoadable) {
+  TraceRecorder trace(TraceConfig{});
+  const auto t1 = trace.register_track("tmem", "vm1");
+  const auto t2 = trace.register_track("tmem", "vm2");
+  const auto t3 = trace.register_track("comm", "uplink");
+  trace.span(kCatTmem, t1, "a", 0, 1);
+  trace.span(kCatTmem, t2, "b", 0, 1);
+  trace.span(kCatComm, t3, "c", 0, 1);
+  EXPECT_EQ(trace.track_count(), 3u);
+
+  const std::string json = trace.to_json();
+  // Two unique processes -> two process_name metadata records; three tracks
+  // -> three thread_name records.
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"process_name\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"name\":\"thread_name\""), 3u);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+
+  const std::string path = ::testing::TempDir() + "/smartmem_obs_trace.json";
+  std::string err;
+  ASSERT_TRUE(trace.export_json(path, &err)) << err;
+  EXPECT_EQ(slurp(path), json);
+}
+
+// ---- Registry -------------------------------------------------------------
+
+TEST(RegistryTest, SnapshotsAndLatest) {
+  Registry reg;
+  std::uint64_t counter = 7;
+  double gauge = 1.5;
+  reg.add_counter("puts", &counter);
+  reg.add_gauge("free_pages", [&gauge] { return gauge; });
+  EXPECT_EQ(reg.metric_count(), 2u);
+
+  EXPECT_TRUE(std::isnan(reg.latest("puts")));
+  reg.snapshot(kSecond);
+  counter = 12;
+  gauge = 2.5;
+  reg.snapshot(2 * kSecond);
+
+  ASSERT_EQ(reg.rows().size(), 2u);
+  EXPECT_DOUBLE_EQ(reg.latest("puts"), 12.0);
+  EXPECT_DOUBLE_EQ(reg.latest("free_pages"), 2.5);
+  EXPECT_TRUE(std::isnan(reg.latest("absent")));
+}
+
+TEST(RegistryTest, RegistrationClosesAtFirstSnapshot) {
+  Registry reg;
+  reg.add_gauge("g", [] { return 0.0; });
+  reg.snapshot(0);
+  EXPECT_THROW(reg.add_gauge("late", [] { return 0.0; }), std::logic_error);
+}
+
+TEST(RegistryTest, HistogramAndRunningStatsExpandToDerivedMetrics) {
+  Registry reg;
+  Histogram hist(0.0, 100.0, 10);
+  RunningStats rs;
+  for (int i = 0; i < 100; ++i) {
+    hist.add(static_cast<double>(i));
+    rs.add(static_cast<double>(i));
+  }
+  reg.add_histogram("lat", &hist);
+  reg.add_running_stats("dur", &rs);
+  reg.snapshot(0);
+  EXPECT_NEAR(reg.latest("lat.p50"), 50.0, 1.0);
+  EXPECT_NEAR(reg.latest("lat.p95"), 95.0, 1.0);
+  EXPECT_NEAR(reg.latest("lat.p99"), 99.0, 1.0);
+  EXPECT_DOUBLE_EQ(reg.latest("lat.count"), 100.0);
+  EXPECT_NEAR(reg.latest("dur.mean"), 49.5, 1e-9);
+  EXPECT_DOUBLE_EQ(reg.latest("dur.max"), 99.0);
+  EXPECT_DOUBLE_EQ(reg.latest("dur.count"), 100.0);
+}
+
+TEST(RegistryTest, ExportsJsonlAndCsvByExtension) {
+  Registry reg;
+  std::uint64_t counter = 3;
+  reg.add_counter("n", &counter);
+  reg.add_gauge("nan_gauge", [] { return std::nan(""); });
+  reg.snapshot(kSecond / 2);
+
+  const std::string jsonl = ::testing::TempDir() + "/smartmem_obs_metrics.jsonl";
+  const std::string csv = ::testing::TempDir() + "/smartmem_obs_metrics.csv";
+  std::string err;
+  ASSERT_TRUE(reg.export_to(jsonl, &err)) << err;
+  ASSERT_TRUE(reg.export_to(csv, &err)) << err;
+
+  const std::string jl = slurp(jsonl);
+  EXPECT_NE(jl.find("\"t_s\":0.500000"), std::string::npos);
+  EXPECT_NE(jl.find("\"n\":3"), std::string::npos);
+  EXPECT_NE(jl.find("\"nan_gauge\":null"), std::string::npos);
+
+  const std::string cs = slurp(csv);
+  EXPECT_NE(cs.find("t_s,n,nan_gauge"), std::string::npos);
+  EXPECT_NE(cs.find("0.500000,3,null"), std::string::npos);
+}
+
+// ---- AuditLog -------------------------------------------------------------
+
+DecisionRecord sample_record() {
+  DecisionRecord rec;
+  rec.stats_seq = 17;
+  rec.stats_when = 4 * kSecond;
+  rec.decided_at = 4 * kSecond + 100 * kMicrosecond;
+  rec.stats_age_intervals = 0.0001;
+  rec.policy = "smart-0.75p";
+  rec.sent = true;
+  rec.send_seq = 9;
+  rec.renormalized = true;
+  rec.renorm_factor = 0.875;
+  VmVerdict vm;
+  vm.vm = 2;
+  vm.verdict = "grow";
+  vm.condition = "alg4:failed_puts>0";
+  vm.target_before = 1000;
+  vm.target_after = 1500;
+  vm.failed_puts = 42;
+  vm.tmem_used = 980;
+  vm.slack_pages = 20.0;
+  vm.renormalized = true;
+  rec.vms.push_back(vm);
+  return rec;
+}
+
+TEST(AuditLogTest, JsonLineNamesConditionSeqAndTargets) {
+  const std::string line = AuditLog::to_json_line(sample_record());
+  // Every audit record must name the stats sample and the Algorithm 4
+  // condition that produced each verdict (the acceptance contract).
+  EXPECT_NE(line.find("\"stats_seq\":17"), std::string::npos);
+  EXPECT_NE(line.find("\"condition\":\"alg4:failed_puts>0\""),
+            std::string::npos);
+  EXPECT_NE(line.find("\"verdict\":\"grow\""), std::string::npos);
+  EXPECT_NE(line.find("\"target_before\":1000"), std::string::npos);
+  EXPECT_NE(line.find("\"target_after\":1500"), std::string::npos);
+  EXPECT_NE(line.find("\"failed_puts\":42"), std::string::npos);
+  EXPECT_NE(line.find("\"renorm_factor\":0.875000"), std::string::npos);
+  EXPECT_EQ(line.find('\n'), std::string::npos) << "must be a single line";
+}
+
+TEST(AuditLogTest, ExportWritesOneLinePerRecord) {
+  AuditLog log;
+  log.append(sample_record());
+  log.append(sample_record());
+  EXPECT_EQ(log.size(), 2u);
+
+  const std::string path = ::testing::TempDir() + "/smartmem_obs_audit.jsonl";
+  std::string err;
+  ASSERT_TRUE(log.export_jsonl(path, &err)) << err;
+  const std::string text = slurp(path);
+  EXPECT_EQ(count_occurrences(text, "\n"), 2u);
+  EXPECT_EQ(count_occurrences(text, "\"stats_seq\":17"), 2u);
+}
+
+// ---- Observer -------------------------------------------------------------
+
+TEST(ObserverTest, ConfigGatesEachPillar) {
+  ObsConfig off;
+  EXPECT_FALSE(off.any());
+
+  ObsConfig trace_only;
+  trace_only.trace_out = "/tmp/t.json";
+  EXPECT_TRUE(trace_only.trace_enabled());
+  EXPECT_FALSE(trace_only.metrics_enabled());
+  Observer obs(trace_only);
+  EXPECT_NE(obs.trace(), nullptr);
+  EXPECT_EQ(obs.registry(), nullptr);
+  EXPECT_EQ(obs.audit(), nullptr);
+
+  Observer all(ObsConfig::capture_all());
+  EXPECT_NE(all.trace(), nullptr);
+  EXPECT_NE(all.registry(), nullptr);
+  EXPECT_NE(all.audit(), nullptr);
+}
+
+TEST(ObserverTest, ExportAllWritesConfiguredPaths) {
+  ObsConfig cfg;
+  cfg.trace_out = ::testing::TempDir() + "/smartmem_obs_all_trace.json";
+  cfg.audit_out = ::testing::TempDir() + "/smartmem_obs_all_audit.jsonl";
+  Observer obs(cfg);
+  obs.trace()->instant(kCatSim, obs.trace()->register_track("sim", "s"), "e",
+                       0);
+  std::string err;
+  ASSERT_TRUE(obs.export_all(&err)) << err;
+  EXPECT_NE(slurp(cfg.trace_out).find("\"name\":\"e\""), std::string::npos);
+  EXPECT_TRUE(std::ifstream(cfg.audit_out).good());  // empty log, file exists
+}
+
+TEST(ObserverTest, ExportAllFailsOnUnwritablePath) {
+  ObsConfig cfg;
+  cfg.trace_out = "/nonexistent-dir/trace.json";
+  Observer obs(cfg);
+  std::string err;
+  EXPECT_FALSE(obs.export_all(&err));
+  EXPECT_FALSE(err.empty());
+}
+
+}  // namespace
+}  // namespace smartmem::obs

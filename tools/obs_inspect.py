@@ -1,0 +1,202 @@
+#!/usr/bin/env python3
+"""Inspect the observability outputs written by the --trace-out /
+--metrics-out / --audit-out bench flags (src/obs).
+
+Usage:
+  obs_inspect.py trace   <trace.json>    [--check]
+  obs_inspect.py metrics <metrics.jsonl> [--check] [--grep SUBSTR]
+  obs_inspect.py audit   <audit.jsonl>   [--check] [--vm N]
+
+Each subcommand parses one pillar's export, prints a human summary, and
+exits non-zero when the file is malformed — `--check` suppresses the
+summary so CI can use it as a pure validator.
+
+  trace    Chrome trace-event JSON (load interactively at ui.perfetto.dev).
+           Summarizes events per process/track, phase mix and time range.
+  metrics  Registry snapshots, JSONL (one {"t_s":..,"metrics":{..}} object
+           per line) or CSV (".csv" exports). Summarizes rows, columns and
+           final values.
+  audit    Policy decision audit log, JSONL (one DecisionRecord per line).
+           Summarizes verdicts, triggering conditions and send outcomes.
+"""
+
+import argparse
+import collections
+import csv
+import json
+import sys
+
+
+def fail(msg):
+    print(f"obs_inspect: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_jsonl(path):
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for n, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                fail(f"{path}:{n}: invalid JSON: {exc}")
+    return rows
+
+
+def cmd_trace(args):
+    try:
+        with open(args.file, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        fail(f"{args.file}: {exc}")
+    events = doc["traceEvents"] if isinstance(doc, dict) else doc
+    if not isinstance(events, list):
+        fail(f"{args.file}: no traceEvents array")
+
+    procs, threads = {}, {}
+    for ev in events:
+        if ev.get("ph") == "M":
+            if ev.get("name") == "process_name":
+                procs[ev["pid"]] = ev["args"]["name"]
+            elif ev.get("name") == "thread_name":
+                threads[(ev["pid"], ev["tid"])] = ev["args"]["name"]
+
+    phases = collections.Counter(ev.get("ph") for ev in events)
+    per_track = collections.Counter()
+    names = collections.Counter()
+    t_lo, t_hi = None, 0.0
+    for ev in events:
+        ph = ev.get("ph")
+        if ph not in ("X", "i", "C"):
+            continue
+        key = (procs.get(ev.get("pid"), "?"),
+               threads.get((ev.get("pid"), ev.get("tid")), "?"))
+        per_track[key] += 1
+        names[ev.get("name", "?")] += 1
+        ts = float(ev.get("ts", 0))
+        end = ts + float(ev.get("dur", 0))
+        t_lo = ts if t_lo is None else min(t_lo, ts)
+        t_hi = max(t_hi, end)
+
+    if args.check:
+        if not events:
+            fail(f"{args.file}: empty trace")
+        return
+    print(f"{args.file}: {len(events)} events "
+          f"(spans {phases['X']}, instants {phases['i']}, "
+          f"counters {phases['C']}, metadata {phases['M']})")
+    if t_lo is not None:
+        print(f"time range: {t_lo / 1e6:.3f}s .. {t_hi / 1e6:.3f}s (sim time)")
+    print("events per track:")
+    for (proc, thread), n in sorted(per_track.items()):
+        print(f"  {proc:>10s}/{thread:<16s} {n}")
+    print("top event names:")
+    for name, n in names.most_common(args.top):
+        print(f"  {name:<28s} {n}")
+
+
+def cmd_metrics(args):
+    if args.file.endswith(".csv"):
+        try:
+            with open(args.file, encoding="utf-8", newline="") as fh:
+                table = list(csv.DictReader(fh))
+        except (OSError, csv.Error) as exc:
+            fail(f"{args.file}: {exc}")
+        if not table:
+            fail(f"{args.file}: empty metrics CSV")
+        rows = [{"t_s": float(r.pop("t_s", "nan")),
+                 "metrics": {k: (float(v) if v != "" else None)
+                             for k, v in r.items()}} for r in table]
+    else:
+        rows = load_jsonl(args.file)
+        for r in rows:
+            if "t_s" not in r or "metrics" not in r:
+                fail(f"{args.file}: snapshot missing t_s/metrics: {r}")
+    if args.check:
+        if not rows:
+            fail(f"{args.file}: no snapshots")
+        return
+    last = rows[-1]
+    names = sorted(last["metrics"])
+    if args.grep:
+        names = [n for n in names if args.grep in n]
+    print(f"{args.file}: {len(rows)} snapshots, "
+          f"{len(last['metrics'])} metrics, "
+          f"t = {rows[0]['t_s']:.3f}s .. {last['t_s']:.3f}s")
+    print(f"final values{f' (matching {args.grep!r})' if args.grep else ''}:")
+    for name in names:
+        v = last["metrics"][name]
+        print(f"  {name:<36s} {'null' if v is None else f'{v:g}'}")
+
+
+def cmd_audit(args):
+    rows = load_jsonl(args.file)
+    for n, r in enumerate(rows, 1):
+        for key in ("stats_seq", "decided_at_s", "policy", "vms"):
+            if key not in r:
+                fail(f"{args.file}: record {n} missing '{key}'")
+    if args.check:
+        if not rows:
+            fail(f"{args.file}: no decision records")
+        return
+    sent = sum(1 for r in rows if r.get("sent"))
+    suppressed = sum(1 for r in rows if r.get("suppressed"))
+    renorm = sum(1 for r in rows if r.get("renormalized"))
+    verdicts = collections.Counter()
+    conditions = collections.Counter()
+    for r in rows:
+        for vm in r["vms"]:
+            if args.vm and vm.get("vm") != args.vm:
+                continue
+            verdicts[vm.get("verdict", "?")] += 1
+            conditions[vm.get("condition", "?")] += 1
+    ages = [r.get("stats_age_intervals", 0.0) for r in rows]
+    print(f"{args.file}: {len(rows)} decisions by "
+          f"{rows[0]['policy'] if rows else '?'} "
+          f"(sent {sent}, suppressed {suppressed}, renormalized {renorm})")
+    if ages:
+        print(f"stats staleness: mean {sum(ages) / len(ages):.3f} "
+              f"max {max(ages):.3f} sampling intervals")
+    scope = f" (vm {args.vm})" if args.vm else ""
+    print(f"per-VM verdicts{scope}:")
+    for verdict, n in verdicts.most_common():
+        print(f"  {verdict:<8s} {n}")
+    print(f"triggering conditions{scope}:")
+    for cond, n in conditions.most_common():
+        print(f"  {cond:<28s} {n}")
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="cmd", required=True)
+
+    p = sub.add_parser("trace", help="summarize a Chrome trace-event JSON")
+    p.add_argument("file")
+    p.add_argument("--check", action="store_true",
+                   help="validate only; no summary output")
+    p.add_argument("--top", type=int, default=10,
+                   help="event names to list (default 10)")
+    p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser("metrics", help="summarize metrics snapshots")
+    p.add_argument("file")
+    p.add_argument("--check", action="store_true")
+    p.add_argument("--grep", help="only show metrics containing SUBSTR")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser("audit", help="summarize the policy decision audit")
+    p.add_argument("file")
+    p.add_argument("--check", action="store_true")
+    p.add_argument("--vm", type=int, help="restrict verdicts to one VM id")
+    p.set_defaults(fn=cmd_audit)
+
+    args = parser.parse_args()
+    args.fn(args)
+
+
+if __name__ == "__main__":
+    main()
