@@ -28,6 +28,8 @@ struct Cell {
   double lat_x = 1.0;
   double loss = 0.0;
   std::size_t queue = 0;  // 0 = unbounded (the baseline wiring)
+  bool ack = false;       // TKM downlink target ack/retry
+  bool suppress = true;   // MM suppression of unchanged target vectors
 };
 
 /// Counters from one seeded run (runtimes are one entry per VM).
@@ -37,6 +39,7 @@ struct RepResult {
   std::uint64_t dropped = 0;        // loss + queue + down, both hops
   std::uint64_t backpressured = 0;  // both hops
   std::uint64_t stale = 0;          // MM + hypervisor sequence rejects
+  std::uint64_t retransmits = 0;    // TKM ack-timeout target resends
 };
 
 RepResult run_rep(const core::ScenarioSpec& spec, const bench::Options& opts,
@@ -53,6 +56,8 @@ RepResult run_rep(const core::ScenarioSpec& spec, const bench::Options& opts,
   cfg.comm.downlink.queue_capacity = cell.queue;
   cfg.comm.uplink.queue_policy = cell.policy;
   cfg.comm.downlink.queue_policy = cell.policy;
+  cfg.comm.ack_targets = cell.ack;
+  cfg.mm_suppress_unchanged = cell.suppress;
 
   auto node = core::build_node(spec, mm::PolicySpec::smart(6.0), seed, &cfg);
   node->run(spec.deadline);
@@ -70,6 +75,7 @@ RepResult run_rep(const core::ScenarioSpec& spec, const bench::Options& opts,
   r.backpressured = up.backpressured + down.backpressured;
   r.stale = node->manager()->stale_samples_dropped() +
             node->hypervisor().stale_targets_dropped();
+  r.retransmits = node->tkm()->target_retransmits();
   return r;
 }
 
@@ -103,6 +109,25 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Second grid: downlink target ack/retry x MM suppression under loss
+  // (unbounded queue, base latency). With suppression on, a lost target
+  // vector is NOT repaired by the next interval — the MM sees an unchanged
+  // vector and stays silent — so the hypervisor can run on a stale target
+  // for many intervals unless the TKM retransmits; with suppression off the
+  // periodic resend masks loss at the cost of redundant hypercalls.
+  const std::size_t ack_grid_start = cells.size();
+  for (const bool suppress : {true, false}) {
+    for (const bool ack : {false, true}) {
+      for (const double loss : {0.01, 0.10}) {
+        Cell cell;
+        cell.loss = loss;
+        cell.ack = ack;
+        cell.suppress = suppress;
+        cells.push_back(cell);
+      }
+    }
+  }
+
   // Every (cell, rep) run is independent; fan the whole grid out and
   // aggregate in deterministic order afterwards.
   const std::size_t reps = opts.repetitions;
@@ -122,6 +147,7 @@ int main(int argc, char** argv) {
       totals[c].dropped += r.dropped;
       totals[c].backpressured += r.backpressured;
       totals[c].stale += r.stale;
+      totals[c].retransmits += r.retransmits;
     }
   }
 
@@ -149,6 +175,23 @@ int main(int argc, char** argv) {
                                                   reps),
                   static_cast<unsigned long long>(totals[c].stale / reps));
     }
+  }
+
+  std::printf("\n--- downlink target ack/retry x MM suppression "
+              "(lat x1, unbounded queue) ---\n");
+  std::printf("%-9s %-5s %-6s %12s %8s %10s %9s %6s\n", "suppress", "ack",
+              "flt", "mean VM (s)", "delta", "delivered", "retx", "stale");
+  for (c = ack_grid_start; c < cells.size(); ++c) {
+    const Cell& cell = cells[c];
+    const double mean = runtime[c].mean();
+    const double delta =
+        baseline > 0 ? (mean - baseline) / baseline * 100.0 : 0.0;
+    std::printf("%-9s %-5s %-6g %12.2f %+7.1f%% %10llu %9llu %6llu\n",
+                cell.suppress ? "on" : "off", cell.ack ? "on" : "off",
+                cell.loss, mean, delta,
+                static_cast<unsigned long long>(totals[c].delivered / reps),
+                static_cast<unsigned long long>(totals[c].retransmits / reps),
+                static_cast<unsigned long long>(totals[c].stale / reps));
   }
   return 0;
 }

@@ -23,6 +23,8 @@
 #include <string>
 #include <vector>
 
+#include "cluster/global_manager.hpp"
+#include "cluster/global_policy.hpp"
 #include "comm/channel.hpp"
 #include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
@@ -223,6 +225,48 @@ double channel_msgs_per_sec() {
   return static_cast<double>(delivered) / elapsed;
 }
 
+/// Rack control-plane hot path: full GlobalManager decisions/sec at 4
+/// nodes — roll-up ingestion, global-smart (node-level Algorithm 4 +
+/// Equation 2) and quota fan-out. Roll-ups rotate which node reports
+/// failed puts so every decision recomputes and re-sends a changed vector
+/// (suppression never short-circuits the measured path).
+double cluster_rebalance_per_sec() {
+  sim::Simulator sim;
+  cluster::GlobalManagerConfig gcfg;
+  gcfg.suppress_unchanged = false;
+  cluster::GlobalManager gm(
+      sim, std::make_unique<cluster::GlobalSmartPolicy>(), gcfg);
+  std::uint64_t sink = 0;
+  gm.set_sender([&sink](cluster::NodeId, const cluster::NodeQuotaMsg& msg) {
+    sink += msg.quota;
+  });
+
+  constexpr std::uint64_t kDecisions = 300'000;
+  constexpr std::uint32_t kNodes = 4;
+  const PageCount phys = 1u << 18;
+  const auto start = Clock::now();
+  for (std::uint64_t d = 0; d < kDecisions; ++d) {
+    for (std::uint32_t n = 0; n < kNodes; ++n) {
+      cluster::NodeStats ns;
+      ns.node = n;
+      ns.seq = d + 1;
+      ns.phys_tmem = phys;
+      ns.quota = phys;
+      ns.used = n == d % kNodes ? phys : phys / 8;
+      ns.puts_total = 1000;
+      ns.puts_succ = n == d % kNodes ? 900 : 1000;
+      gm.on_node_stats(ns);
+    }
+    gm.decide();
+  }
+  const double elapsed = seconds_since(start);
+  if (gm.decisions() != kDecisions || sink == 0) {
+    std::fprintf(stderr, "cluster rebalance bench made no decisions\n");
+    std::exit(1);
+  }
+  return static_cast<double>(kDecisions) / elapsed;
+}
+
 /// Observability overhead: one seeded smart-policy run of scenario 1 with
 /// all three obs pillars capturing in memory (no file I/O) vs. the same run
 /// with obs off. Returns the enabled-over-disabled overhead in percent; the
@@ -283,6 +327,8 @@ int main(int argc, char** argv) {
   std::printf("      simulator:  %.3g events/s\n", sim_eps);
   const double chan_mps = channel_msgs_per_sec();
   std::printf("      channel:    %.3g msgs/s\n", chan_mps);
+  const double rebalance_ps = cluster_rebalance_per_sec();
+  std::printf("      cluster gm: %.3g rebalances/s (4 nodes)\n", rebalance_ps);
 
   std::printf("[4/4] observability overhead (all pillars, in-memory)\n");
   const double obs_pct = obs_overhead_pct(opts);
@@ -310,11 +356,12 @@ int main(int argc, char** argv) {
                 "  \"events_per_sec\": %.1f,\n"
                 "  \"sim_events_per_sec\": %.1f,\n"
                 "  \"comm_msgs_per_sec\": %.1f,\n"
+                "  \"cluster_rebalance_per_sec\": %.1f,\n"
                 "  \"obs_overhead_pct\": %.2f\n"
                 "}\n",
                 hw, opts.scale, opts.repetitions, serial_s, parallel_s,
                 opts.jobs, opts.jobs, speedup, store_eps, sim_eps, chan_mps,
-                obs_pct);
+                rebalance_ps, obs_pct);
   out << buf;
   std::printf("\nwrote %s\n", opts.out.c_str());
   return 0;

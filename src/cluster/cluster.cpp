@@ -1,0 +1,232 @@
+#include "cluster/cluster.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace smartmem::cluster {
+
+namespace {
+
+SimTime cluster_sim_clock(const void* ctx) {
+  return static_cast<const sim::Simulator*>(ctx)->now();
+}
+
+/// Stamps this thread's log lines with the shared simulator's time for the
+/// guard's lifetime (the cluster-level twin of VirtualNode's guard).
+class LogClockGuard {
+ public:
+  explicit LogClockGuard(const sim::Simulator& sim) {
+    log::set_sim_clock(&cluster_sim_clock, &sim);
+  }
+  ~LogClockGuard() { log::set_sim_clock(nullptr, nullptr); }
+  LogClockGuard(const LogClockGuard&) = delete;
+  LogClockGuard& operator=(const LogClockGuard&) = delete;
+};
+
+}  // namespace
+
+Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  if (config_.obs.any()) {
+    observer_ = std::make_unique<obs::Observer>(config_.obs);
+  }
+}
+
+Cluster::~Cluster() = default;
+
+std::size_t Cluster::add_node(core::NodeConfig config) {
+  if (started_) {
+    throw std::logic_error("Cluster: add_node after start");
+  }
+  nodes_.push_back(
+      std::make_unique<core::VirtualNode>(std::move(config), sim_));
+  return nodes_.size() - 1;
+}
+
+void Cluster::wire_rack() {
+  const std::size_t n = nodes_.size();
+
+  if (config_.lending) {
+    std::vector<hyper::Hypervisor*> hyps;
+    hyps.reserve(n);
+    for (auto& node : nodes_) hyps.push_back(&node->hypervisor());
+    broker_ = std::make_unique<LendingBroker>(std::move(hyps));
+    for (std::size_t i = 0; i < n; ++i) {
+      nodes_[i]->hypervisor().set_remote_tmem(
+          broker_->port(static_cast<NodeId>(i)));
+    }
+  }
+
+  GlobalManagerConfig gcfg;
+  gcfg.interval = config_.global_interval > 0
+                      ? config_.global_interval
+                      : 2 * nodes_[0]->config().sample_interval;
+  gm_ = std::make_unique<GlobalManager>(
+      sim_, parse_global_policy(config_.global_policy), gcfg);
+
+  uplinks_.reserve(n);
+  downlinks_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    uplinks_.push_back(std::make_unique<comm::Channel<NodeStats>>(
+        sim_, config_.topology.uplink_for(i)));
+    uplinks_.back()->open(
+        [this](const NodeStats& stats) { gm_->on_node_stats(stats); });
+    downlinks_.push_back(std::make_unique<comm::Channel<NodeQuotaMsg>>(
+        sim_, config_.topology.downlink_for(i)));
+    downlinks_.back()->open(
+        [this, i](const NodeQuotaMsg& msg) { on_quota(i, msg); });
+    nodes_[i]->set_stats_tap([this, i](const hyper::MemStats& stats) {
+      on_node_sample(i, stats);
+    });
+  }
+  gm_->set_sender([this](NodeId node, const NodeQuotaMsg& msg) {
+    downlinks_[node]->send(msg);
+  });
+
+  if (observer_) {
+    obs::TraceRecorder* trace = observer_->trace();
+    obs::Registry* registry = observer_->registry();
+    gm_->attach_obs(trace, observer_->audit());
+    if (broker_) {
+      broker_->attach_obs(trace, [this] { return sim_.now(); });
+    }
+    if (trace != nullptr) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint16_t track = trace->register_track(
+            "cluster", "fabric-n" + std::to_string(i));
+        uplinks_[i]->set_trace(trace, track);
+        downlinks_[i]->set_trace(trace, track);
+      }
+    }
+    if (registry != nullptr) {
+      gm_->register_metrics(*registry);
+      if (broker_) broker_->register_metrics(*registry);
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::string prefix = "n" + std::to_string(i);
+        comm::register_channel_metrics(*registry, prefix + ".gm_up.",
+                                       &uplinks_[i]->stats());
+        comm::register_channel_metrics(*registry, prefix + ".gm_down.",
+                                       &downlinks_[i]->stats());
+        hyper::Hypervisor& hyp = nodes_[i]->hypervisor();
+        registry->add_gauge(prefix + ".quota", [&hyp] {
+          const PageCount q = hyp.node_quota();
+          return q == kUnlimitedTarget ? -1.0 : static_cast<double>(q);
+        });
+        registry->add_gauge(prefix + ".own_used", [&hyp] {
+          return static_cast<double>(hyp.own_used_total());
+        });
+        registry->add_gauge(prefix + ".lent", [&hyp] {
+          return static_cast<double>(hyp.lent_pages());
+        });
+      }
+      registry->snapshot(sim_.now());
+      metrics_sampler_ = sim_.schedule_periodic(gcfg.interval, [this] {
+        observer_->registry()->snapshot(sim_.now());
+      });
+    }
+  }
+
+  gm_->start();
+}
+
+void Cluster::on_node_sample(std::size_t i, const hyper::MemStats& stats) {
+  const hyper::Hypervisor& hyp = nodes_[i]->hypervisor();
+  NodeStats ns;
+  ns.node = static_cast<NodeId>(i);
+  ns.seq = stats.seq;
+  ns.when = stats.when;
+  ns.phys_tmem = hyp.total_tmem();
+  ns.quota = hyp.node_quota();
+  ns.used = hyp.own_used_total();
+  ns.lent = hyp.lent_pages();
+  ns.borrowed = broker_ ? broker_->borrowed_total(static_cast<NodeId>(i)) : 0;
+  ns.vm_count = stats.vm_count;
+  for (const hyper::VmMemStats& vm : stats.vm) {
+    ns.puts_total += vm.puts_total;
+    ns.puts_succ += vm.puts_succ;
+    ns.cumul_failed_puts += vm.cumul_puts_failed;
+  }
+  uplinks_[i]->send(ns);
+}
+
+void Cluster::on_quota(std::size_t i, const NodeQuotaMsg& msg) {
+  hyper::Hypervisor& hyp = nodes_[i]->hypervisor();
+  hyp.apply_node_quota(msg.seq, msg.quota);
+  if (!broker_) return;
+  // Donor-side consequence of the (possibly) new quota: frames the node is
+  // now entitled to again must come back from its lent pool.
+  const PageCount phys = hyp.total_tmem();
+  const PageCount quota = hyp.node_quota();
+  const PageCount entitlement = quota == kUnlimitedTarget
+                                    ? phys
+                                    : (quota < phys ? quota : phys);
+  const PageCount lendable_cap = phys - entitlement;
+  if (hyp.lent_pages() > lendable_cap) {
+    broker_->recall_lent(static_cast<NodeId>(i),
+                         hyp.lent_pages() - lendable_cap);
+  }
+}
+
+void Cluster::start() {
+  if (started_) {
+    throw std::logic_error("Cluster: started twice");
+  }
+  if (nodes_.empty()) {
+    throw std::logic_error("Cluster: no nodes added");
+  }
+  started_ = true;
+  // The rack machinery exists only from 2 nodes up: a 1-node cluster must
+  // replay the single-node event stream byte-for-byte, and a rack of one
+  // has nothing to balance anyway (global-smart would otherwise shrink the
+  // lone node's quota below its physical capacity).
+  if (nodes_.size() >= 2) wire_rack();
+  for (auto& node : nodes_) node->start();
+}
+
+bool Cluster::all_done() const {
+  for (const auto& node : nodes_) {
+    if (!node->all_done()) return false;
+  }
+  return true;
+}
+
+SimTime Cluster::run(SimTime deadline) {
+  LogClockGuard log_clock(sim_);
+  if (!started_) start();
+  while (!all_done() && sim_.now() < deadline) {
+    if (!sim_.step()) break;
+  }
+  if (!all_done()) {
+    log::warn(log::Component::kCore,
+              "cluster run() hit the deadline at %.1fs with unfinished VMs",
+              to_seconds(sim_.now()));
+    for (auto& node : nodes_) node->stop_all();
+    while (!all_done() && sim_.step()) {
+    }
+  }
+  teardown();
+  return sim_.now();
+}
+
+void Cluster::teardown() {
+  if (finished_) return;
+  finished_ = true;
+  metrics_sampler_.cancel();
+  if (gm_) gm_->stop();
+  for (auto& ch : uplinks_) ch->close();
+  for (auto& ch : downlinks_) ch->close();
+  for (auto& node : nodes_) node->finish();
+  if (observer_) {
+    if (observer_->registry() != nullptr) {
+      observer_->registry()->snapshot(sim_.now());
+    }
+    std::string err;
+    if (!observer_->export_all(&err)) {
+      log::error(log::Component::kObs, "cluster export failed: %s",
+                 err.c_str());
+    }
+  }
+}
+
+}  // namespace smartmem::cluster

@@ -1,0 +1,106 @@
+// Cluster: N VirtualNodes on one shared simulator under a two-level
+// capacity hierarchy.
+//
+// Level 1 is the paper's single-server stack, unchanged: each node keeps
+// its private hypervisor, tmem store, guests, TKM and Memory Manager.
+// Level 2 is the rack: every node's memstats roll-up crosses an inter-node
+// uplink to the GlobalManager, which answers with per-node tmem quotas
+// over inter-node downlinks; each node's hypervisor enforces its quota as
+// a cap *above* the per-VM targets (Equation 2 renormalizes beneath the
+// quota). Optionally a LendingBroker turns unused entitlement on cold
+// nodes into borrowable frames for quota-rich, physically-full nodes.
+//
+// Determinism contract: a 1-node cluster wires *nothing* beyond the node
+// itself — no GlobalManager, no broker, no inter-node channels, no stats
+// tap — so its event stream, and therefore its output, is byte-identical
+// to the single-node path for the same NodeConfig and seed. The rack
+// machinery only exists from 2 nodes up.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/global_manager.hpp"
+#include "cluster/lending.hpp"
+#include "cluster/node_stats.hpp"
+#include "comm/topology.hpp"
+#include "core/virtual_node.hpp"
+#include "obs/observer.hpp"
+#include "sim/simulator.hpp"
+
+namespace smartmem::cluster {
+
+struct ClusterConfig {
+  /// Inter-node fabric + per-node comm templates. topology.node_count is
+  /// informative only; the wired count is the number of add_node calls.
+  comm::ClusterTopology topology;
+
+  /// Node-level policy spec ("global-static", "global-smart[:P]").
+  std::string global_policy = "global-smart";
+
+  /// Global decision interval; 0 derives twice the first node's sampling
+  /// interval (rack decisions are deliberately slower than node decisions).
+  SimTime global_interval = 0;
+
+  /// Remote-tmem lending between nodes.
+  bool lending = true;
+
+  /// Rack-level observability (GlobalManager audit/trace, lending and
+  /// inter-node channel metrics). Per-node observability stays per node.
+  obs::ObsConfig obs;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config);
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  /// Adds a node running `config` on the shared simulator. Call
+  /// core::populate_node(cluster.node(i), ...) afterwards to add its VMs.
+  /// Nodes must all be added before start()/run().
+  std::size_t add_node(core::NodeConfig config);
+
+  core::VirtualNode& node(std::size_t i) { return *nodes_.at(i); }
+  const core::VirtualNode& node(std::size_t i) const { return *nodes_.at(i); }
+  std::size_t node_count() const { return nodes_.size(); }
+
+  /// Wires the rack (channels, GlobalManager, broker — 2+ nodes only) and
+  /// starts every node. run() calls this when needed.
+  void start();
+
+  /// Steps the shared simulator until every node's VMs are done (or the
+  /// deadline), then tears everything down. Returns the end time.
+  SimTime run(SimTime deadline = 4 * 3600 * kSecond);
+
+  sim::Simulator& simulator() { return sim_; }
+  GlobalManager* global_manager() { return gm_.get(); }
+  LendingBroker* broker() { return broker_.get(); }
+  obs::Observer* observer() { return observer_.get(); }
+  const ClusterConfig& config() const { return config_; }
+  bool all_done() const;
+
+ private:
+  void wire_rack();
+  void on_node_sample(std::size_t i, const hyper::MemStats& stats);
+  void on_quota(std::size_t i, const NodeQuotaMsg& msg);
+  void teardown();
+
+  ClusterConfig config_;
+  sim::Simulator sim_;
+  std::vector<std::unique_ptr<core::VirtualNode>> nodes_;
+  std::vector<std::unique_ptr<comm::Channel<NodeStats>>> uplinks_;
+  std::vector<std::unique_ptr<comm::Channel<NodeQuotaMsg>>> downlinks_;
+  std::unique_ptr<GlobalManager> gm_;
+  std::unique_ptr<LendingBroker> broker_;
+  std::unique_ptr<obs::Observer> observer_;
+  sim::EventHandle metrics_sampler_;
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace smartmem::cluster

@@ -1,0 +1,135 @@
+#include "cluster/global_manager.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "common/logging.hpp"
+
+namespace smartmem::cluster {
+
+namespace {
+constexpr auto kLogComp = log::Component::kMm;
+}
+
+GlobalManager::GlobalManager(sim::Simulator& sim, GlobalPolicyPtr policy,
+                             GlobalManagerConfig config)
+    : sim_(sim), policy_(std::move(policy)), config_(config) {
+  if (!policy_) {
+    throw std::invalid_argument("GlobalManager: null policy");
+  }
+  if (config_.interval <= 0) {
+    throw std::invalid_argument("GlobalManager: interval must be positive");
+  }
+}
+
+void GlobalManager::on_node_stats(const NodeStats& stats) {
+  if (stats.seq != 0) {
+    std::uint64_t& last = last_seq_[stats.node];
+    if (stats.seq <= last) {
+      ++stale_rollups_dropped_;
+      return;
+    }
+    last = stats.seq;
+  }
+  ++rollups_seen_;
+  latest_[stats.node] = stats;
+}
+
+void GlobalManager::start() {
+  tick_ = sim_.schedule_periodic(config_.interval, [this] { decide(); });
+}
+
+void GlobalManager::stop() { tick_.cancel(); }
+
+void GlobalManager::decide() {
+  if (latest_.empty()) return;
+
+  std::vector<NodeStats> stats;
+  stats.reserve(latest_.size());
+  GlobalPolicyContext ctx;
+  for (const auto& [node, ns] : latest_) {
+    stats.push_back(ns);
+    ctx.cluster_tmem += ns.phys_tmem;
+  }
+  const bool auditing = audit_ != nullptr;
+  if (auditing) {
+    scratch_.clear();
+    ctx.audit = &scratch_;
+  }
+
+  std::vector<NodeQuota> out = policy_->compute(stats, ctx);
+  ++decisions_;
+
+  if (trace_ != nullptr && trace_->enabled(obs::kCatCluster)) {
+    trace_->instant(obs::kCatCluster, track_, "global_decide", sim_.now(),
+                    {{"nodes", static_cast<double>(stats.size())},
+                     {"quotas", static_cast<double>(out.size())}});
+  }
+
+  obs::DecisionRecord record;
+  if (auditing) {
+    // Newest roll-up acted on; its age tells how stale the rack view was.
+    record.stats_seq = stats.back().seq;
+    record.stats_when = stats.back().when;
+    record.decided_at = sim_.now();
+    record.stats_age_intervals =
+        static_cast<double>(sim_.now() - stats.back().when) /
+        static_cast<double>(config_.interval);
+    record.policy = policy_->name();
+    record.scope = "cluster";
+    record.renormalized = scratch_.renormalized;
+    record.renorm_factor = scratch_.renorm_factor;
+    record.vms = scratch_.vms;
+  }
+
+  if (out.empty()) {
+    if (auditing) {
+      record.empty_output = true;
+      audit_->append(std::move(record));
+    }
+    return;
+  }
+
+  if (config_.suppress_unchanged && last_sent_ && *last_sent_ == out) {
+    ++sends_suppressed_;
+    if (auditing) {
+      record.suppressed = true;
+      audit_->append(std::move(record));
+    }
+    return;
+  }
+  last_sent_ = out;
+  ++next_send_seq_;
+  if (auditing) {
+    record.sent = true;
+    record.send_seq = next_send_seq_;
+    audit_->append(std::move(record));
+  }
+  if (sender_) {
+    for (const NodeQuota& q : out) {
+      ++quotas_sent_;
+      sender_(q.node, NodeQuotaMsg{next_send_seq_, q.node, q.quota});
+    }
+  } else {
+    log::warn(kLogComp, "GlobalManager: no sender attached; quotas dropped");
+  }
+}
+
+void GlobalManager::attach_obs(obs::TraceRecorder* trace,
+                               obs::AuditLog* audit) {
+  trace_ = trace;
+  audit_ = audit;
+  if (trace_ != nullptr) track_ = trace_->register_track("cluster", "gm");
+}
+
+void GlobalManager::register_metrics(obs::Registry& reg) const {
+  reg.add_counter("gm.rollups_seen", &rollups_seen_);
+  reg.add_counter("gm.stale_rollups_dropped", &stale_rollups_dropped_);
+  reg.add_counter("gm.decisions", &decisions_);
+  reg.add_counter("gm.quotas_sent", &quotas_sent_);
+  reg.add_counter("gm.sends_suppressed", &sends_suppressed_);
+  reg.add_gauge("gm.nodes_seen",
+                [this] { return static_cast<double>(latest_.size()); });
+}
+
+}  // namespace smartmem::cluster

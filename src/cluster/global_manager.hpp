@@ -1,0 +1,98 @@
+// Rack-level GlobalManager: the Memory Manager pattern one level up.
+//
+// Nodes ship NodeStats roll-ups over their inter-node uplinks; the
+// GlobalManager keeps the latest per node and, once per global interval
+// (a multiple of the node sampling interval — rack decisions are slower
+// than node decisions), runs a node-level policy and sends one quota per
+// node over that node's inter-node downlink. The same robustness rules as
+// the per-VM path apply: stale roll-ups are dropped by seq, unchanged
+// quota vectors are suppressed, every decision is auditable — records are
+// stamped scope="cluster" and their "vms" entries carry node ids.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "cluster/global_policy.hpp"
+#include "cluster/node_stats.hpp"
+#include "obs/audit.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+#include "sim/simulator.hpp"
+
+namespace smartmem::cluster {
+
+struct GlobalManagerConfig {
+  /// Global decision interval. The cluster driver defaults this to twice
+  /// the node sampling interval.
+  SimTime interval = 2 * kSecond;
+  /// Skip transmission when the whole quota vector is unchanged.
+  bool suppress_unchanged = true;
+};
+
+class GlobalManager {
+ public:
+  GlobalManager(sim::Simulator& sim, GlobalPolicyPtr policy,
+                GlobalManagerConfig config);
+
+  GlobalManager(const GlobalManager&) = delete;
+  GlobalManager& operator=(const GlobalManager&) = delete;
+
+  /// Outbound transport: called once per node per decision (after
+  /// suppression). The cluster wires this to the inter-node downlinks.
+  using QuotaSender = std::function<void(NodeId, const NodeQuotaMsg&)>;
+  void set_sender(QuotaSender sender) { sender_ = std::move(sender); }
+
+  /// Inbound endpoint: the inter-node uplinks deliver here.
+  void on_node_stats(const NodeStats& stats);
+
+  /// Schedules the periodic decision tick. stop() cancels it.
+  void start();
+  void stop();
+
+  /// Runs one decision now (exposed for tests and the microbench; the
+  /// periodic tick calls exactly this).
+  void decide();
+
+  void attach_obs(obs::TraceRecorder* trace, obs::AuditLog* audit);
+  void register_metrics(obs::Registry& reg) const;
+
+  const GlobalPolicy& policy() const { return *policy_; }
+  std::uint64_t rollups_seen() const { return rollups_seen_; }
+  std::uint64_t stale_rollups_dropped() const {
+    return stale_rollups_dropped_;
+  }
+  std::uint64_t decisions() const { return decisions_; }
+  std::uint64_t quotas_sent() const { return quotas_sent_; }
+  std::uint64_t sends_suppressed() const { return sends_suppressed_; }
+  std::size_t nodes_seen() const { return latest_.size(); }
+
+ private:
+  sim::Simulator& sim_;
+  GlobalPolicyPtr policy_;
+  GlobalManagerConfig config_;
+  QuotaSender sender_;
+
+  /// Latest roll-up per node; map order gives the policy its sorted input.
+  std::map<NodeId, NodeStats> latest_;
+  std::map<NodeId, std::uint64_t> last_seq_;
+  std::optional<std::vector<NodeQuota>> last_sent_;
+  std::uint64_t next_send_seq_ = 0;
+
+  std::uint64_t rollups_seen_ = 0;
+  std::uint64_t stale_rollups_dropped_ = 0;
+  std::uint64_t decisions_ = 0;
+  std::uint64_t quotas_sent_ = 0;
+  std::uint64_t sends_suppressed_ = 0;
+
+  sim::EventHandle tick_;
+  obs::TraceRecorder* trace_ = nullptr;
+  obs::AuditLog* audit_ = nullptr;
+  obs::PolicyAuditScratch scratch_;
+  std::uint16_t track_ = 0;
+};
+
+}  // namespace smartmem::cluster

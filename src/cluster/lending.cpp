@@ -1,0 +1,254 @@
+#include "cluster/lending.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace smartmem::cluster {
+
+LendingBroker::LendingBroker(std::vector<hyper::Hypervisor*> nodes)
+    : hyps_(std::move(nodes)) {
+  if (hyps_.size() < 2) {
+    throw std::invalid_argument("LendingBroker: needs at least 2 nodes");
+  }
+  state_.resize(hyps_.size());
+  for (NodeId i = 0; i < state_.size(); ++i) {
+    state_[i].port = std::make_unique<Port>(*this, i);
+  }
+}
+
+hyper::RemoteTmem* LendingBroker::port(NodeId node) {
+  return state_.at(node).port.get();
+}
+
+void LendingBroker::attach_obs(obs::TraceRecorder* trace,
+                               std::function<SimTime()> clock) {
+  trace_ = trace;
+  clock_ = std::move(clock);
+  if (trace_ != nullptr) {
+    track_ = trace_->register_track("cluster", "lending");
+  }
+}
+
+void LendingBroker::trace_instant(const char* name, NodeId borrower,
+                                  NodeId donor) {
+  if (trace_ == nullptr || !trace_->enabled(obs::kCatCluster)) return;
+  trace_->instant(obs::kCatCluster, track_, name, clock_ ? clock_() : 0,
+                  {{"borrower", static_cast<double>(borrower)},
+                   {"donor", static_cast<double>(donor)}});
+}
+
+void LendingBroker::drop_entry(NodeState& st, const RemoteKey& key) {
+  auto it = st.index.find(key);
+  if (it == st.index.end()) return;
+  st.index.erase(it);
+  st.borrowed_total -= 1;
+  auto pv = st.borrowed_per_vm.find(key.vm);
+  if (pv != st.borrowed_per_vm.end() && --pv->second == 0) {
+    st.borrowed_per_vm.erase(pv);
+  }
+}
+
+bool LendingBroker::do_put(NodeId node, VmId vm, tmem::PoolType type,
+                           std::uint64_t object, std::uint32_t index,
+                           const tmem::PagePayload& payload) {
+  NodeState& st = state_[node];
+  const RemoteKey key{vm, type, object, index};
+
+  // Replacement of a key the broker already holds stays on its donor (the
+  // donor-side put swaps the payload without consuming a new frame).
+  auto it = st.index.find(key);
+  if (it != st.index.end()) {
+    return hyps_[it->second]->host_remote_put(node, vm, type, object, index,
+                                              payload);
+  }
+
+  // Fresh placement: deterministic rotation over the other nodes, first
+  // donor with lendable capacity wins. The cursor advances past a chosen
+  // donor so successive placements spread instead of piling on node 0.
+  const NodeId n = static_cast<NodeId>(hyps_.size());
+  for (NodeId j = 0; j < n; ++j) {
+    const NodeId donor = (node + 1 + st.rotation + j) % n;
+    if (donor == node) continue;
+    if (hyps_[donor]->lendable_pages() == 0) continue;
+    if (!hyps_[donor]->host_remote_put(node, vm, type, object, index,
+                                       payload)) {
+      continue;
+    }
+    st.index.emplace(key, donor);
+    st.borrowed_total += 1;
+    st.borrowed_per_vm[vm] += 1;
+    st.rotation = (st.rotation + j + 1) % n;
+    ++borrow_placements_;
+    PageCount total = 0;
+    for (const NodeState& s : state_) total += s.borrowed_total;
+    peak_borrowed_ = std::max(peak_borrowed_, total);
+    trace_instant("borrow_place", node, donor);
+    return true;
+  }
+  return false;
+}
+
+std::optional<tmem::PagePayload> LendingBroker::do_get(NodeId node, VmId vm,
+                                                       tmem::PoolType type,
+                                                       std::uint64_t object,
+                                                       std::uint32_t index) {
+  NodeState& st = state_[node];
+  const RemoteKey key{vm, type, object, index};
+  auto it = st.index.find(key);
+  if (it == st.index.end()) {
+    ++borrow_misses_;
+    return std::nullopt;
+  }
+  const NodeId donor = it->second;
+  std::optional<tmem::PagePayload> payload =
+      hyps_[donor]->host_remote_get(node, vm, type, object, index);
+  if (!payload) {
+    // Index and donor disagree — repair the index rather than lie.
+    drop_entry(st, key);
+    ++borrow_misses_;
+    return std::nullopt;
+  }
+  ++borrow_hits_;
+  if (type == tmem::PoolType::kEphemeral) {
+    // Victim-cache semantics survive the rack hop: an ephemeral hit
+    // consumes the page.
+    hyps_[donor]->host_remote_flush(node, vm, type, object, index);
+    drop_entry(st, key);
+  }
+  trace_instant("borrow_hit", node, donor);
+  return payload;
+}
+
+bool LendingBroker::do_flush(NodeId node, VmId vm, tmem::PoolType type,
+                             std::uint64_t object, std::uint32_t index) {
+  NodeState& st = state_[node];
+  const RemoteKey key{vm, type, object, index};
+  auto it = st.index.find(key);
+  if (it == st.index.end()) return false;
+  hyps_[it->second]->host_remote_flush(node, vm, type, object, index);
+  drop_entry(st, key);
+  return true;
+}
+
+PageCount LendingBroker::do_flush_object(NodeId node, VmId vm,
+                                         tmem::PoolType type,
+                                         std::uint64_t object) {
+  NodeState& st = state_[node];
+  PageCount flushed = 0;
+  // RemoteKey orders by (vm, type, object, index): the object's pages form
+  // one contiguous index range.
+  auto it = st.index.lower_bound(RemoteKey{vm, type, object, 0});
+  while (it != st.index.end() && it->first.vm == vm &&
+         it->first.type == type && it->first.object == object) {
+    const RemoteKey key = it->first;
+    ++it;
+    hyps_[st.index.at(key)]->host_remote_flush(node, vm, type, object,
+                                               key.index);
+    drop_entry(st, key);
+    ++flushed;
+  }
+  return flushed;
+}
+
+bool LendingBroker::do_owns(NodeId node, VmId vm, tmem::PoolType type,
+                            std::uint64_t object, std::uint32_t index) const {
+  const NodeState& st = state_[node];
+  return st.index.contains(RemoteKey{vm, type, object, index});
+}
+
+PageCount LendingBroker::do_borrowed_pages(NodeId node, VmId vm) const {
+  const NodeState& st = state_[node];
+  auto it = st.borrowed_per_vm.find(vm);
+  return it == st.borrowed_per_vm.end() ? 0 : it->second;
+}
+
+PageCount LendingBroker::borrowed_total(NodeId node) const {
+  return state_.at(node).borrowed_total;
+}
+
+PageCount LendingBroker::do_release(NodeId node, PageCount max_pages) {
+  NodeState& st = state_[node];
+  PageCount released = 0;
+  auto it = st.index.begin();
+  while (it != st.index.end() && released < max_pages) {
+    if (it->first.type != tmem::PoolType::kEphemeral) {
+      ++it;
+      continue;
+    }
+    const RemoteKey key = it->first;
+    const NodeId donor = it->second;
+    ++it;
+    hyps_[donor]->host_remote_flush(node, key.vm, key.type, key.object,
+                                    key.index);
+    drop_entry(st, key);
+    ++released;
+  }
+  return released;
+}
+
+PageCount LendingBroker::recall_lent(NodeId donor, PageCount max_pages) {
+  PageCount recalled = 0;
+  // Walk every borrower's entries pointing at this donor, borrowers in
+  // node order, keys in index order — fully deterministic.
+  for (NodeId b = 0; b < state_.size() && recalled < max_pages; ++b) {
+    if (b == donor) continue;
+    NodeState& st = state_[b];
+    auto it = st.index.begin();
+    while (it != st.index.end() && recalled < max_pages) {
+      if (it->second != donor) {
+        ++it;
+        continue;
+      }
+      const RemoteKey key = it->first;
+      ++it;
+      if (key.type == tmem::PoolType::kEphemeral) {
+        // Victim cache: the borrower just loses the cached copy.
+        hyps_[donor]->host_remote_flush(b, key.vm, key.type, key.object,
+                                        key.index);
+        drop_entry(st, key);
+        ++recalled;
+        ++recalls_;
+        continue;
+      }
+      // Persistent: the donor holds the only copy; migrate it home. When
+      // the borrower has no free frame the page must stay with the donor.
+      std::optional<tmem::PagePayload> payload =
+          hyps_[donor]->host_remote_get(b, key.vm, key.type, key.object,
+                                        key.index);
+      if (!payload) {
+        drop_entry(st, key);
+        continue;
+      }
+      if (!hyps_[b]->rehome_page(key.vm, key.type, key.object, key.index,
+                                 *payload)) {
+        continue;
+      }
+      hyps_[donor]->host_remote_flush(b, key.vm, key.type, key.object,
+                                      key.index);
+      drop_entry(st, key);
+      ++recalled;
+      ++recalls_;
+      ++recall_migrations_;
+      trace_instant("recall_migrate", b, donor);
+    }
+  }
+  return recalled;
+}
+
+void LendingBroker::register_metrics(obs::Registry& reg) const {
+  reg.add_counter("lend.borrow_placements", &borrow_placements_);
+  reg.add_counter("lend.borrow_hits", &borrow_hits_);
+  reg.add_counter("lend.borrow_misses", &borrow_misses_);
+  reg.add_counter("lend.recalls", &recalls_);
+  reg.add_counter("lend.recall_migrations", &recall_migrations_);
+  reg.add_gauge("lend.peak_borrowed",
+                [this] { return static_cast<double>(peak_borrowed_); });
+  reg.add_gauge("lend.borrowed_total", [this] {
+    PageCount total = 0;
+    for (const NodeState& s : state_) total += s.borrowed_total;
+    return static_cast<double>(total);
+  });
+}
+
+}  // namespace smartmem::cluster

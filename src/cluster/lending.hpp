@@ -1,0 +1,168 @@
+// Remote-tmem lending broker: the rack's cross-node page placement.
+//
+// A node whose quota exceeds its physical capacity is entitled to frames it
+// does not own; the broker turns that entitlement into pages hosted on
+// donor nodes with spare, un-entitled frames (lendable_pages() > 0). Each
+// node gets a Port implementing hyper::RemoteTmem; the hypervisor's
+// Algorithm 1 falls through to the port when the node is physically full
+// but below quota.
+//
+// Semantics:
+//  - The borrower's (vm, type, object, index) key is the identity; the
+//    broker keeps a per-borrower sorted index key -> donor NodeId.
+//  - On the donor every borrowed page lives in a persistent-typed lender
+//    pool (one per borrower x vm x type, owned by the pseudo-VM
+//    kLenderVmBase + borrower), so a donor-side ephemeral eviction can
+//    never silently drop a borrower's only copy of a frontswap page.
+//  - Borrowed *ephemeral*-typed pages are still a victim cache from the
+//    borrower's point of view: a remote_get hit flushes the page at the
+//    donor; release_borrowed() (quota shrink, slow reclaim) drops only
+//    ephemeral-typed entries. Persistent-typed pages move only through
+//    recall_lent(), which migrates them back into the borrower's own store.
+//  - Donor choice is a deterministic rotation over the other nodes, so a
+//    given (seed, topology) always produces the same placement.
+//
+// Latency: a borrower's guest pays the remote-tier cost (CostModel
+// tmem_put_remote / tmem_get_remote) on every borrowed-page operation; the
+// broker's calls themselves are synchronous host-side bookkeeping, the
+// same shortcut the single node takes for local hypercalls.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/node_stats.hpp"
+#include "hyper/hypervisor.hpp"
+#include "hyper/remote_tmem.hpp"
+#include "obs/registry.hpp"
+#include "obs/trace.hpp"
+
+namespace smartmem::cluster {
+
+class LendingBroker {
+ public:
+  /// `nodes[i]` is node i's hypervisor; the broker holds the pointers for
+  /// the cluster's lifetime.
+  explicit LendingBroker(std::vector<hyper::Hypervisor*> nodes);
+
+  LendingBroker(const LendingBroker&) = delete;
+  LendingBroker& operator=(const LendingBroker&) = delete;
+
+  /// Node `node`'s borrower port (wire via Hypervisor::set_remote_tmem).
+  hyper::RemoteTmem* port(NodeId node);
+
+  /// Donor-side recall: pulls up to `max_pages` pages lent *by* `donor`
+  /// back out (quota grew, the donor needs its frames again). Ephemeral-
+  /// typed entries are dropped (victim cache); persistent-typed ones are
+  /// migrated home into the borrower's own store when it has a free frame,
+  /// and stay put otherwise. Returns pages actually recalled.
+  PageCount recall_lent(NodeId donor, PageCount max_pages);
+
+  PageCount borrowed_total(NodeId node) const;
+  PageCount peak_borrowed() const { return peak_borrowed_; }
+  std::uint64_t borrow_placements() const { return borrow_placements_; }
+  std::uint64_t borrow_hits() const { return borrow_hits_; }
+  std::uint64_t borrow_misses() const { return borrow_misses_; }
+  std::uint64_t recalls() const { return recalls_; }
+  std::uint64_t recall_migrations() const { return recall_migrations_; }
+
+  /// `clock` stamps the broker's trace instants with shared-sim time (the
+  /// broker has no simulator reference of its own).
+  void attach_obs(obs::TraceRecorder* trace, std::function<SimTime()> clock);
+  void register_metrics(obs::Registry& reg) const;
+
+ private:
+  /// Borrower-relative identity of one borrowed page. Ordered so the
+  /// per-object range scan of remote_flush_object is a lower_bound walk.
+  struct RemoteKey {
+    VmId vm;
+    tmem::PoolType type;
+    std::uint64_t object;
+    std::uint32_t index;
+
+    friend auto operator<=>(const RemoteKey&, const RemoteKey&) = default;
+  };
+
+  class Port final : public hyper::RemoteTmem {
+   public:
+    Port(LendingBroker& broker, NodeId node) : broker_(broker), node_(node) {}
+    bool remote_put(VmId vm, tmem::PoolType type, std::uint64_t object,
+                    std::uint32_t index, tmem::PagePayload payload) override {
+      return broker_.do_put(node_, vm, type, object, index, payload);
+    }
+    std::optional<tmem::PagePayload> remote_get(VmId vm, tmem::PoolType type,
+                                                std::uint64_t object,
+                                                std::uint32_t index) override {
+      return broker_.do_get(node_, vm, type, object, index);
+    }
+    bool remote_flush(VmId vm, tmem::PoolType type, std::uint64_t object,
+                      std::uint32_t index) override {
+      return broker_.do_flush(node_, vm, type, object, index);
+    }
+    PageCount remote_flush_object(VmId vm, tmem::PoolType type,
+                                  std::uint64_t object) override {
+      return broker_.do_flush_object(node_, vm, type, object);
+    }
+    bool owns(VmId vm, tmem::PoolType type, std::uint64_t object,
+              std::uint32_t index) const override {
+      return broker_.do_owns(node_, vm, type, object, index);
+    }
+    PageCount borrowed_pages(VmId vm) const override {
+      return broker_.do_borrowed_pages(node_, vm);
+    }
+    PageCount borrowed_total() const override {
+      return broker_.borrowed_total(node_);
+    }
+    PageCount release_borrowed(PageCount max_pages) override {
+      return broker_.do_release(node_, max_pages);
+    }
+
+   private:
+    LendingBroker& broker_;
+    NodeId node_;
+  };
+
+  struct NodeState {
+    std::map<RemoteKey, NodeId> index;  // borrowed key -> donor
+    std::map<VmId, PageCount> borrowed_per_vm;
+    PageCount borrowed_total = 0;
+    NodeId rotation = 0;  // donor rotation cursor
+    std::unique_ptr<Port> port;
+  };
+
+  bool do_put(NodeId node, VmId vm, tmem::PoolType type, std::uint64_t object,
+              std::uint32_t index, const tmem::PagePayload& payload);
+  std::optional<tmem::PagePayload> do_get(NodeId node, VmId vm,
+                                          tmem::PoolType type,
+                                          std::uint64_t object,
+                                          std::uint32_t index);
+  bool do_flush(NodeId node, VmId vm, tmem::PoolType type,
+                std::uint64_t object, std::uint32_t index);
+  PageCount do_flush_object(NodeId node, VmId vm, tmem::PoolType type,
+                            std::uint64_t object);
+  bool do_owns(NodeId node, VmId vm, tmem::PoolType type, std::uint64_t object,
+               std::uint32_t index) const;
+  PageCount do_borrowed_pages(NodeId node, VmId vm) const;
+  PageCount do_release(NodeId node, PageCount max_pages);
+
+  /// Removes one index entry and fixes the borrow accounting.
+  void drop_entry(NodeState& st, const RemoteKey& key);
+  void trace_instant(const char* name, NodeId borrower, NodeId donor);
+
+  std::vector<hyper::Hypervisor*> hyps_;
+  std::vector<NodeState> state_;
+  PageCount peak_borrowed_ = 0;
+  std::uint64_t borrow_placements_ = 0;
+  std::uint64_t borrow_hits_ = 0;
+  std::uint64_t borrow_misses_ = 0;
+  std::uint64_t recalls_ = 0;
+  std::uint64_t recall_migrations_ = 0;
+  obs::TraceRecorder* trace_ = nullptr;
+  std::function<SimTime()> clock_;
+  std::uint16_t track_ = 0;
+};
+
+}  // namespace smartmem::cluster

@@ -1,0 +1,64 @@
+// The statistics ABI between node hypervisors and the rack-level
+// GlobalManager — the node-granular analogue of hyper::MemStats.
+//
+// Each node's cluster wiring rolls its per-VM memstats sample up into one
+// NodeStats record (adding the node-level quota/lending accounting the
+// per-VM view has no place for) and ships it over the inter-node uplink.
+// The GlobalManager answers, once per global interval, with one
+// NodeQuotaMsg per node over that node's inter-node downlink.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace smartmem::cluster {
+
+/// Identifier of a node within the rack (0-based; node 0 is the node whose
+/// configuration is byte-identical to the single-node path).
+using NodeId = std::uint32_t;
+
+/// One node's roll-up of a memstats sample, as seen by the GlobalManager.
+struct NodeStats {
+  NodeId node = 0;
+  /// Roll-up sequence (1-based, per node). Mirrors MemStats::seq so the
+  /// GlobalManager can drop stale or reordered uplink deliveries.
+  std::uint64_t seq = 0;
+  SimTime when = 0;
+
+  /// Physical DRAM+NVM tmem capacity of the node (constant per run).
+  PageCount phys_tmem = 0;
+  /// Quota currently enforced by the node's hypervisor (kUnlimitedTarget
+  /// until the first grant lands).
+  PageCount quota = kUnlimitedTarget;
+  /// Pages the node uses for its *own* VMs: local frames minus frames lent
+  /// out, plus frames borrowed from donors. This is what the quota caps.
+  PageCount used = 0;
+  PageCount lent = 0;      // frames hosted for other nodes
+  PageCount borrowed = 0;  // frames this node's VMs occupy on donors
+
+  /// Sum over the node's VMs, within the sample's interval.
+  std::uint64_t puts_total = 0;
+  std::uint64_t puts_succ = 0;
+  /// Lifetime failed puts summed over VMs (the node-level analogue of
+  /// cumul_puts_failed).
+  std::uint64_t cumul_failed_puts = 0;
+
+  std::uint32_t vm_count = 0;
+
+  /// Failed puts in the interval — the signal Algorithm 4 keys off.
+  std::uint64_t failed_puts() const { return puts_total - puts_succ; }
+};
+
+/// One quota grant, GlobalManager -> node. The node's hypervisor enforces
+/// `quota` as a cap on its own-use pages before per-VM renormalization
+/// (Equation 2 then runs beneath the quota, not the physical capacity).
+struct NodeQuotaMsg {
+  /// Send sequence stamped by the GlobalManager (1-based; the hypervisor
+  /// drops anything not newer than the last applied grant).
+  std::uint64_t seq = 0;
+  NodeId node = 0;
+  PageCount quota = kUnlimitedTarget;
+};
+
+}  // namespace smartmem::cluster

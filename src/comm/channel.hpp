@@ -319,6 +319,18 @@ struct CommConfig {
   /// repetitions yet stay reproducible.
   std::uint64_t seed = 0x736d61727463686eULL;
 
+  /// Downlink delivery guard (the roadmap's retry/ack item). When true the
+  /// TKM keeps the newest submitted TargetsMsg and, if its delivery has not
+  /// been observed within ack_timeout, retransmits it — up to
+  /// ack_max_retries times per message. The sequenced hypercall completing
+  /// is the implicit ack (the simulated downlink is one-way); duplicated
+  /// deliveries are absorbed by the hypervisor's seq check. Off by default:
+  /// the paper's control plane has no retransmission, and a lost vector is
+  /// gone until targets next change (suppress_unchanged).
+  bool ack_targets = false;
+  SimTime ack_timeout = 500 * kMillisecond;
+  std::uint32_t ack_max_retries = 3;
+
   CommConfig() {
     uplink.name = "uplink";
     downlink.name = "downlink";
@@ -327,6 +339,7 @@ struct CommConfig {
   void scale_times(double f) {
     uplink.scale_times(f);
     downlink.scale_times(f);
+    ack_timeout = static_cast<SimTime>(static_cast<double>(ack_timeout) * f);
   }
 };
 

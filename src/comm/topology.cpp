@@ -1,0 +1,62 @@
+#include "comm/topology.hpp"
+
+namespace smartmem::comm {
+
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
+  std::uint64_t x = base + salt * 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+ClusterTopology::ClusterTopology() {
+  internode_up.name = "gm_up";
+  internode_down.name = "gm_down";
+  // Crossing the rack fabric: ~50x the intra-node hop, still far below the
+  // sampling interval so quota decisions stay one global interval stale.
+  internode_up.latency = LatencySpec::fixed_at(5 * kMillisecond);
+  internode_down.latency = LatencySpec::fixed_at(5 * kMillisecond);
+}
+
+CommConfig ClusterTopology::node_comm_for(std::size_t node) const {
+  if (node == 0) return node_comm;  // byte-identity with the single-node path
+  CommConfig c = node_comm;
+  c.seed = derive_seed(c.seed, static_cast<std::uint64_t>(node));
+  return c;
+}
+
+namespace {
+
+ChannelConfig finalize(ChannelConfig c, std::size_t node, std::uint64_t seed,
+                       std::uint64_t which) {
+  c.name = "n" + std::to_string(node) + "." + c.name;
+  if (c.seed == 0) {
+    c.seed = derive_seed(
+        seed, (static_cast<std::uint64_t>(node) << 1) | which);
+  }
+  return c;
+}
+
+}  // namespace
+
+ChannelConfig ClusterTopology::uplink_for(std::size_t node) const {
+  auto it = up_overrides.find(node);
+  return finalize(it != up_overrides.end() ? it->second : internode_up, node,
+                  seed, 0);
+}
+
+ChannelConfig ClusterTopology::downlink_for(std::size_t node) const {
+  auto it = down_overrides.find(node);
+  return finalize(it != down_overrides.end() ? it->second : internode_down,
+                  node, seed, 1);
+}
+
+void ClusterTopology::scale_times(double f) {
+  node_comm.scale_times(f);
+  internode_up.scale_times(f);
+  internode_down.scale_times(f);
+  for (auto& [node, c] : up_overrides) c.scale_times(f);
+  for (auto& [node, c] : down_overrides) c.scale_times(f);
+}
+
+}  // namespace smartmem::comm

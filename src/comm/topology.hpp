@@ -1,0 +1,68 @@
+// Cluster communication topology.
+//
+// ROADMAP's first open item generalizes the single node's uplink/downlink
+// pair into a rack: N VirtualNodes, each keeping its private intra-node
+// control plane (VIRQ/netlink/hypercall, modeled by CommConfig), plus one
+// extra hop pair per node crossing the rack fabric to the rack-level
+// GlobalManager. The inter-node hops are ordinary Channel<T>s — every
+// latency model, fault knob and queue policy applies — just with a default
+// latency in the milliseconds (a switch traversal, not a VM exit).
+//
+// Determinism contract: node_comm_for(0) returns `node_comm` verbatim, so a
+// one-node cluster derives exactly the channel seeds the single-node path
+// derives and reproduces its output byte-for-byte. Higher nodes remix the
+// seed through splitmix64 so their fault/latency draws are independent but
+// still pure functions of (topology seed, node index).
+#pragma once
+
+#include <cstddef>
+#include <map>
+
+#include "comm/channel.hpp"
+
+namespace smartmem::comm {
+
+/// Deterministic seed derivation for per-node channel streams (splitmix64
+/// finalizer; exposed for tests that assert stream independence).
+std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt);
+
+/// Static description of a rack: how many nodes, what each node's internal
+/// control plane looks like, and what the inter-node hops to the rack-level
+/// GlobalManager look like. Pure configuration — the cluster subsystem
+/// instantiates the actual channels from it.
+struct ClusterTopology {
+  std::size_t node_count = 1;
+
+  /// Template for every node's intra-node control plane. Node 0 uses it
+  /// verbatim (single-node byte-identity); nodes >= 1 get a remixed seed.
+  CommConfig node_comm;
+
+  /// Templates for the inter-node hops: node hypervisor -> GlobalManager
+  /// (NodeStats roll-ups) and GlobalManager -> node (quota vectors).
+  ChannelConfig internode_up;
+  ChannelConfig internode_down;
+
+  /// Per-node overrides, for asymmetric topologies (one slow or lossy node)
+  /// in tests and ablations. An override replaces the template wholesale;
+  /// the name prefix and seed derivation are still applied afterwards.
+  std::map<std::size_t, ChannelConfig> up_overrides;
+  std::map<std::size_t, ChannelConfig> down_overrides;
+
+  /// Base seed for inter-node channels whose own seed is 0.
+  std::uint64_t seed = 0x636c757374657257ULL;
+
+  ClusterTopology();
+
+  /// Intra-node control-plane config for `node` (0-based).
+  CommConfig node_comm_for(std::size_t node) const;
+
+  /// Inter-node hop configs for `node`, override-aware, with the channel
+  /// name prefixed "n<node>." and a derived seed when the config's is 0.
+  ChannelConfig uplink_for(std::size_t node) const;
+  ChannelConfig downlink_for(std::size_t node) const;
+
+  /// Scales every time constant (templates and overrides) by `f`.
+  void scale_times(double f);
+};
+
+}  // namespace smartmem::comm

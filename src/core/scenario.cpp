@@ -230,10 +230,9 @@ NodeConfig scaled_node_defaults(double scale) {
   return cfg;
 }
 
-std::unique_ptr<VirtualNode> build_node(const ScenarioSpec& scenario,
-                                        const mm::PolicySpec& policy,
-                                        std::uint64_t seed,
-                                        const NodeConfig* overrides) {
+NodeConfig node_config_for(const ScenarioSpec& scenario,
+                           const mm::PolicySpec& policy, std::uint64_t seed,
+                           const NodeConfig* overrides) {
   NodeConfig cfg =
       overrides ? *overrides : scaled_node_defaults(scenario.scale);
   cfg.tmem_pages = scenario.tmem_pages;
@@ -243,8 +242,11 @@ std::unique_ptr<VirtualNode> build_node(const ScenarioSpec& scenario,
   // the default reliable fixed-latency channels the Rng is never consulted,
   // so this cannot perturb deterministic baseline runs.
   cfg.comm.seed ^= seed * 0x9e3779b97f4a7c15ULL + 0xc2b2ae3d27d4eb4fULL;
+  return cfg;
+}
 
-  auto node = std::make_unique<VirtualNode>(cfg);
+void populate_node(VirtualNode& node, const ScenarioSpec& scenario,
+                   std::uint64_t seed) {
   Rng jitter_rng(seed ^ 0x6a09e667f3bcc908ULL);
   std::uint64_t vm_index = 0;
   for (const auto& svm : scenario.vms) {
@@ -261,11 +263,20 @@ std::unique_ptr<VirtualNode> build_node(const ScenarioSpec& scenario,
     spec.manual_start = svm.manual_start;
     // Distinct, reproducible stream per (seed, VM).
     spec.seed = seed * 1000003ULL + vm_index * 7919ULL + 1;
-    node->add_vm(std::move(spec));
+    node.add_vm(std::move(spec));
   }
   if (scenario.install_triggers) {
-    scenario.install_triggers(*node);
+    scenario.install_triggers(node);
   }
+}
+
+std::unique_ptr<VirtualNode> build_node(const ScenarioSpec& scenario,
+                                        const mm::PolicySpec& policy,
+                                        std::uint64_t seed,
+                                        const NodeConfig* overrides) {
+  auto node = std::make_unique<VirtualNode>(
+      node_config_for(scenario, policy, seed, overrides));
+  populate_node(*node, scenario, seed);
   return node;
 }
 

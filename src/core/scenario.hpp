@@ -80,6 +80,22 @@ std::vector<ScenarioSpec> all_scenarios(double scale = 0.25);
 /// start from this and tweak one knob.
 NodeConfig scaled_node_defaults(double scale);
 
+/// The NodeConfig exactly as build_node derives it (scaled defaults or
+/// overrides + scenario capacity + policy + per-repetition comm-seed
+/// mixing), without constructing the node. Cluster wiring derives each
+/// member node's config through this so node 0 of a cluster is
+/// byte-identical to the single-node path.
+NodeConfig node_config_for(const ScenarioSpec& scenario,
+                           const mm::PolicySpec& policy, std::uint64_t seed,
+                           const NodeConfig* overrides = nullptr);
+
+/// Populates an already-constructed node with the scenario's VMs — launch
+/// jitter, per-VM seed streams and marker triggers — exactly as build_node
+/// does. Exposed so cluster wiring can place nodes on a shared simulator
+/// and still reproduce identical VM streams for the same seed.
+void populate_node(VirtualNode& node, const ScenarioSpec& scenario,
+                   std::uint64_t seed);
+
 /// Builds a VirtualNode for `scenario` under `policy`. Seed feeds the VMs'
 /// RNG streams; repetition r of an experiment passes base_seed + r.
 std::unique_ptr<VirtualNode> build_node(const ScenarioSpec& scenario,

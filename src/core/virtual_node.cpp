@@ -28,7 +28,17 @@ class LogClockGuard {
 }  // namespace
 
 VirtualNode::VirtualNode(NodeConfig config)
-    : config_(std::move(config)), cpu_pool_(config_.physical_cores) {
+    : VirtualNode(std::move(config), nullptr) {}
+
+VirtualNode::VirtualNode(NodeConfig config, sim::Simulator& sim)
+    : VirtualNode(std::move(config), &sim) {}
+
+VirtualNode::VirtualNode(NodeConfig config, sim::Simulator* external)
+    : config_(std::move(config)),
+      owned_sim_(external == nullptr ? std::make_unique<sim::Simulator>()
+                                     : nullptr),
+      sim_(external == nullptr ? *owned_sim_ : *external),
+      cpu_pool_(config_.physical_cores) {
   if (config_.obs.any()) {
     observer_ = std::make_unique<obs::Observer>(config_.obs);
   }
@@ -52,6 +62,7 @@ VirtualNode::VirtualNode(NodeConfig config)
   if (config_.policy.needs_manager()) {
     mm::ManagerConfig mcfg;
     mcfg.sample_interval = config_.sample_interval;
+    mcfg.suppress_unchanged = config_.mm_suppress_unchanged;
     manager_ = std::make_unique<mm::MemoryManager>(
         mm::make_policy(config_.policy),
         config_.tmem_pages + config_.nvm_tmem_pages, mcfg);
@@ -200,8 +211,12 @@ void VirtualNode::start() {
   if (observer_) wire_observability();
 
   if (manager_) {
+    if (stats_tap_) tkm_->set_virq_tap(stats_tap_);
     tkm_->start(
         [this](const hyper::MemStats& stats) { manager_->on_stats(stats); });
+  } else if (stats_tap_) {
+    hyp_->start_sampling(
+        [this](const hyper::MemStats& stats) { stats_tap_(stats); });
   } else {
     // No MM: still run the sampler so snapshots/benches see statistics and
     // interval counters reset, exactly as the hypervisor does under greedy.
@@ -271,12 +286,20 @@ SimTime VirtualNode::run(SimTime deadline) {
     while (!all_done() && sim_.step()) {
     }
   }
+  finish();
+  return sim_.now();
+}
+
+void VirtualNode::finish() {
+  if (finished_) return;
+  finished_ = true;
   // Final usage sample so the series cover the full run.
   if (config_.usage_sample_interval > 0) record_usage();
   usage_sampler_.cancel();
   metrics_sampler_.cancel();
   // Quiesce the control plane: closing the TKM's channels also cancels any
-  // in-flight stats/target deliveries, so nothing lands after run() returns.
+  // in-flight stats/target deliveries, so nothing lands after finish()
+  // returns.
   if (tkm_) {
     tkm_->stop();
   } else {
@@ -293,7 +316,6 @@ SimTime VirtualNode::run(SimTime deadline) {
       log::error(log::Component::kObs, "export failed: %s", err.c_str());
     }
   }
-  return sim_.now();
 }
 
 }  // namespace smartmem::core

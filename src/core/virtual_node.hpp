@@ -55,6 +55,12 @@ struct NodeConfig {
   /// fault injection. Defaults reproduce the paper's reliable 100 us hops.
   comm::CommConfig comm;
 
+  /// MM-side suppression of unchanged target vectors (see
+  /// mm::ManagerConfig). Exposed here so the comms ablation can cross it
+  /// with downlink ack/retry: with suppression on, a lost target message
+  /// is not naturally repaired by the next interval's (suppressed) resend.
+  bool mm_suppress_unchanged = true;
+
   /// Destructive frontswap gets (see GuestConfig); the paper's kernel
   /// defaults to non-exclusive.
   bool frontswap_exclusive_gets = true;
@@ -116,6 +122,12 @@ class VirtualNode {
  public:
   explicit VirtualNode(NodeConfig config);
 
+  /// Cluster mode: runs this node's whole stack on a shared external
+  /// simulator so N nodes advance on one event loop. The simulator must
+  /// outlive the node. run() must not be used on a shared-sim node — the
+  /// cluster driver steps the simulator and calls finish() itself.
+  VirtualNode(NodeConfig config, sim::Simulator& sim);
+
   VirtualNode(const VirtualNode&) = delete;
   VirtualNode& operator=(const VirtualNode&) = delete;
 
@@ -140,6 +152,18 @@ class VirtualNode {
   /// Runs the simulation until every added VM's workload has finished (or
   /// been stopped), or `deadline` is reached. Returns the end time.
   SimTime run(SimTime deadline = 4 * 3600 * kSecond);
+
+  /// Post-run teardown: final usage sample, sampler/control-plane shutdown,
+  /// final metrics snapshot and observability export. run() calls this;
+  /// cluster drivers stepping a shared simulator call it per node once the
+  /// shared loop has drained. Idempotent.
+  void finish();
+
+  /// Observes every VIRQ sample leaving the hypervisor (before uplink
+  /// latency/faults). The cluster's per-node roll-up taps here. Must be set
+  /// before start().
+  using StatsTap = std::function<void(const hyper::MemStats&)>;
+  void set_stats_tap(StatsTap tap) { stats_tap_ = std::move(tap); }
 
   // ---- Accessors ----------------------------------------------------------
 
@@ -180,6 +204,8 @@ class VirtualNode {
     bool manual_start = false;
   };
 
+  VirtualNode(NodeConfig config, sim::Simulator* external);
+
   VmSlot& slot(VmId vm);
   const VmSlot& slot(VmId vm) const;
   void record_usage();
@@ -189,7 +215,10 @@ class VirtualNode {
   void wire_observability();
 
   NodeConfig config_;
-  sim::Simulator sim_;
+  // Single-node mode owns its simulator; cluster mode shares an external
+  // one. sim_ always names the simulator in use.
+  std::unique_ptr<sim::Simulator> owned_sim_;
+  sim::Simulator& sim_;
   sim::CpuPool cpu_pool_;
   std::unique_ptr<sim::DiskDevice> shared_disk_;
   std::unique_ptr<hyper::Hypervisor> hyp_;
@@ -199,7 +228,9 @@ class VirtualNode {
   NodeMarkerHook marker_hook_;
   SeriesSet usage_;
   sim::EventHandle usage_sampler_;
+  StatsTap stats_tap_;
   bool started_ = false;
+  bool finished_ = false;
   std::unique_ptr<obs::Observer> observer_;
   std::uint16_t workload_track_ = 0;
   sim::EventHandle metrics_sampler_;

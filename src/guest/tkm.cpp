@@ -24,31 +24,74 @@ Tkm::Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor,
     : sim_(sim),
       hyp_(hypervisor),
       uplink_(sim, seeded(std::move(config.uplink), config.seed, 0)),
-      downlink_(sim, seeded(std::move(config.downlink), config.seed, 1)) {
+      downlink_(sim, seeded(std::move(config.downlink), config.seed, 1)),
+      ack_targets_(config.ack_targets),
+      ack_timeout_(config.ack_timeout),
+      ack_max_retries_(config.ack_max_retries) {
   // The downlink terminates in the sequenced hypercall from construction on,
   // so an MM (or test) may submit targets before start().
-  downlink_.open(
-      [this](const hyper::TargetsMsg& msg) { hyp_.apply_targets(msg); });
+  install_downlink();
+}
+
+void Tkm::install_downlink() {
+  downlink_.open([this](const hyper::TargetsMsg& msg) {
+    // Implicit ack: this or any newer vector arriving supersedes the
+    // pending retransmission. Costs one test on an empty optional when the
+    // ack guard is off.
+    if (pending_ack_ && msg.seq >= pending_ack_->seq) {
+      pending_ack_.reset();
+      ack_timer_.cancel();
+    }
+    hyp_.apply_targets(msg);
+  });
 }
 
 void Tkm::start(StatsSink sink) {
   uplink_.open(std::move(sink));
-  if (!downlink_.is_open()) {
-    downlink_.open(
-        [this](const hyper::TargetsMsg& msg) { hyp_.apply_targets(msg); });
-  }
-  hyp_.start_sampling(
-      [this](const hyper::MemStats& stats) { uplink_.send(stats); });
+  if (!downlink_.is_open()) install_downlink();
+  hyp_.start_sampling([this](const hyper::MemStats& stats) {
+    if (virq_tap_) virq_tap_(stats);
+    uplink_.send(stats);
+  });
 }
 
 void Tkm::stop() {
   hyp_.stop_sampling();
   uplink_.close();
   downlink_.close();
+  ack_timer_.cancel();
+  pending_ack_.reset();
 }
 
 comm::SendResult Tkm::submit_targets(const hyper::TargetsMsg& msg) {
-  return downlink_.send(msg);
+  const comm::SendResult result = downlink_.send(msg);
+  if (ack_targets_ && msg.seq != 0) {
+    // Remember the newest vector whether or not the send was accepted — a
+    // loss on the wire is exactly what the retry exists to cover.
+    pending_ack_ = msg;
+    retries_left_ = ack_max_retries_;
+    schedule_ack_timer();
+  }
+  return result;
+}
+
+void Tkm::schedule_ack_timer() {
+  ack_timer_.cancel();
+  ack_timer_ = sim_.schedule(ack_timeout_, [this] { on_ack_timeout(); });
+}
+
+void Tkm::on_ack_timeout() {
+  if (!pending_ack_) return;
+  if (retries_left_ == 0) {
+    // Give up; the next target change (or the MM's next interval) takes
+    // over, as in the no-ack configuration.
+    pending_ack_.reset();
+    return;
+  }
+  --retries_left_;
+  ++target_retransmits_;
+  downlink_.send(*pending_ack_);
+  schedule_ack_timer();
 }
 
 void Tkm::attach_obs(obs::TraceRecorder* trace, obs::Registry* registry) {
@@ -66,6 +109,7 @@ void Tkm::attach_obs(obs::TraceRecorder* trace, obs::Registry* registry) {
                                    &uplink_.stats());
     comm::register_channel_metrics(*registry, "comm.downlink.",
                                    &downlink_.stats());
+    registry->add_counter("comm.target_retransmits", &target_retransmits_);
   }
 }
 

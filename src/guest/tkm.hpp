@@ -17,6 +17,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "comm/channel.hpp"
 #include "common/types.hpp"
@@ -45,7 +46,15 @@ class Tkm {
   /// Called by the MM: forwards a sequenced target vector to the hypervisor
   /// over the downlink (the custom hypercall of Section III-C). Returns the
   /// channel's verdict — kLost/kDroppedFull/... under fault injection.
+  /// With CommConfig::ack_targets the message is also remembered and
+  /// retransmitted after ack_timeout until its (or a newer) sequence is
+  /// observed delivering, up to ack_max_retries times.
   comm::SendResult submit_targets(const hyper::TargetsMsg& msg);
+
+  /// Observes every VIRQ sample as it leaves the hypervisor, *before* the
+  /// uplink adds latency or faults (the cluster roll-up taps here; a node's
+  /// own hypervisor-side stats are exact by construction). nullptr clears.
+  void set_virq_tap(StatsSink tap) { virq_tap_ = std::move(tap); }
 
   std::uint64_t stats_forwarded() const {
     return uplink_.stats().delivered;
@@ -53,6 +62,8 @@ class Tkm {
   std::uint64_t targets_forwarded() const {
     return downlink_.stats().delivered;
   }
+  /// Target vectors re-sent by the ack/retry guard.
+  std::uint64_t target_retransmits() const { return target_retransmits_; }
 
   const comm::Channel<hyper::MemStats>& uplink() const { return uplink_; }
   const comm::Channel<hyper::TargetsMsg>& downlink() const {
@@ -70,10 +81,32 @@ class Tkm {
                                     std::uint64_t base_seed,
                                     std::uint64_t which);
 
+  /// (Re)opens the downlink into the sequenced hypercall, with the implicit
+  /// ack observation wrapped around it.
+  void install_downlink();
+
+  void schedule_ack_timer();
+  void on_ack_timeout();
+
   sim::Simulator& sim_;
   hyper::Hypervisor& hyp_;
   comm::Channel<hyper::MemStats> uplink_;
   comm::Channel<hyper::TargetsMsg> downlink_;
+  StatsSink virq_tap_;
+
+  // Ack/retry state (CommConfig::ack_targets). The delivered hypercall is
+  // the implicit ack: the downlink is one-way, so "a message with seq >= the
+  // pending one arrived" stands in for an explicit ack message. Duplicates
+  // produced by a retransmit racing a slow original are absorbed by the
+  // hypervisor's sequence check. All three fields are copied from
+  // CommConfig at construction.
+  bool ack_targets_ = false;
+  SimTime ack_timeout_ = 0;
+  std::uint32_t ack_max_retries_ = 0;
+  std::optional<hyper::TargetsMsg> pending_ack_;
+  std::uint32_t retries_left_ = 0;
+  std::uint64_t target_retransmits_ = 0;
+  sim::EventHandle ack_timer_;
 };
 
 }  // namespace smartmem::guest

@@ -74,16 +74,29 @@ void Hypervisor::apply_equal_share_targets() {
 // One refinement: check (b) treats ephemeral (cleancache) pages as
 // reclaimable, as Xen does — a persistent put may evict ephemeral victims, so
 // the node only counts as "full" when free + evictable are both zero.
-OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
-                            std::uint32_t index, tmem::PagePayload payload,
-                            tmem::Tier* tier) {
+//
+// The cluster extension threads two more decisions through the same path
+// without perturbing the single-node one (node_quota_ unlimited, remote_
+// null short-circuits both):
+//   * node quota: between (a) and (b), a managed node rejects — or recycles
+//     an own ephemeral frame for — any put that would push own+borrowed
+//     usage past the rack-assigned quota. With quota == physical capacity
+//     this is exactly check (b).
+//   * remote lending: a key the broker already holds is replaced in place
+//     remotely; a physically-full node with quota headroom places the page
+//     with a donor instead of failing.
+OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, tmem::PoolType type,
+                            std::uint64_t object, std::uint32_t index,
+                            tmem::PagePayload payload, tmem::Tier* tier) {
   VmData* data = find_vm(vm);
   if (data == nullptr) return OpStatus::kBadVm;
 
   ++data->puts_total;          // line 15: counted whether or not it succeeds
   ++data->cumul_puts_total;
 
-  const PageCount used = store_.vm_pages(vm);
+  const PageCount borrowed =
+      remote_ != nullptr ? remote_->borrowed_pages(vm) : 0;
+  const PageCount used = store_.vm_pages(vm) + borrowed;
   if (used >= data->mm_target) {  // line 5
     ++data->cumul_puts_failed;
     if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
@@ -94,8 +107,68 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
     }
     return OpStatus::kNoCapacity;
   }
+
+  // Replacement put of a key the broker holds: route it back to the same
+  // donor so the key never exists twice. Consumes no new capacity anywhere.
+  const bool remote_owned =
+      remote_ != nullptr && remote_->owns(vm, type, object, index);
+  const tmem::TmemKey key{pool, object, index};
+
+  if (node_quota_ != kUnlimitedTarget && !remote_owned &&
+      !store_.contains(key) && own_used_total() >= node_quota_) {
+    // At the quota wall. A replacement would consume no frame (handled by
+    // the contains() guard); a fresh page must recycle an own ephemeral
+    // frame to keep the footprint flat, or fail. With quota == physical
+    // capacity this degenerates to exactly check (b) below.
+    if (store_.ephemeral_pages() == 0) {
+      ++data->cumul_puts_failed;
+      if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+        trace_->instant(obs::kCatHyper, vm_track(vm), "put_reject:node_quota",
+                        sim_.now(),
+                        {{"used", static_cast<double>(used)},
+                         {"quota", static_cast<double>(node_quota_)}});
+      }
+      return OpStatus::kNoCapacity;
+    }
+    if (store_.combined_free_pages() > 0) {
+      // Free frames exist but belong to the rack, not this node: recycle an
+      // own ephemeral frame so the store put below does not grow own usage.
+      store_.evict_oldest_ephemeral();
+      ++quota_evictions_;
+    }
+    // else: the store put below evicts an ephemeral victim itself.
+  }
+
+  if (remote_owned) {
+    if (remote_->remote_put(vm, type, object, index, payload)) {
+      ++remote_puts_;
+      ++data->puts_succ;
+      ++data->cumul_puts_succ;
+      if (tier != nullptr) *tier = tmem::Tier::kRemote;
+      return OpStatus::kSuccess;
+    }
+    ++data->cumul_puts_failed;
+    return OpStatus::kNoCapacity;
+  }
+
   if (store_.combined_free_pages() == 0 &&
       store_.ephemeral_pages() == 0) {  // line 7
+    // Physically full. A node whose quota still has headroom (the global
+    // policy granted it more than it owns) may borrow a donor's frame at
+    // inter-node latency instead of failing the put.
+    if (remote_ != nullptr &&
+        (node_quota_ == kUnlimitedTarget || own_used_total() < node_quota_) &&
+        remote_->remote_put(vm, type, object, index, payload)) {
+      ++remote_puts_;
+      ++data->puts_succ;
+      ++data->cumul_puts_succ;
+      if (tier != nullptr) *tier = tmem::Tier::kRemote;
+      if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+        trace_->instant(obs::kCatHyper, vm_track(vm), "put_remote",
+                        sim_.now(), {{"used", static_cast<double>(used)}});
+      }
+      return OpStatus::kSuccess;
+    }
     ++data->cumul_puts_failed;
     if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
       trace_->instant(obs::kCatHyper, vm_track(vm), "put_reject:node_full",
@@ -104,8 +177,7 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
     return OpStatus::kNoCapacity;
   }
 
-  const tmem::PutResult result = store_.put(
-      tmem::TmemKey{pool, object, index}, payload, tier);  // line 10
+  const tmem::PutResult result = store_.put(key, payload, tier);  // line 10
   if (result == tmem::PutResult::kNoMemory) {
     ++data->cumul_puts_failed;
     if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
@@ -126,7 +198,8 @@ OpStatus Hypervisor::frontswap_put(VmId vm, std::uint64_t object,
                                    tmem::Tier* tier) {
   VmData* data = find_vm(vm);
   if (data == nullptr) return OpStatus::kBadVm;
-  return do_put(vm, data->frontswap_pool, object, index, payload, tier);
+  return do_put(vm, data->frontswap_pool, tmem::PoolType::kPersistent, object,
+                index, payload, tier);
 }
 
 OpStatus Hypervisor::cleancache_put(VmId vm, std::uint64_t object,
@@ -135,37 +208,44 @@ OpStatus Hypervisor::cleancache_put(VmId vm, std::uint64_t object,
                                     tmem::Tier* tier) {
   VmData* data = find_vm(vm);
   if (data == nullptr) return OpStatus::kBadVm;
-  return do_put(vm, data->cleancache_pool, object, index, payload, tier);
+  return do_put(vm, data->cleancache_pool, tmem::PoolType::kEphemeral, object,
+                index, payload, tier);
+}
+
+std::optional<tmem::PagePayload> Hypervisor::do_get(
+    VmData& data, tmem::PoolId pool, tmem::PoolType type, std::uint64_t object,
+    std::uint32_t index, tmem::Tier* tier) {
+  ++data.gets_total;
+  ++data.cumul_gets_total;
+  auto result = store_.get(tmem::TmemKey{pool, object, index}, tier);
+  if (!result && remote_ != nullptr) {
+    result = remote_->remote_get(data.vm_id, type, object, index);
+    if (result) {
+      ++remote_gets_;
+      if (tier != nullptr) *tier = tmem::Tier::kRemote;
+    }
+  }
+  if (result) {
+    ++data.gets_hit;
+    ++data.cumul_gets_hit;
+  }
+  return result;
 }
 
 std::optional<tmem::PagePayload> Hypervisor::frontswap_get(
     VmId vm, std::uint64_t object, std::uint32_t index, tmem::Tier* tier) {
   VmData* data = find_vm(vm);
   if (data == nullptr) return std::nullopt;
-  ++data->gets_total;
-  ++data->cumul_gets_total;
-  auto result =
-      store_.get(tmem::TmemKey{data->frontswap_pool, object, index}, tier);
-  if (result) {
-    ++data->gets_hit;
-    ++data->cumul_gets_hit;
-  }
-  return result;
+  return do_get(*data, data->frontswap_pool, tmem::PoolType::kPersistent,
+                object, index, tier);
 }
 
 std::optional<tmem::PagePayload> Hypervisor::cleancache_get(
     VmId vm, std::uint64_t object, std::uint32_t index, tmem::Tier* tier) {
   VmData* data = find_vm(vm);
   if (data == nullptr) return std::nullopt;
-  ++data->gets_total;
-  ++data->cumul_gets_total;
-  auto result =
-      store_.get(tmem::TmemKey{data->cleancache_pool, object, index}, tier);
-  if (result) {
-    ++data->gets_hit;
-    ++data->cumul_gets_hit;
-  }
-  return result;
+  return do_get(*data, data->cleancache_pool, tmem::PoolType::kEphemeral,
+                object, index, tier);
 }
 
 // Algorithm 1, FLUSH branch (lines 16-19): deallocate and decrement usage.
@@ -176,8 +256,12 @@ OpStatus Hypervisor::frontswap_flush(VmId vm, std::uint64_t object,
   if (data == nullptr) return OpStatus::kBadVm;
   ++data->flushes;
   ++data->cumul_flushes;
-  const bool existed =
+  bool existed =
       store_.flush_page(tmem::TmemKey{data->frontswap_pool, object, index});
+  if (!existed && remote_ != nullptr) {
+    existed =
+        remote_->remote_flush(vm, tmem::PoolType::kPersistent, object, index);
+  }
   return existed ? OpStatus::kSuccess : OpStatus::kNotFound;
 }
 
@@ -187,8 +271,12 @@ OpStatus Hypervisor::cleancache_flush(VmId vm, std::uint64_t object,
   if (data == nullptr) return OpStatus::kBadVm;
   ++data->flushes;
   ++data->cumul_flushes;
-  const bool existed =
+  bool existed =
       store_.flush_page(tmem::TmemKey{data->cleancache_pool, object, index});
+  if (!existed && remote_ != nullptr) {
+    existed =
+        remote_->remote_flush(vm, tmem::PoolType::kEphemeral, object, index);
+  }
   return existed ? OpStatus::kSuccess : OpStatus::kNotFound;
 }
 
@@ -197,7 +285,12 @@ PageCount Hypervisor::frontswap_flush_object(VmId vm, std::uint64_t object) {
   if (data == nullptr) return 0;
   ++data->flushes;
   ++data->cumul_flushes;
-  return store_.flush_object(data->frontswap_pool, object);
+  PageCount freed = store_.flush_object(data->frontswap_pool, object);
+  if (remote_ != nullptr) {
+    freed +=
+        remote_->remote_flush_object(vm, tmem::PoolType::kPersistent, object);
+  }
+  return freed;
 }
 
 PageCount Hypervisor::cleancache_flush_object(VmId vm, std::uint64_t object) {
@@ -205,7 +298,12 @@ PageCount Hypervisor::cleancache_flush_object(VmId vm, std::uint64_t object) {
   if (data == nullptr) return 0;
   ++data->flushes;
   ++data->cumul_flushes;
-  return store_.flush_object(data->cleancache_pool, object);
+  PageCount freed = store_.flush_object(data->cleancache_pool, object);
+  if (remote_ != nullptr) {
+    freed +=
+        remote_->remote_flush_object(vm, tmem::PoolType::kEphemeral, object);
+  }
+  return freed;
 }
 
 void Hypervisor::set_targets(const MmOut& targets) {
@@ -250,8 +348,18 @@ void Hypervisor::apply_targets(const TargetsMsg& msg) {
 MemStats Hypervisor::snapshot() const {
   MemStats stats;
   stats.when = sim_.now();
-  stats.total_tmem = total_tmem();
-  stats.free_tmem = store_.combined_free_pages();
+  // A rack-managed node reports its *effective* capacity: the quota-capped
+  // total and the headroom beneath it, so the per-VM policy (Eq. 2) always
+  // renormalizes under the node's rack-assigned share. The unmanaged path
+  // is byte-identical to the original single-node report.
+  stats.total_tmem = effective_total_tmem();
+  if (node_quota_ == kUnlimitedTarget && remote_ == nullptr) {
+    stats.free_tmem = store_.combined_free_pages();
+  } else {
+    const PageCount eff = effective_total_tmem();
+    const PageCount used = own_used_total();
+    stats.free_tmem = used >= eff ? 0 : eff - used;
+  }
   stats.vm_count = vm_count();
   stats.vm.reserve(vms_.size());
   for (const auto& [id, data] : vms_) {
@@ -260,7 +368,8 @@ MemStats Hypervisor::snapshot() const {
     v.puts_total = data.puts_total;
     v.puts_succ = data.puts_succ;
     v.cumul_puts_failed = data.cumul_puts_failed;
-    v.tmem_used = store_.vm_pages(id);
+    v.tmem_used = store_.vm_pages(id) +
+                  (remote_ != nullptr ? remote_->borrowed_pages(id) : 0);
     v.mm_target = data.mm_target;
     stats.vm.push_back(v);
   }
@@ -329,6 +438,35 @@ void Hypervisor::slow_reclaim() {
                  static_cast<unsigned long long>(reclaimed), id);
     }
   }
+
+  // Node-quota pass: after a quota shrink the node drains down "very
+  // slowly", like the per-VM path above — borrowed ephemeral pages go
+  // first (they are pure cache and free a donor's frame immediately), then
+  // own ephemeral pages, oldest first. No-op on an unmanaged node.
+  if (node_quota_ == kUnlimitedTarget) return;
+  const PageCount used_total = own_used_total();
+  if (used_total <= node_quota_) return;
+  PageCount budget = std::min(used_total - node_quota_,
+                              config_.slow_reclaim_pages_per_tick);
+  PageCount released = 0;
+  if (remote_ != nullptr && budget > 0) {
+    released = remote_->release_borrowed(budget);
+    budget -= released;
+  }
+  PageCount evicted = 0;
+  while (budget > 0 && store_.evict_oldest_ephemeral()) {
+    --budget;
+    ++evicted;
+  }
+  node_pages_reclaimed_ += released + evicted;
+  if ((released > 0 || evicted > 0) && trace_ != nullptr &&
+      trace_->enabled(obs::kCatHyper)) {
+    trace_->instant(obs::kCatHyper, hyper_track_, "node_quota_reclaim",
+                    sim_.now(),
+                    {{"released", static_cast<double>(released)},
+                     {"evicted", static_cast<double>(evicted)},
+                     {"excess", static_cast<double>(used_total - node_quota_)}});
+  }
 }
 
 void Hypervisor::start_sampling(VirqHandler handler) {
@@ -340,7 +478,156 @@ void Hypervisor::start_sampling(VirqHandler handler) {
 
 void Hypervisor::stop_sampling() { sampler_.cancel(); }
 
-PageCount Hypervisor::tmem_used(VmId vm) const { return store_.vm_pages(vm); }
+void Hypervisor::set_node_quota(PageCount quota) {
+  node_quota_ = quota;
+  ++quota_updates_;
+  if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+    trace_->instant(obs::kCatHyper, hyper_track_, "node_quota_applied",
+                    sim_.now(),
+                    {{"quota", quota == kUnlimitedTarget
+                                   ? -1.0
+                                   : static_cast<double>(quota)},
+                     {"used", static_cast<double>(own_used_total())}});
+  }
+  if (remote_ != nullptr && quota != kUnlimitedTarget) {
+    // A shrink releases ephemeral-typed borrowed pages right away — they
+    // are pure cache and every one returned frees a donor frame the rack
+    // can re-grant. Own pages drain through slow_reclaim instead.
+    const PageCount used = own_used_total();
+    if (used > quota) remote_->release_borrowed(used - quota);
+  }
+}
+
+void Hypervisor::apply_node_quota(std::uint64_t seq, PageCount quota) {
+  if (seq != 0) {
+    if (seq <= last_quota_seq_) {
+      ++stale_quotas_dropped_;
+      log::debug(kLogComp, "dropped stale node quota seq %llu (last %llu)",
+                 static_cast<unsigned long long>(seq),
+                 static_cast<unsigned long long>(last_quota_seq_));
+      return;
+    }
+    last_quota_seq_ = seq;
+  }
+  set_node_quota(quota);
+}
+
+PageCount Hypervisor::own_used_pages() const {
+  const PageCount used =
+      store_.combined_total_pages() - store_.combined_free_pages();
+  return used > lent_pages_ ? used - lent_pages_ : 0;
+}
+
+PageCount Hypervisor::own_used_total() const {
+  return own_used_pages() +
+         (remote_ != nullptr ? remote_->borrowed_total() : 0);
+}
+
+PageCount Hypervisor::lendable_pages() const {
+  // A donor must keep enough free frames to grow back into its own
+  // entitlement (min(quota, physical)); only frames beyond that reserve are
+  // lendable. This bounds lent <= physical - entitlement, so a quota grant
+  // can always be honoured locally after at most a recall.
+  const PageCount free = store_.combined_free_pages();
+  const PageCount phys = total_tmem();
+  const PageCount entitlement =
+      node_quota_ == kUnlimitedTarget ? phys : std::min(node_quota_, phys);
+  const PageCount own = own_used_pages();
+  const PageCount reserve = entitlement > own ? entitlement - own : 0;
+  return free > reserve ? free - reserve : 0;
+}
+
+PageCount Hypervisor::effective_total_tmem() const {
+  if (node_quota_ == kUnlimitedTarget) return total_tmem();
+  // Without lending the quota can only cap the physical pool; with a broker
+  // attached the quota *is* the capacity (it may exceed physical, the
+  // overflow being served by donors).
+  return remote_ != nullptr ? node_quota_
+                            : std::min(node_quota_, total_tmem());
+}
+
+tmem::PoolId Hypervisor::lender_pool(std::uint32_t borrower_node, VmId vm,
+                                     tmem::PoolType type) {
+  const auto key = std::make_tuple(borrower_node, vm, type);
+  auto it = lender_pools_.find(key);
+  if (it != lender_pools_.end()) return it->second;
+  // Lent pages are stored *persistent* regardless of the borrower-side pool
+  // type: the donor must never evict the only copy behind the broker's
+  // owner index. Victim-cache semantics for ephemeral-typed borrows are
+  // re-imposed by the broker (flush after hit). The pseudo owner id keeps
+  // the pool outside memstats, targets and slow reclaim.
+  const tmem::PoolId pool = store_.create_pool(kLenderVmBase + borrower_node,
+                                               tmem::PoolType::kPersistent);
+  lender_pools_.emplace(key, pool);
+  return pool;
+}
+
+bool Hypervisor::host_remote_put(std::uint32_t borrower_node, VmId vm,
+                                 tmem::PoolType type, std::uint64_t object,
+                                 std::uint32_t index,
+                                 tmem::PagePayload payload) {
+  const tmem::PoolId pool = lender_pool(borrower_node, vm, type);
+  const tmem::TmemKey key{pool, object, index};
+  const bool present = store_.contains(key);
+  if (!present && lendable_pages() == 0) return false;
+  const tmem::PutResult result = store_.put(key, payload);
+  if (result == tmem::PutResult::kNoMemory) return false;
+  if (result == tmem::PutResult::kStored) ++lent_pages_;
+  return true;
+}
+
+std::optional<tmem::PagePayload> Hypervisor::host_remote_get(
+    std::uint32_t borrower_node, VmId vm, tmem::PoolType type,
+    std::uint64_t object, std::uint32_t index) {
+  const auto it =
+      lender_pools_.find(std::make_tuple(borrower_node, vm, type));
+  if (it == lender_pools_.end()) return std::nullopt;
+  // Lender pools are persistent: the get leaves the page in place.
+  return store_.get(tmem::TmemKey{it->second, object, index});
+}
+
+bool Hypervisor::host_remote_flush(std::uint32_t borrower_node, VmId vm,
+                                   tmem::PoolType type, std::uint64_t object,
+                                   std::uint32_t index) {
+  const auto it =
+      lender_pools_.find(std::make_tuple(borrower_node, vm, type));
+  if (it == lender_pools_.end()) return false;
+  const bool existed =
+      store_.flush_page(tmem::TmemKey{it->second, object, index});
+  if (existed && lent_pages_ > 0) --lent_pages_;
+  return existed;
+}
+
+PageCount Hypervisor::host_remote_flush_object(std::uint32_t borrower_node,
+                                               VmId vm, tmem::PoolType type,
+                                               std::uint64_t object) {
+  const auto it =
+      lender_pools_.find(std::make_tuple(borrower_node, vm, type));
+  if (it == lender_pools_.end()) return 0;
+  const PageCount freed = store_.flush_object(it->second, object);
+  lent_pages_ = lent_pages_ > freed ? lent_pages_ - freed : 0;
+  return freed;
+}
+
+bool Hypervisor::rehome_page(VmId vm, tmem::PoolType type,
+                             std::uint64_t object, std::uint32_t index,
+                             tmem::PagePayload payload) {
+  VmData* data = find_vm(vm);
+  if (data == nullptr) return false;
+  // Migration, not a guest put: only a genuinely free frame may be used
+  // (no ephemeral eviction) and no Algorithm-1 counters move.
+  if (store_.combined_free_pages() == 0) return false;
+  const tmem::PoolId pool = type == tmem::PoolType::kPersistent
+                                ? data->frontswap_pool
+                                : data->cleancache_pool;
+  return store_.put(tmem::TmemKey{pool, object, index}, payload) !=
+         tmem::PutResult::kNoMemory;
+}
+
+PageCount Hypervisor::tmem_used(VmId vm) const {
+  return store_.vm_pages(vm) +
+         (remote_ != nullptr ? remote_->borrowed_pages(vm) : 0);
+}
 
 PageCount Hypervisor::target(VmId vm) const {
   const VmData* data = find_vm(vm);
@@ -385,6 +672,25 @@ void Hypervisor::register_metrics(obs::Registry& reg) const {
   reg.add_counter("hyper.samples_taken", &samples_taken_);
   reg.add_counter("hyper.target_updates", &target_updates_);
   reg.add_counter("hyper.stale_targets_dropped", &stale_targets_dropped_);
+  reg.add_counter("hyper.quota_updates", &quota_updates_);
+  reg.add_counter("hyper.stale_quotas_dropped", &stale_quotas_dropped_);
+  reg.add_counter("hyper.remote_puts", &remote_puts_);
+  reg.add_counter("hyper.remote_gets", &remote_gets_);
+  reg.add_counter("hyper.quota_evictions", &quota_evictions_);
+  reg.add_gauge("hyper.node_quota", [this] {
+    return node_quota_ == kUnlimitedTarget ? -1.0
+                                           : static_cast<double>(node_quota_);
+  });
+  reg.add_gauge("hyper.lent_pages",
+                [this] { return static_cast<double>(lent_pages_); });
+  reg.add_gauge("hyper.borrowed_pages", [this] {
+    return remote_ != nullptr
+               ? static_cast<double>(remote_->borrowed_total())
+               : 0.0;
+  });
+  reg.add_gauge("hyper.node_pages_reclaimed", [this] {
+    return static_cast<double>(node_pages_reclaimed_);
+  });
   for (const auto& [id, data] : vms_) {
     const std::string prefix = strfmt("hyper.vm%u.", id);
     const VmId vm = id;

@@ -17,10 +17,12 @@
 #include <functional>
 #include <map>
 #include <optional>
+#include <tuple>
 #include <vector>
 
 #include "common/types.hpp"
 #include "hyper/memstats.hpp"
+#include "hyper/remote_tmem.hpp"
 #include "hyper/vm_data.hpp"
 #include "sim/simulator.hpp"
 #include "tmem/store.hpp"
@@ -123,12 +125,58 @@ class Hypervisor {
   void start_sampling(VirqHandler handler);
   void stop_sampling();
 
+  // ---- Cluster control path (node quota + remote lending) -----------------
+
+  /// Attaches the cluster lending broker's borrower port (nullptr = off,
+  /// the single-node default). Must be set before traffic starts.
+  void set_remote_tmem(RemoteTmem* remote) { remote_ = remote; }
+
+  /// Sets the rack-level tmem quota for this node: a cap on how many pages
+  /// the node may consume for its own guests (locally + borrowed), enforced
+  /// by Algorithm 1 *before* the per-VM targets renormalize beneath it.
+  /// kUnlimitedTarget (the default) disables the cap. A shrink below the
+  /// current usage immediately releases ephemeral-typed borrowed pages; the
+  /// rest drains through slow reclaim, one tick at a time.
+  void set_node_quota(PageCount quota);
+
+  /// Sequenced variant used by the cluster downlink, mirroring
+  /// apply_targets: only a newer seq applies; seq 0 always applies.
+  void apply_node_quota(std::uint64_t seq, PageCount quota);
+
+  // Donor-side host operations, called synchronously by the lending broker
+  // when *another* node borrows from this one. Lent pages live in dedicated
+  // per-(borrower, vm, type) pools owned by a pseudo VM id outside the
+  // guest range, stored persistent so the donor can never evict the only
+  // copy behind the broker's index.
+  bool host_remote_put(std::uint32_t borrower_node, VmId vm,
+                       tmem::PoolType type, std::uint64_t object,
+                       std::uint32_t index, tmem::PagePayload payload);
+  std::optional<tmem::PagePayload> host_remote_get(std::uint32_t borrower_node,
+                                                   VmId vm,
+                                                   tmem::PoolType type,
+                                                   std::uint64_t object,
+                                                   std::uint32_t index);
+  bool host_remote_flush(std::uint32_t borrower_node, VmId vm,
+                         tmem::PoolType type, std::uint64_t object,
+                         std::uint32_t index);
+  PageCount host_remote_flush_object(std::uint32_t borrower_node, VmId vm,
+                                     tmem::PoolType type,
+                                     std::uint64_t object);
+
+  /// Re-inserts a recalled page into the VM's own pool, bypassing the
+  /// Algorithm-1 counters (it is a migration, not a guest put). Only
+  /// genuinely free frames are used — returns false when the node is full
+  /// and the caller must keep the page remote or drop it (ephemeral).
+  bool rehome_page(VmId vm, tmem::PoolType type, std::uint64_t object,
+                   std::uint32_t index, tmem::PagePayload payload);
+
   /// Builds a memstats snapshot *without* resetting interval counters
   /// (used by monitoring and tests; the periodic sampler resets).
   MemStats snapshot() const;
 
   // ---- Introspection --------------------------------------------------------
 
+  /// Pages a VM holds, including pages borrowed on its behalf.
   PageCount tmem_used(VmId vm) const;
   PageCount target(VmId vm) const;
   /// Free/total across both tiers (DRAM + NVM when Ex-Tmem is enabled).
@@ -136,6 +184,29 @@ class Hypervisor {
   PageCount total_tmem() const {
     return config_.total_tmem_pages + config_.nvm_tmem_pages;
   }
+
+  // ---- Cluster accounting ---------------------------------------------------
+
+  PageCount node_quota() const { return node_quota_; }
+  /// Physical pages consumed by this node's own guests (excludes frames
+  /// lent to other nodes).
+  PageCount own_used_pages() const;
+  /// Own physical usage plus pages borrowed from donors — what the node
+  /// quota caps.
+  PageCount own_used_total() const;
+  /// Frames currently hosted for other nodes.
+  PageCount lent_pages() const { return lent_pages_; }
+  /// Capacity the node may lend without eating into its own entitlement
+  /// (min(quota, physical) pages are reserved for the node's own guests).
+  PageCount lendable_pages() const;
+  /// Capacity the node reports upward: quota-capped when managed, physical
+  /// otherwise. With lending attached the quota may exceed physical.
+  PageCount effective_total_tmem() const;
+  std::uint64_t quota_updates() const { return quota_updates_; }
+  std::uint64_t stale_quotas_dropped() const { return stale_quotas_dropped_; }
+  std::uint64_t last_quota_seq() const { return last_quota_seq_; }
+  std::uint64_t remote_puts() const { return remote_puts_; }
+  std::uint64_t remote_gets() const { return remote_gets_; }
   const VmData& vm_data(VmId vm) const;
   const tmem::TmemStore& store() const { return store_; }
   const HypervisorConfig& config() const { return config_; }
@@ -164,11 +235,23 @@ class Hypervisor {
   VmData* find_vm(VmId vm);
   const VmData* find_vm(VmId vm) const;
 
-  /// The shared put path of Algorithm 1: target check, capacity check,
-  /// store insert, counter updates.
-  OpStatus do_put(VmId vm, tmem::PoolId pool, std::uint64_t object,
-                  std::uint32_t index, tmem::PagePayload payload,
-                  tmem::Tier* tier);
+  /// The shared put path of Algorithm 1: target check, node-quota check,
+  /// capacity check (with remote fallback), store insert, counter updates.
+  OpStatus do_put(VmId vm, tmem::PoolId pool, tmem::PoolType type,
+                  std::uint64_t object, std::uint32_t index,
+                  tmem::PagePayload payload, tmem::Tier* tier);
+
+  /// Shared get path: local store first, then the lending broker.
+  std::optional<tmem::PagePayload> do_get(VmData& data, tmem::PoolId pool,
+                                          tmem::PoolType type,
+                                          std::uint64_t object,
+                                          std::uint32_t index,
+                                          tmem::Tier* tier);
+
+  /// Lazily creates the donor-side pool hosting pages lent to
+  /// (borrower_node, vm, type).
+  tmem::PoolId lender_pool(std::uint32_t borrower_node, VmId vm,
+                           tmem::PoolType type);
 
   void sample_tick();
   void apply_equal_share_targets();
@@ -193,6 +276,26 @@ class Hypervisor {
   std::uint16_t hyper_track_ = 0;
   std::map<VmId, std::uint16_t> vm_tracks_;
   SimTime last_sample_tick_ = 0;
+
+  // ---- Cluster state -------------------------------------------------------
+  PageCount node_quota_ = kUnlimitedTarget;
+  RemoteTmem* remote_ = nullptr;
+  PageCount lent_pages_ = 0;  // frames hosted for other nodes
+  std::uint64_t last_quota_seq_ = 0;
+  std::uint64_t quota_updates_ = 0;
+  std::uint64_t stale_quotas_dropped_ = 0;
+  std::uint64_t remote_puts_ = 0;   // puts placed with a donor
+  std::uint64_t remote_gets_ = 0;   // gets served by a donor
+  std::uint64_t quota_evictions_ = 0;       // frames recycled at the quota wall
+  PageCount node_pages_reclaimed_ = 0;      // via the node-quota reclaim pass
+  // Donor-side pools hosting lent pages, by (borrower node, vm, type).
+  std::map<std::tuple<std::uint32_t, VmId, tmem::PoolType>, tmem::PoolId>
+      lender_pools_;
 };
+
+/// Pseudo VM id owning donor-side lender pools: borrower node i's pages live
+/// under kLenderVmBase + i, far outside any guest id, so they are invisible
+/// to memstats, targets and slow reclaim.
+inline constexpr VmId kLenderVmBase = 0x40000000u;
 
 }  // namespace smartmem::hyper

@@ -115,7 +115,12 @@ void MemoryManager::on_stats(const hyper::MemStats& stats) {
           : 0.0;
 
   PolicyContext ctx;
-  ctx.total_tmem = total_tmem_;
+  // A rack-managed hypervisor reports its quota-capped capacity in each
+  // sample; the per-VM policy must renormalize (Eq. 2) under *that*, not
+  // the static physical size. An unmanaged hypervisor reports exactly the
+  // physical size, so this is identical on the single-node path; the
+  // fallback covers synthetic MemStats from tests that leave the field 0.
+  ctx.total_tmem = stats.total_tmem != 0 ? stats.total_tmem : total_tmem_;
   ctx.history = &history_;
   ctx.stats_age_intervals = last_stats_age_;
   if (audit_ != nullptr) {

@@ -36,7 +36,10 @@ PolicySpec PolicySpec::parse(const std::string& text) {
     }
     return smart(p);
   }
-  throw std::invalid_argument("unknown policy spec: " + text);
+  throw std::invalid_argument(
+      "unknown policy spec: " + text +
+      " (known policies: no-tmem, greedy, static, static-alloc, reconf, "
+      "reconf-static, smart[:P], swap-rate, wss)");
 }
 
 PolicyPtr make_policy(const PolicySpec& spec) {

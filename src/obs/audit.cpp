@@ -30,12 +30,20 @@ std::string target_json(PageCount t) {
 std::string AuditLog::to_json_line(const DecisionRecord& r) {
   std::string line = strfmt(
       "{\"stats_seq\":%llu,\"stats_when_s\":%.6f,\"decided_at_s\":%.6f,"
-      "\"stats_age_intervals\":%.4f,\"policy\":\"%s\",\"sent\":%s,"
-      "\"suppressed\":%s,\"empty_output\":%s,\"send_seq\":%llu,"
-      "\"renormalized\":%s,\"renorm_factor\":%.6f,\"vms\":[",
+      "\"stats_age_intervals\":%.4f,\"policy\":\"%s\",",
       static_cast<unsigned long long>(r.stats_seq), to_seconds(r.stats_when),
       to_seconds(r.decided_at), r.stats_age_intervals,
-      escape(r.policy).c_str(), r.sent ? "true" : "false",
+      escape(r.policy).c_str());
+  if (r.scope != nullptr) {
+    // Emitted only for non-default scopes so single-node audit output stays
+    // byte-identical.
+    line += strfmt("\"scope\":\"%s\",", escape(r.scope).c_str());
+  }
+  line += strfmt(
+      "\"sent\":%s,"
+      "\"suppressed\":%s,\"empty_output\":%s,\"send_seq\":%llu,"
+      "\"renormalized\":%s,\"renorm_factor\":%.6f,\"vms\":[",
+      r.sent ? "true" : "false",
       r.suppressed ? "true" : "false", r.empty_output ? "true" : "false",
       static_cast<unsigned long long>(r.send_seq),
       r.renormalized ? "true" : "false", r.renorm_factor);

@@ -56,6 +56,10 @@ struct DecisionRecord {
   SimTime decided_at = 0;        // when the MM ran the policy
   double stats_age_intervals = 0.0;
   std::string policy;
+  /// Decision scope. Null (the default, omitted from JSON) = the per-VM MM
+  /// path; the cluster's GlobalManager stamps "cluster" on its node-quota
+  /// decisions, whose "vms" entries are then nodes, not VMs. Static string.
+  const char* scope = nullptr;
   bool sent = false;        // a (new) target vector went to the hypervisor
   bool suppressed = false;  // vector unchanged; transmission skipped
   bool empty_output = false;  // policy returned "no targets"

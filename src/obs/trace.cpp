@@ -17,7 +17,7 @@ struct CatName {
 constexpr CatName kCatNames[] = {
     {kCatTmem, "tmem"},   {kCatHyper, "hyper"},       {kCatComm, "comm"},
     {kCatMm, "mm"},       {kCatGuest, "guest"},       {kCatWorkload, "workload"},
-    {kCatSim, "sim"},
+    {kCatSim, "sim"},     {kCatCluster, "cluster"},
 };
 
 /// Formats a double for JSON: integral values print without a fraction so

@@ -37,6 +37,7 @@ enum Category : std::uint32_t {
   kCatGuest = 1u << 4,     // vCPU batches
   kCatWorkload = 1u << 5,  // workload phase markers
   kCatSim = 1u << 6,       // simulator-level events
+  kCatCluster = 1u << 7,   // global quota decisions, borrow/lend traffic
   kCatAll = 0xffffffffu,
 };
 

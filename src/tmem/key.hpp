@@ -71,8 +71,10 @@ struct TmemKeyEq {
 /// extension (Venkatesan et al., cited by the paper's conclusions) backs
 /// overflow capacity with non-volatile memory: slower per copy, but far
 /// cheaper per byte than DRAM and still orders of magnitude faster than the
-/// virtual disk.
-enum class Tier : std::uint8_t { kDram, kNvm };
+/// virtual disk. kRemote marks a page served from a donor node's pool over
+/// the inter-node fabric (the cluster lending extension): slower again than
+/// NVM, but still well below the virtual disk.
+enum class Tier : std::uint8_t { kDram, kNvm, kRemote };
 
 /// Simulated page contents. The model does not copy real 4 KiB payloads; an
 /// opaque 64-bit token stands in for the data so that tests can verify that

@@ -104,6 +104,12 @@ class TmemStore {
   /// VMs. Returns the number of pages actually evicted.
   PageCount evict_ephemeral_from_vm(VmId vm, PageCount max_pages);
 
+  /// Frees one frame by dropping the globally least-recently-inserted
+  /// ephemeral page, whichever VM owns it. The hypervisor's node-quota
+  /// enforcement recycles capacity this way so a quota-capped node's
+  /// footprint stays flat. Returns false when nothing is evictable.
+  bool evict_oldest_ephemeral() { return evict_one_ephemeral(); }
+
   // ---- Accounting -------------------------------------------------------
 
   PageCount total_pages() const { return config_.total_pages; }

@@ -1,0 +1,206 @@
+// LendingBroker: cross-node placement, victim-cache semantics for
+// ephemeral-typed borrows, flush forwarding, quota-driven release, recall
+// migration, and the donor-side lendable/entitlement arithmetic.
+#include "cluster/lending.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyper/hypervisor.hpp"
+#include "sim/simulator.hpp"
+#include "tmem/store.hpp"
+
+namespace smartmem::cluster {
+namespace {
+
+using tmem::PoolType;
+
+constexpr VmId kVm = 1;
+constexpr PageCount kPhys = 64;
+
+hyper::HypervisorConfig hyp_config(PageCount pages) {
+  hyper::HypervisorConfig cfg;
+  cfg.total_tmem_pages = pages;
+  return cfg;
+}
+
+/// Two-node rig: node 0 borrows, node 1 donates. The donor's quota is set
+/// to half its physical capacity — entitlement = min(quota, phys), and only
+/// frames beyond the entitlement reserve are lendable, so an
+/// unlimited-quota donor can never lend.
+class LendingBrokerTest : public ::testing::Test {
+ protected:
+  LendingBrokerTest()
+      : borrower_(sim_, hyp_config(kPhys)),
+        donor_(sim_, hyp_config(kPhys)),
+        broker_({&borrower_, &donor_}) {
+    borrower_.register_vm(kVm);
+    donor_.register_vm(kVm);
+    borrower_.set_remote_tmem(broker_.port(0));
+    donor_.set_remote_tmem(broker_.port(1));
+    donor_.set_node_quota(kPhys / 2);
+  }
+
+  sim::Simulator sim_;
+  hyper::Hypervisor borrower_;
+  hyper::Hypervisor donor_;
+  LendingBroker broker_;
+};
+
+TEST_F(LendingBrokerTest, RequiresAtLeastTwoNodes) {
+  EXPECT_THROW(LendingBroker({&borrower_}), std::invalid_argument);
+}
+
+TEST_F(LendingBrokerTest, DonorWithUnlimitedQuotaLendsNothing) {
+  donor_.set_node_quota(kUnlimitedTarget);
+  EXPECT_EQ(donor_.lendable_pages(), 0u);
+  EXPECT_FALSE(
+      broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 1, 0, 42));
+  EXPECT_EQ(broker_.borrow_placements(), 0u);
+}
+
+TEST_F(LendingBrokerTest, PersistentBorrowRoundTripsAndStays) {
+  EXPECT_EQ(donor_.lendable_pages(), kPhys / 2);
+  ASSERT_TRUE(
+      broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 1, 0, 42));
+  EXPECT_EQ(broker_.borrowed_total(0), 1u);
+  EXPECT_EQ(donor_.lent_pages(), 1u);
+  EXPECT_TRUE(broker_.port(0)->owns(kVm, PoolType::kPersistent, 1, 0));
+
+  // Persistent-typed pages survive gets: two hits, page still owned.
+  for (int i = 0; i < 2; ++i) {
+    const auto payload =
+        broker_.port(0)->remote_get(kVm, PoolType::kPersistent, 1, 0);
+    ASSERT_TRUE(payload.has_value());
+    EXPECT_EQ(*payload, 42u);
+  }
+  EXPECT_EQ(broker_.borrow_hits(), 2u);
+  EXPECT_TRUE(broker_.port(0)->owns(kVm, PoolType::kPersistent, 1, 0));
+  EXPECT_EQ(donor_.lent_pages(), 1u);
+}
+
+TEST_F(LendingBrokerTest, EphemeralBorrowIsAVictimCache) {
+  ASSERT_TRUE(
+      broker_.port(0)->remote_put(kVm, PoolType::kEphemeral, 1, 0, 7));
+  // The hit consumes the page: the donor flushes it and the index forgets.
+  const auto hit = broker_.port(0)->remote_get(kVm, PoolType::kEphemeral, 1, 0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, 7u);
+  EXPECT_FALSE(broker_.port(0)->owns(kVm, PoolType::kEphemeral, 1, 0));
+  EXPECT_EQ(donor_.lent_pages(), 0u);
+  EXPECT_EQ(broker_.borrowed_total(0), 0u);
+  EXPECT_FALSE(
+      broker_.port(0)->remote_get(kVm, PoolType::kEphemeral, 1, 0).has_value());
+  EXPECT_EQ(broker_.borrow_misses(), 1u);
+}
+
+TEST_F(LendingBrokerTest, ReplacementPutStaysOnItsDonorWithoutNewFrame) {
+  ASSERT_TRUE(
+      broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 1, 0, 42));
+  ASSERT_TRUE(
+      broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 1, 0, 43));
+  EXPECT_EQ(broker_.borrowed_total(0), 1u);
+  EXPECT_EQ(broker_.borrow_placements(), 1u);
+  EXPECT_EQ(donor_.lent_pages(), 1u);
+  EXPECT_EQ(*broker_.port(0)->remote_get(kVm, PoolType::kPersistent, 1, 0),
+            43u);
+}
+
+TEST_F(LendingBrokerTest, FlushRemovesAtDonorAndFlushObjectIsRanged) {
+  for (std::uint32_t i = 0; i < 3; ++i) {
+    ASSERT_TRUE(
+        broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 5, i, 100 + i));
+  }
+  ASSERT_TRUE(
+      broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 6, 0, 200));
+  EXPECT_EQ(donor_.lent_pages(), 4u);
+
+  EXPECT_TRUE(broker_.port(0)->remote_flush(kVm, PoolType::kPersistent, 5, 1));
+  EXPECT_EQ(donor_.lent_pages(), 3u);
+  EXPECT_FALSE(broker_.port(0)->owns(kVm, PoolType::kPersistent, 5, 1));
+
+  // Object flush removes the rest of object 5 and nothing of object 6.
+  EXPECT_EQ(broker_.port(0)->remote_flush_object(kVm, PoolType::kPersistent, 5),
+            2u);
+  EXPECT_EQ(donor_.lent_pages(), 1u);
+  EXPECT_TRUE(broker_.port(0)->owns(kVm, PoolType::kPersistent, 6, 0));
+  EXPECT_EQ(broker_.borrowed_total(0), 1u);
+}
+
+TEST_F(LendingBrokerTest, ReleaseBorrowedDropsOnlyEphemeralEntries) {
+  ASSERT_TRUE(
+      broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 1, 0, 42));
+  ASSERT_TRUE(broker_.port(0)->remote_put(kVm, PoolType::kEphemeral, 2, 0, 7));
+  ASSERT_TRUE(broker_.port(0)->remote_put(kVm, PoolType::kEphemeral, 2, 1, 8));
+
+  EXPECT_EQ(broker_.port(0)->release_borrowed(16), 2u);
+  EXPECT_EQ(broker_.borrowed_total(0), 1u);
+  EXPECT_TRUE(broker_.port(0)->owns(kVm, PoolType::kPersistent, 1, 0));
+  EXPECT_FALSE(broker_.port(0)->owns(kVm, PoolType::kEphemeral, 2, 0));
+  EXPECT_EQ(donor_.lent_pages(), 1u);
+}
+
+TEST_F(LendingBrokerTest, RecallMigratesPersistentPagesHome) {
+  ASSERT_TRUE(
+      broker_.port(0)->remote_put(kVm, PoolType::kPersistent, 1, 0, 42));
+  ASSERT_TRUE(broker_.port(0)->remote_put(kVm, PoolType::kEphemeral, 2, 0, 7));
+  EXPECT_EQ(broker_.peak_borrowed(), 2u);
+
+  // Donor's quota grew back: it recalls everything it lent. The ephemeral
+  // entry is just dropped (victim cache); the persistent one is migrated
+  // into the borrower's own store.
+  EXPECT_EQ(broker_.recall_lent(1, 16), 2u);
+  EXPECT_EQ(broker_.recalls(), 2u);
+  EXPECT_EQ(broker_.recall_migrations(), 1u);
+  EXPECT_EQ(broker_.borrowed_total(0), 0u);
+  EXPECT_EQ(donor_.lent_pages(), 0u);
+
+  // The migrated page now hits locally through the normal hypercall path.
+  const auto local = borrower_.frontswap_get(kVm, 1, 0);
+  ASSERT_TRUE(local.has_value());
+  EXPECT_EQ(*local, 42u);
+}
+
+// End-to-end Algorithm 1 fallback: a physically full node below its quota
+// sends the overflow put to a donor and reads it back at the remote tier.
+TEST(LendingIntegrationTest, FullNodeBelowQuotaSpillsToDonor) {
+  sim::Simulator sim;
+  hyper::Hypervisor borrower(sim, hyp_config(8));
+  hyper::Hypervisor donor(sim, hyp_config(kPhys));
+  LendingBroker broker({&borrower, &donor});
+  borrower.register_vm(kVm);
+  donor.register_vm(kVm);
+  borrower.set_remote_tmem(broker.port(0));
+  donor.set_remote_tmem(broker.port(1));
+  donor.set_node_quota(kPhys / 2);
+  borrower.set_node_quota(12);  // quota > phys: entitled to donor frames
+
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ASSERT_EQ(borrower.frontswap_put(kVm, 1, i, 1000 + i),
+              hyper::OpStatus::kSuccess);
+  }
+  EXPECT_EQ(borrower.remote_puts(), 0u);
+
+  // Ninth page: store full, zero ephemerals to recycle, quota headroom left.
+  tmem::Tier tier = tmem::Tier::kDram;
+  ASSERT_EQ(borrower.frontswap_put(kVm, 1, 8, 1008, &tier),
+            hyper::OpStatus::kSuccess);
+  EXPECT_EQ(tier, tmem::Tier::kRemote);
+  EXPECT_EQ(borrower.remote_puts(), 1u);
+  EXPECT_EQ(broker.borrowed_total(0), 1u);
+  EXPECT_EQ(donor.lent_pages(), 1u);
+  EXPECT_EQ(borrower.own_used_total(), 9u);
+
+  const auto back = borrower.frontswap_get(kVm, 1, 8, &tier);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, 1008u);
+  EXPECT_EQ(tier, tmem::Tier::kRemote);
+  EXPECT_EQ(borrower.remote_gets(), 1u);
+
+  // At the quota wall the remote fallback stops too.
+  borrower.set_node_quota(9);
+  EXPECT_EQ(borrower.frontswap_put(kVm, 1, 9, 1009),
+            hyper::OpStatus::kNoCapacity);
+}
+
+}  // namespace
+}  // namespace smartmem::cluster

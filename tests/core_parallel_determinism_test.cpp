@@ -7,7 +7,9 @@
 // statistics.
 #include <gtest/gtest.h>
 
+#include "cluster/experiment.hpp"
 #include "comm/channel.hpp"
+#include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 
 namespace smartmem::core {
@@ -171,6 +173,58 @@ TEST(ParallelDeterminismTest, FaultInjectedChannelsStayDeterministic) {
   const ExperimentResult b =
       run_experiment(spec, mm::PolicySpec::smart(1.0), parallel);
   expect_same_experiment_result(a, b);
+}
+
+void expect_same_cluster_result(const cluster::ClusterRunResult& a,
+                                const cluster::ClusterRunResult& b) {
+  EXPECT_EQ(a.aggregate_failed_puts, b.aggregate_failed_puts);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.gm_decisions, b.gm_decisions);
+  EXPECT_EQ(a.quotas_sent, b.quotas_sent);
+  EXPECT_EQ(a.borrow_placements, b.borrow_placements);
+  EXPECT_EQ(a.borrow_hits, b.borrow_hits);
+  EXPECT_EQ(a.recalls, b.recalls);
+  EXPECT_EQ(a.peak_borrowed, b.peak_borrowed);
+  ASSERT_EQ(a.nodes.size(), b.nodes.size());
+  for (std::size_t n = 0; n < a.nodes.size(); ++n) {
+    const cluster::ClusterNodeResult& na = a.nodes[n];
+    const cluster::ClusterNodeResult& nb = b.nodes[n];
+    SCOPED_TRACE("node " + std::to_string(n));
+    EXPECT_EQ(na.scenario, nb.scenario);
+    EXPECT_EQ(na.failed_puts, nb.failed_puts);
+    EXPECT_EQ(na.puts_total, nb.puts_total);
+    EXPECT_EQ(na.puts_succ, nb.puts_succ);
+    EXPECT_EQ(na.runtime_s, nb.runtime_s);
+    EXPECT_EQ(na.remote_puts, nb.remote_puts);
+    EXPECT_EQ(na.remote_gets, nb.remote_gets);
+    EXPECT_EQ(na.final_quota, nb.final_quota);
+    EXPECT_EQ(na.phys_tmem, nb.phys_tmem);
+  }
+}
+
+// Multi-node runs under --jobs: each cluster owns one shared simulator and
+// all its channel Rngs derive purely from (seed, topology), so fanning four
+// seeded 2-node cluster runs over a pool must be invisible in every counter
+// of every node — including the GM and lending-broker rack-level state.
+TEST(ParallelDeterminismTest, MultiNodeClusterFanOutStaysDeterministic) {
+  const auto run_all = [](unsigned jobs) {
+    std::vector<cluster::ClusterRunResult> out(4);
+    parallel_for_each(jobs, out.size(), [&](std::size_t i) {
+      cluster::ClusterExperimentConfig cfg;
+      cfg.nodes = 2;
+      cfg.scale = 0.03125;
+      cfg.seed = 42 + i;
+      out[i] = cluster::run_cluster_scenario(cfg);
+    });
+    return out;
+  };
+  const auto serial = run_all(1);
+  const auto fanned = run_all(4);
+  ASSERT_EQ(serial.size(), fanned.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    SCOPED_TRACE("run " + std::to_string(i));
+    expect_same_cluster_result(serial[i], fanned[i]);
+  }
 }
 
 }  // namespace

@@ -119,6 +119,81 @@ TEST(TkmTest, StopCancelsInFlightTargetDeliveries) {
   EXPECT_EQ(tkm.submit_targets({2, {{1, 8}}}), comm::SendResult::kClosed);
 }
 
+// Downlink delivery guard (CommConfig::ack_targets): a target vector lost
+// on the wire is retransmitted after ack_timeout. The outage window models
+// the loss deterministically — the first send at t=0 falls inside it, the
+// retransmission at t=20ms lands after it lifts.
+TEST(TkmTest, AckRetransmitsLostTargetVector) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  comm::CommConfig cfg = comm_config(100 * kMicrosecond, kMillisecond);
+  cfg.ack_targets = true;
+  cfg.ack_timeout = 20 * kMillisecond;
+  cfg.downlink.faults.down_from = 0;
+  cfg.downlink.faults.down_until = 10 * kMillisecond;
+  Tkm tkm(sim, hyp, cfg);
+
+  EXPECT_EQ(tkm.submit_targets({1, {{1, 7}}}), comm::SendResult::kDown);
+  sim.run_until(19 * kMillisecond);
+  EXPECT_EQ(hyp.target(1), kUnlimitedTarget);
+  sim.run_until(50 * kMillisecond);
+  EXPECT_EQ(hyp.target(1), 7u);
+  EXPECT_EQ(tkm.target_retransmits(), 1u);
+  EXPECT_EQ(tkm.downlink().stats().dropped_down, 1u);
+  EXPECT_EQ(tkm.downlink().stats().delivered, 1u);
+
+  // The delivery acked the pending vector: no further retransmissions.
+  sim.run_until(500 * kMillisecond);
+  EXPECT_EQ(tkm.target_retransmits(), 1u);
+}
+
+TEST(TkmTest, AckGivesUpAfterMaxRetries) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  comm::CommConfig cfg = comm_config(100 * kMicrosecond, kMillisecond);
+  cfg.ack_targets = true;
+  cfg.ack_timeout = 20 * kMillisecond;
+  cfg.ack_max_retries = 2;
+  // Permanent outage: every transmission attempt is dropped.
+  cfg.downlink.faults.down_from = 0;
+  cfg.downlink.faults.down_until = 3600 * kSecond;
+  Tkm tkm(sim, hyp, cfg);
+
+  EXPECT_EQ(tkm.submit_targets({1, {{1, 7}}}), comm::SendResult::kDown);
+  sim.run_until(kSecond);
+  EXPECT_EQ(hyp.target(1), kUnlimitedTarget);
+  EXPECT_EQ(tkm.target_retransmits(), 2u);
+  EXPECT_EQ(tkm.downlink().stats().dropped_down, 3u);  // original + 2 retries
+}
+
+TEST(TkmTest, AckIgnoresUnsequencedVectors) {
+  sim::Simulator sim;
+  hyper::HypervisorConfig hcfg;
+  hcfg.total_tmem_pages = 10;
+  hyper::Hypervisor hyp(sim, hcfg);
+  hyp.register_vm(1);
+
+  comm::CommConfig cfg = comm_config(100 * kMicrosecond, kMillisecond);
+  cfg.ack_targets = true;
+  cfg.ack_timeout = 20 * kMillisecond;
+  cfg.downlink.faults.down_from = 0;
+  cfg.downlink.faults.down_until = 3600 * kSecond;
+  Tkm tkm(sim, hyp, cfg);
+
+  // seq 0 means "unsequenced" (tests, manual pokes): no retry guard.
+  EXPECT_EQ(tkm.submit_targets({0, {{1, 7}}}), comm::SendResult::kDown);
+  sim.run_until(kSecond);
+  EXPECT_EQ(tkm.target_retransmits(), 0u);
+}
+
 TEST(TkmTest, RestartAfterStopResumesForwarding) {
   sim::Simulator sim;
   hyper::HypervisorConfig hcfg;

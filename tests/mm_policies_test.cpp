@@ -245,6 +245,23 @@ TEST(PolicyFactoryTest, ParseKnownSpecs) {
   EXPECT_THROW(PolicySpec::parse("bogus"), std::invalid_argument);
 }
 
+// A typo'd --policy flag must name every registered policy, not just fail.
+TEST(PolicyFactoryTest, UnknownSpecErrorListsCandidates) {
+  try {
+    PolicySpec::parse("bogus");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("bogus"), std::string::npos) << msg;
+    for (const char* name : {"no-tmem", "greedy", "static", "static-alloc",
+                             "reconf", "reconf-static", "smart", "swap-rate",
+                             "wss"}) {
+      EXPECT_NE(msg.find(name), std::string::npos)
+          << "missing candidate " << name << " in: " << msg;
+    }
+  }
+}
+
 TEST(PolicyFactoryTest, LabelsMatchPaperStyle) {
   EXPECT_EQ(PolicySpec::greedy().label(), "greedy");
   EXPECT_EQ(PolicySpec::smart(0.75).label(), "sm-0.75p");
