@@ -27,6 +27,11 @@ void print_usage(std::FILE* out) {
                "  --comm-loss <p>       per-hop message loss probability\n"
                "  --comm-queue <n>      bounded in-flight queue (0 = off)\n"
                "  --comm-policy <p>     drop-newest|drop-oldest|backpressure\n"
+               "  --stale-mode <m>      smart-alloc staleness handling: "
+               "off|skip|widen\n"
+               "  --stale-threshold <f> sample age (intervals) counting as "
+               "stale (default 1.5)\n"
+               "  --adaptive-interval   MM-driven dynamic sampling interval\n"
                "  --trace-out <file>    write a Perfetto trace from one extra "
                "observed run\n"
                "  --metrics-out <file>  write metrics snapshots (JSONL; .csv "
@@ -43,6 +48,25 @@ bool comm_overridden(const Options& opts) {
          opts.comm_policy != comm::QueuePolicy::kDropNewest;
 }
 
+bool adaptive_overridden(const Options& opts) {
+  return opts.stale_mode != mm::StaleMode::kOff || opts.adaptive_interval;
+}
+
+void apply_adaptive_options(core::NodeConfig& cfg, const Options& opts) {
+  cfg.adaptive_interval.enabled = opts.adaptive_interval;
+}
+
+std::vector<mm::PolicySpec> apply_stale_options(
+    std::vector<mm::PolicySpec> policies, const Options& opts) {
+  if (opts.stale_mode == mm::StaleMode::kOff) return policies;
+  for (auto& spec : policies) {
+    if (spec.kind != mm::PolicyKind::kSmart) continue;
+    spec.smart_config.stale_mode = opts.stale_mode;
+    spec.smart_config.stale_threshold_intervals = opts.stale_threshold;
+  }
+  return policies;
+}
+
 bool obs_requested(const Options& opts) {
   return !opts.trace_out.empty() || !opts.metrics_out.empty() ||
          !opts.audit_out.empty();
@@ -53,16 +77,29 @@ void run_observed(const std::string& figure_id,
                   const std::vector<mm::PolicySpec>& policies,
                   const Options& opts) {
   if (!obs_requested(opts) || policies.empty()) return;
-  // Prefer a managed policy so the trace/audit carry MM decisions.
-  const mm::PolicySpec* policy = &policies.front();
-  for (const auto& p : policies) {
+  const std::vector<mm::PolicySpec> specs =
+      apply_stale_options(policies, opts);
+  // Prefer a managed policy so the trace/audit carry MM decisions — and a
+  // smart policy specifically when a stale mode was requested, so the
+  // audit shows the alg4:stale-* verdicts the flag enables.
+  const mm::PolicySpec* policy = &specs.front();
+  for (const auto& p : specs) {
     if (p.needs_manager()) {
       policy = &p;
       break;
     }
   }
+  if (opts.stale_mode != mm::StaleMode::kOff) {
+    for (const auto& p : specs) {
+      if (p.kind == mm::PolicyKind::kSmart) {
+        policy = &p;
+        break;
+      }
+    }
+  }
   core::NodeConfig cfg = core::scaled_node_defaults(opts.scale);
   if (comm_overridden(opts)) apply_comm_options(cfg, opts);
+  if (adaptive_overridden(opts)) apply_adaptive_options(cfg, opts);
   cfg.obs.trace_out = opts.trace_out;
   cfg.obs.metrics_out = opts.metrics_out;
   cfg.obs.audit_out = opts.audit_out;
@@ -164,6 +201,17 @@ Options parse_options(int argc, char** argv) {
         usage_error("--comm-policy must be drop-newest, drop-oldest or "
                     "backpressure");
       }
+    } else if (arg == "--stale-mode") {
+      if (!mm::parse_stale_mode(next(), opts.stale_mode)) {
+        usage_error("--stale-mode must be off, skip or widen");
+      }
+    } else if (arg == "--stale-threshold") {
+      opts.stale_threshold = parse_double(arg, next());
+      if (opts.stale_threshold <= 0) {
+        usage_error("--stale-threshold must be > 0");
+      }
+    } else if (arg == "--adaptive-interval") {
+      opts.adaptive_interval = true;
     } else if (arg == "--trace-out") {
       opts.trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -208,23 +256,36 @@ std::vector<core::ExperimentResult> run_runtime_figure(
   cfg.repetitions = opts.repetitions;
   cfg.base_seed = opts.base_seed;
   cfg.jobs = opts.jobs;
-  // --comm-* flags reshape the control plane; at their defaults no override
-  // is installed, keeping the default run byte-identical.
+  // --comm-*/--stale-*/--adaptive-* flags reshape the control plane; at
+  // their defaults no override is installed and the policy specs pass
+  // through untouched, keeping the default run byte-identical.
+  const std::vector<mm::PolicySpec> specs =
+      apply_stale_options(policies, opts);
   core::NodeConfig comm_cfg;
-  if (comm_overridden(opts)) {
+  if (comm_overridden(opts) || adaptive_overridden(opts)) {
     comm_cfg = core::scaled_node_defaults(opts.scale);
     apply_comm_options(comm_cfg, opts);
+    apply_adaptive_options(comm_cfg, opts);
     cfg.overrides = &comm_cfg;
-    std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n\n",
-                opts.comm_latency_x, opts.comm_loss, opts.comm_queue,
-                comm::to_string(opts.comm_policy));
+    if (comm_overridden(opts)) {
+      std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n",
+                  opts.comm_latency_x, opts.comm_loss, opts.comm_queue,
+                  comm::to_string(opts.comm_policy));
+    }
+    if (adaptive_overridden(opts)) {
+      std::printf("adaptive: stale-mode %s (threshold %g), "
+                  "adaptive-interval %s\n",
+                  mm::to_string(opts.stale_mode), opts.stale_threshold,
+                  opts.adaptive_interval ? "on" : "off");
+    }
+    std::printf("\n");
   }
   // The whole policy x rep grid runs on one pool; results come back in
-  // `policies` order, and all printing/CSV writing happens after this
+  // `specs` order, and all printing/CSV writing happens after this
   // barrier on the main thread.
   std::vector<core::ExperimentResult> results =
-      core::run_experiments(spec, policies, cfg);
-  for (const auto& policy : policies) {
+      core::run_experiments(spec, specs, cfg);
+  for (const auto& policy : specs) {
     std::printf("  ran %s\n", policy.label().c_str());
   }
   std::printf("\n");
@@ -256,29 +317,33 @@ void run_usage_figure(const std::string& figure_id, const std::string& title,
 
   core::NodeConfig comm_cfg;
   const core::NodeConfig* overrides = nullptr;
-  if (comm_overridden(opts)) {
+  const std::vector<mm::PolicySpec> specs = apply_stale_options(panels, opts);
+  if (comm_overridden(opts) || adaptive_overridden(opts)) {
     comm_cfg = core::scaled_node_defaults(opts.scale);
     apply_comm_options(comm_cfg, opts);
+    apply_adaptive_options(comm_cfg, opts);
     overrides = &comm_cfg;
-    std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n\n",
-                opts.comm_latency_x, opts.comm_loss, opts.comm_queue,
-                comm::to_string(opts.comm_policy));
+    if (comm_overridden(opts)) {
+      std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n\n",
+                  opts.comm_latency_x, opts.comm_loss, opts.comm_queue,
+                  comm::to_string(opts.comm_policy));
+    }
   }
 
   // One seeded run per panel, fanned out over the pool; panels print in
   // order after the barrier.
-  std::vector<core::ScenarioResult> runs(panels.size());
-  parallel_for_each(opts.jobs, panels.size(), [&](std::size_t p) {
-    runs[p] = core::run_scenario(spec, panels[p], opts.base_seed, overrides);
+  std::vector<core::ScenarioResult> runs(specs.size());
+  parallel_for_each(opts.jobs, specs.size(), [&](std::size_t p) {
+    runs[p] = core::run_scenario(spec, specs[p], opts.base_seed, overrides);
   });
 
   char panel = 'a';
-  for (std::size_t p = 0; p < panels.size(); ++p) {
+  for (std::size_t p = 0; p < specs.size(); ++p) {
     const core::ScenarioResult& run = runs[p];
     core::print_usage_panel(
         std::cout,
         strfmt("%s(%c) %s", figure_id.c_str(), panel,
-               panels[p].label().c_str()),
+               specs[p].label().c_str()),
         run, include_targets);
     if (!opts.csv_dir.empty()) {
       const std::string path = strfmt("%s/%s_%c_usage.csv",

@@ -20,6 +20,11 @@
 //   --comm-queue <n>       bounded in-flight queue per hop (default 0 = off)
 //   --comm-policy <p>      drop-newest | drop-oldest | backpressure
 //
+// Adaptive control plane (off by default — the paper-faithful loop):
+//   --stale-mode <m>       smart-alloc staleness handling: off|skip|widen
+//   --stale-threshold <f>  sample age (in intervals) counting as stale
+//   --adaptive-interval    let the MM stretch/shrink the sampling interval
+//
 // Observability (src/obs) outputs. The measured figure grid always runs
 // with observability off (byte-identical output); when any --*-out flag is
 // given, ONE extra dedicated run executes after the grid with the requested
@@ -57,6 +62,11 @@ struct Options {
   double comm_loss = 0.0;
   std::size_t comm_queue = 0;
   comm::QueuePolicy comm_policy = comm::QueuePolicy::kDropNewest;
+  // --stale-mode / --stale-threshold / --adaptive-interval; at these
+  // defaults neither the policy configs nor the node config are touched.
+  mm::StaleMode stale_mode = mm::StaleMode::kOff;
+  double stale_threshold = 1.5;
+  bool adaptive_interval = false;
   // --trace-out / --metrics-out / --audit-out / --trace-cats; empty paths
   // leave observability off entirely.
   std::string trace_out;
@@ -70,6 +80,18 @@ bool comm_overridden(const Options& opts);
 
 /// Applies the --comm-* flags onto cfg.comm (both hops).
 void apply_comm_options(core::NodeConfig& cfg, const Options& opts);
+
+/// True when --stale-mode or --adaptive-interval deviates from its default.
+bool adaptive_overridden(const Options& opts);
+
+/// Applies --adaptive-interval onto cfg (bounds already scaled by
+/// scaled_node_defaults).
+void apply_adaptive_options(core::NodeConfig& cfg, const Options& opts);
+
+/// Returns `policies` with --stale-mode/--stale-threshold applied to every
+/// smart-policy spec (other policies pass through untouched).
+std::vector<mm::PolicySpec> apply_stale_options(
+    std::vector<mm::PolicySpec> policies, const Options& opts);
 
 /// True when any --*-out observability flag was given.
 bool obs_requested(const Options& opts);

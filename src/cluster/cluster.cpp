@@ -62,6 +62,17 @@ void Cluster::wire_rack() {
   gcfg.interval = config_.global_interval > 0
                       ? config_.global_interval
                       : 2 * nodes_[0]->config().sample_interval;
+  gcfg.adaptive = config_.global_adaptive;
+  if (gcfg.adaptive.enabled) {
+    // Untouched bounds (the 1 s-geometry defaults) are re-derived from the
+    // effective global interval so scaled runs keep a sensible band.
+    const mm::IntervalControllerConfig defaults;
+    if (gcfg.adaptive.min_interval == defaults.min_interval &&
+        gcfg.adaptive.max_interval == defaults.max_interval) {
+      gcfg.adaptive.min_interval = gcfg.interval / 2;
+      gcfg.adaptive.max_interval = gcfg.interval * 4;
+    }
+  }
   gm_ = std::make_unique<GlobalManager>(
       sim_, parse_global_policy(config_.global_policy), gcfg);
 

@@ -44,6 +44,12 @@ struct ClusterConfig {
   /// interval (rack decisions are deliberately slower than node decisions).
   SimTime global_interval = 0;
 
+  /// Adaptive cadence for the GlobalManager (same controller as the MM's
+  /// adaptive sampling interval; disabled by default). When `min_interval`/
+  /// `max_interval` are left at their defaults while `enabled` is set, the
+  /// cluster derives them from the effective global interval (x0.5 / x4).
+  mm::IntervalControllerConfig global_adaptive;
+
   /// Remote-tmem lending between nodes.
   bool lending = true;
 

@@ -20,6 +20,10 @@ GlobalManager::GlobalManager(sim::Simulator& sim, GlobalPolicyPtr policy,
   if (config_.interval <= 0) {
     throw std::invalid_argument("GlobalManager: interval must be positive");
   }
+  if (config_.adaptive.enabled) {
+    interval_ctl_.emplace(config_.adaptive, config_.interval);
+    config_.interval = interval_ctl_->current();  // clamped into [min,max]
+  }
 }
 
 void GlobalManager::on_node_stats(const NodeStats& stats) {
@@ -36,10 +40,38 @@ void GlobalManager::on_node_stats(const NodeStats& stats) {
 }
 
 void GlobalManager::start() {
+  ticking_ = true;
   tick_ = sim_.schedule_periodic(config_.interval, [this] { decide(); });
 }
 
-void GlobalManager::stop() { tick_.cancel(); }
+void GlobalManager::stop() {
+  ticking_ = false;
+  tick_.cancel();
+}
+
+void GlobalManager::maybe_adapt() {
+  if (!interval_ctl_) return;
+  mm::IntervalSignal sig;
+  for (const auto& [node, ns] : latest_) {
+    sig.failed_puts += ns.failed_puts();
+  }
+  // Roll-ups dropped for being stale are the rack uplink's congestion tell:
+  // deliveries are queueing behind each other somewhere on the fabric.
+  sig.uplink_queue_events = stale_rollups_dropped_;
+  const auto changed = interval_ctl_->on_sample(sim_.now(), sig);
+  if (!changed) return;
+  config_.interval = *changed;
+  if (ticking_) {
+    tick_.cancel();
+    tick_ = sim_.schedule_periodic(config_.interval, [this] { decide(); });
+  }
+  if (trace_ != nullptr && trace_->enabled(obs::kCatCluster)) {
+    trace_->instant(obs::kCatCluster, track_, "global_interval_change",
+                    sim_.now(),
+                    {{"interval_s", to_seconds(config_.interval)},
+                     {"failed_puts", static_cast<double>(sig.failed_puts)}});
+  }
+}
 
 void GlobalManager::decide() {
   if (latest_.empty()) return;
@@ -59,6 +91,7 @@ void GlobalManager::decide() {
 
   std::vector<NodeQuota> out = policy_->compute(stats, ctx);
   ++decisions_;
+  maybe_adapt();
 
   if (trace_ != nullptr && trace_->enabled(obs::kCatCluster)) {
     trace_->instant(obs::kCatCluster, track_, "global_decide", sim_.now(),
@@ -130,6 +163,11 @@ void GlobalManager::register_metrics(obs::Registry& reg) const {
   reg.add_counter("gm.sends_suppressed", &sends_suppressed_);
   reg.add_gauge("gm.nodes_seen",
                 [this] { return static_cast<double>(latest_.size()); });
+  reg.add_counter("gm.interval_changes", [this] {
+    return interval_ctl_ ? static_cast<double>(interval_ctl_->changes()) : 0.0;
+  });
+  reg.add_gauge("gm.decision_interval_s",
+                [this] { return to_seconds(config_.interval); });
 }
 
 }  // namespace smartmem::cluster

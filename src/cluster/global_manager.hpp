@@ -18,6 +18,7 @@
 
 #include "cluster/global_policy.hpp"
 #include "cluster/node_stats.hpp"
+#include "mm/interval_controller.hpp"
 #include "obs/audit.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
@@ -26,11 +27,16 @@
 namespace smartmem::cluster {
 
 struct GlobalManagerConfig {
-  /// Global decision interval. The cluster driver defaults this to twice
-  /// the node sampling interval.
+  /// Initial global decision interval. The cluster driver defaults this to
+  /// twice the node sampling interval.
   SimTime interval = 2 * kSecond;
   /// Skip transmission when the whole quota vector is unchanged.
   bool suppress_unchanged = true;
+  /// Adaptive decision cadence — the rack-level twin of the MM's
+  /// controller. Disabled by default; the GlobalManager then ticks at the
+  /// fixed interval above. The GM owns its own periodic tick, so a change
+  /// reschedules it directly (no control message needed).
+  mm::IntervalControllerConfig adaptive;
 };
 
 class GlobalManager {
@@ -70,7 +76,17 @@ class GlobalManager {
   std::uint64_t sends_suppressed() const { return sends_suppressed_; }
   std::size_t nodes_seen() const { return latest_.size(); }
 
+  /// nullptr when the adaptive cadence is disabled.
+  const mm::IntervalController* interval_controller() const {
+    return interval_ctl_ ? &*interval_ctl_ : nullptr;
+  }
+  /// Decision interval currently in force.
+  SimTime current_interval() const { return config_.interval; }
+
  private:
+  /// Feeds the interval controller this round's pressure signal and
+  /// reschedules the periodic tick when it answers with a new cadence.
+  void maybe_adapt();
   sim::Simulator& sim_;
   GlobalPolicyPtr policy_;
   GlobalManagerConfig config_;
@@ -89,6 +105,8 @@ class GlobalManager {
   std::uint64_t sends_suppressed_ = 0;
 
   sim::EventHandle tick_;
+  bool ticking_ = false;
+  std::optional<mm::IntervalController> interval_ctl_;
   obs::TraceRecorder* trace_ = nullptr;
   obs::AuditLog* audit_ = nullptr;
   obs::PolicyAuditScratch scratch_;

@@ -152,6 +152,17 @@ struct ChannelStats {
   Histogram latency_hist{0.0, 10'000.0, 100};
 };
 
+/// Snapshot of a channel's congestion state, the signal the adaptive
+/// IntervalController stretches the sampling cadence from: current queue
+/// depth plus the cumulative queue-full drop/refusal counters (the caller
+/// diffs consecutive snapshots to get per-interval velocity).
+struct Backpressure {
+  std::size_t in_flight = 0;        // sent, not yet delivered
+  std::size_t queue_capacity = 0;   // 0 = unbounded
+  std::uint64_t dropped_queue = 0;  // cumulative queue-full victims
+  std::uint64_t backpressured = 0;  // cumulative refused sends
+};
+
 /// Draws one one-way delay from `spec` (exposed for tests and benches).
 SimTime sample_latency(const LatencySpec& spec, Rng& rng);
 
@@ -246,6 +257,12 @@ class Channel {
 
   /// Messages sent but not yet delivered (the bounded-queue occupancy).
   std::size_t in_flight() const { return pending_.size(); }
+
+  /// Congestion snapshot for adaptive-cadence controllers.
+  Backpressure backpressure() const {
+    return {pending_.size(), config_.queue_capacity, stats_.dropped_queue,
+            stats_.backpressured};
+  }
 
   const ChannelStats& stats() const { return stats_; }
   const ChannelConfig& config() const { return config_; }

@@ -63,6 +63,7 @@ VirtualNode::VirtualNode(NodeConfig config, sim::Simulator* external)
     mm::ManagerConfig mcfg;
     mcfg.sample_interval = config_.sample_interval;
     mcfg.suppress_unchanged = config_.mm_suppress_unchanged;
+    mcfg.adaptive = config_.adaptive_interval;
     manager_ = std::make_unique<mm::MemoryManager>(
         mm::make_policy(config_.policy),
         config_.tmem_pages + config_.nvm_tmem_pages, mcfg);
@@ -70,6 +71,15 @@ VirtualNode::VirtualNode(NodeConfig config, sim::Simulator* external)
     tkm_ = std::make_unique<guest::Tkm>(sim_, *hyp_, config_.comm);
     manager_->set_sender(
         [this](const hyper::TargetsMsg& msg) { tkm_->submit_targets(msg); });
+    if (config_.adaptive_interval.enabled) {
+      // Congestion signal for the interval controller: the same uplink the
+      // samples themselves ride on.
+      manager_->set_pressure_probe([this](mm::IntervalSignal& sig) {
+        const comm::Backpressure bp = tkm_->uplink_backpressure();
+        sig.uplink_in_flight = bp.in_flight;
+        sig.uplink_queue_events = bp.dropped_queue + bp.backpressured;
+      });
+    }
   }
 }
 

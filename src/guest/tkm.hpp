@@ -70,6 +70,12 @@ class Tkm {
     return downlink_;
   }
 
+  /// Uplink congestion snapshot (stats samples queued/dropped on the VIRQ ->
+  /// MM hop) — the backpressure input of the MM's IntervalController.
+  comm::Backpressure uplink_backpressure() const {
+    return uplink_.backpressure();
+  }
+
   /// Attaches a trace recorder to both hops (one "comm" track per hop) and
   /// registers their counters/latency metrics; either pointer may be null.
   void attach_obs(obs::TraceRecorder* trace, obs::Registry* registry);

@@ -342,12 +342,35 @@ void Hypervisor::apply_targets(const TargetsMsg& msg) {
     }
     last_target_seq_ = msg.seq;
   }
-  set_targets(msg.targets);
+  // Adaptive control plane: an interval update rides the same sequenced
+  // message. A pure interval change carries no targets and must not count
+  // as a target update.
+  if (msg.new_interval > 0) reschedule_sampling(msg.new_interval);
+  if (!msg.targets.empty() || msg.new_interval == 0) set_targets(msg.targets);
+}
+
+void Hypervisor::reschedule_sampling(SimTime interval) {
+  if (interval <= 0 || interval == config_.sample_interval) return;
+  config_.sample_interval = interval;
+  ++interval_updates_;
+  if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+    trace_->instant(obs::kCatHyper, hyper_track_, "sampler_rescheduled",
+                    sim_.now(),
+                    {{"interval_s", to_seconds(interval)}});
+  }
+  if (sampling_active_) {
+    // Re-arm from now: the next VIRQ fires one *new* interval from the
+    // moment the control message landed, and the periodic cadence follows.
+    sampler_.cancel();
+    sampler_ = sim_.schedule_periodic(config_.sample_interval,
+                                      [this] { sample_tick(); });
+  }
 }
 
 MemStats Hypervisor::snapshot() const {
   MemStats stats;
   stats.when = sim_.now();
+  stats.interval = config_.sample_interval;
   // A rack-managed node reports its *effective* capacity: the quota-capped
   // total and the headroom beneath it, so the per-VM policy (Eq. 2) always
   // renormalizes under the node's rack-assigned share. The unmanaged path
@@ -472,11 +495,15 @@ void Hypervisor::slow_reclaim() {
 void Hypervisor::start_sampling(VirqHandler handler) {
   virq_handler_ = std::move(handler);
   sampler_.cancel();
+  sampling_active_ = true;
   sampler_ = sim_.schedule_periodic(config_.sample_interval,
                                     [this] { sample_tick(); });
 }
 
-void Hypervisor::stop_sampling() { sampler_.cancel(); }
+void Hypervisor::stop_sampling() {
+  sampling_active_ = false;
+  sampler_.cancel();
+}
 
 void Hypervisor::set_node_quota(PageCount quota) {
   node_quota_ = quota;
@@ -671,6 +698,9 @@ void Hypervisor::register_metrics(obs::Registry& reg) const {
   store_.register_metrics(reg, "tmem.");
   reg.add_counter("hyper.samples_taken", &samples_taken_);
   reg.add_counter("hyper.target_updates", &target_updates_);
+  reg.add_counter("hyper.interval_updates", &interval_updates_);
+  reg.add_gauge("hyper.sample_interval_s",
+                [this] { return to_seconds(config_.sample_interval); });
   reg.add_counter("hyper.stale_targets_dropped", &stale_targets_dropped_);
   reg.add_counter("hyper.quota_updates", &quota_updates_);
   reg.add_counter("hyper.stale_quotas_dropped", &stale_quotas_dropped_);

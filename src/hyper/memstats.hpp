@@ -37,6 +37,13 @@ struct MemStats {
   /// stale sample into its history.
   std::uint64_t seq = 0;
   SimTime when = 0;
+  /// Sampling interval in effect when this sample was captured. Staleness
+  /// must normalize by *this*, not by whatever interval the receiver
+  /// currently believes in: under an adaptive controller the interval can
+  /// change while samples are in flight, and a sample captured before a
+  /// resize would otherwise be mis-normalized. 0 = unknown (hand-built
+  /// snapshots); receivers fall back to their configured interval.
+  SimTime interval = 0;
   PageCount total_tmem = 0;          // node_info.total_tmem
   PageCount free_tmem = 0;           // node_info.free_tmem
   std::uint32_t vm_count = 0;        // node_info.vm_count
@@ -62,6 +69,12 @@ using MmOut = std::vector<MmTarget>;
 struct TargetsMsg {
   std::uint64_t seq = 0;
   MmOut targets;
+  /// Adaptive control plane: when non-zero, the hypervisor reschedules its
+  /// periodic sampler to this interval (the MM's IntervalController rides
+  /// the existing downlink instead of needing a second channel). 0 = no
+  /// change — the paper-faithful default. `targets` may be empty on a pure
+  /// interval update.
+  SimTime new_interval = 0;
 };
 
 }  // namespace smartmem::hyper

@@ -1,0 +1,122 @@
+#include "mm/interval_controller.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace smartmem::mm {
+
+void IntervalControllerConfig::scale_times(double f) {
+  auto scale = [f](SimTime t) {
+    return static_cast<SimTime>(static_cast<double>(t) * f);
+  };
+  min_interval = scale(min_interval);
+  max_interval = scale(max_interval);
+  hysteresis = scale(hysteresis);
+}
+
+IntervalController::IntervalController(IntervalControllerConfig config,
+                                       SimTime initial)
+    : config_(config), current_(initial) {
+  if (config_.min_interval <= 0 ||
+      config_.max_interval < config_.min_interval) {
+    throw std::invalid_argument(
+        "IntervalController: need 0 < min_interval <= max_interval");
+  }
+  if (config_.grow_factor <= 1.0 || config_.shrink_factor <= 0.0 ||
+      config_.shrink_factor >= 1.0) {
+    throw std::invalid_argument(
+        "IntervalController: need shrink_factor in (0,1) and grow_factor > 1");
+  }
+  current_ = std::clamp(current_, config_.min_interval, config_.max_interval);
+}
+
+std::optional<SimTime> IntervalController::apply(SimTime now,
+                                                 SimTime proposed) {
+  proposed = std::clamp(proposed, config_.min_interval, config_.max_interval);
+  if (proposed == current_) return std::nullopt;
+  // Hysteresis: never two changes within the window. The proposal is not
+  // queued — if the condition persists, the next sample re-proposes it.
+  if (last_change_ != kNever && now - last_change_ < config_.hysteresis) {
+    return std::nullopt;
+  }
+  if (proposed > current_) {
+    ++stretches_;
+  } else {
+    ++shrinks_;
+  }
+  current_ = proposed;
+  last_change_ = now;
+  ++changes_;
+  return current_;
+}
+
+std::optional<SimTime> IntervalController::on_sample(
+    SimTime now, const IntervalSignal& signal) {
+  if (!config_.enabled) return std::nullopt;
+
+  const std::uint64_t queue_delta =
+      seen_queue_events_ && signal.uplink_queue_events >= last_queue_events_
+          ? signal.uplink_queue_events - last_queue_events_
+          : 0;
+  last_queue_events_ = signal.uplink_queue_events;
+  seen_queue_events_ = true;
+
+  const bool congested =
+      signal.uplink_in_flight >= config_.congestion_depth ||
+      queue_delta > 0 ||
+      signal.sample_age_intervals >= config_.stale_age_intervals;
+  const auto stretch = [this] {
+    return static_cast<SimTime>(static_cast<double>(current_) *
+                                config_.grow_factor);
+  };
+
+  if (congested) {
+    // A clogged uplink makes every sample staler; sending them faster only
+    // deepens the queue (the drop-oldest livelock of ablation_comms). The
+    // interval that relieves the congestion becomes the shrink floor, so a
+    // hot workload cannot immediately dive back into the livelock.
+    quiet_streak_ = 0;
+    samples_since_congestion_ = 0;
+    floor_probe_streak_ = 0;
+    const SimTime target = std::clamp(stretch(), config_.min_interval,
+                                      config_.max_interval);
+    shrink_floor_ = std::max(shrink_floor_, target);
+    return apply(now, target);
+  }
+  if (samples_since_congestion_ < UINT32_MAX) ++samples_since_congestion_;
+  if (signal.failed_puts >= config_.hot_failed_puts) {
+    // Demand is hitting the ceiling: tighten the loop so Algorithm 4 can
+    // react within fewer lost intervals — unless congestion was seen
+    // recently, in which case a shrink would reopen the livelock the
+    // recovery stretch just defused.
+    quiet_streak_ = 0;
+    if (samples_since_congestion_ < config_.congestion_cooldown_samples) {
+      return std::nullopt;
+    }
+    SimTime proposed = static_cast<SimTime>(static_cast<double>(current_) *
+                                            config_.shrink_factor);
+    if (proposed < shrink_floor_) {
+      // Below remembered congestion territory: hold at the floor, and only
+      // probe one step past it after a full cooldown of blocked samples.
+      if (++floor_probe_streak_ < config_.congestion_cooldown_samples) {
+        proposed = shrink_floor_;
+      } else {
+        floor_probe_streak_ = 0;
+        shrink_floor_ = std::max(
+            config_.min_interval,
+            static_cast<SimTime>(static_cast<double>(shrink_floor_) *
+                                 config_.shrink_factor));
+      }
+    } else {
+      floor_probe_streak_ = 0;
+    }
+    return apply(now, proposed);
+  }
+  if (++quiet_streak_ >= config_.quiet_samples_to_stretch) {
+    quiet_streak_ = 0;
+    return apply(now, stretch());
+  }
+  return std::nullopt;
+}
+
+}  // namespace smartmem::mm

@@ -15,6 +15,7 @@
 
 #include "common/types.hpp"
 #include "hyper/memstats.hpp"
+#include "mm/interval_controller.hpp"
 #include "mm/policy.hpp"
 #include "obs/audit.hpp"
 
@@ -30,9 +31,14 @@ struct ManagerConfig {
   bool suppress_unchanged = true;
   /// History depth in samples.
   std::size_t history_depth = 120;
-  /// The hypervisor's sampling interval; only used to normalize the
-  /// stats-staleness readings to "intervals".
+  /// The hypervisor's *initial* sampling interval. Used to normalize the
+  /// stats-staleness readings of samples that do not carry their own
+  /// capture interval (MemStats::interval == 0, i.e. hand-built samples)
+  /// and as the adaptive controller's starting point.
   SimTime sample_interval = kSecond;
+  /// Adaptive sampling-interval controller (disabled by default: the
+  /// paper's fixed cadence, byte-identical message stream).
+  IntervalControllerConfig adaptive;
 };
 
 class MemoryManager {
@@ -66,6 +72,31 @@ class MemoryManager {
   std::uint64_t last_sample_seq() const { return last_sample_seq_; }
   const std::optional<hyper::MmOut>& last_sent() const { return last_sent_; }
 
+  // ---- Adaptive sampling interval ------------------------------------------
+
+  /// Installs the uplink congestion probe feeding the IntervalController
+  /// (fills the uplink fields of the signal; failed puts come from the
+  /// sample itself). The node wiring points this at the TKM's uplink.
+  using PressureProbe = std::function<void(IntervalSignal&)>;
+  void set_pressure_probe(PressureProbe probe) {
+    pressure_probe_ = std::move(probe);
+  }
+
+  /// nullptr when the adaptive controller is disabled.
+  const IntervalController* interval_controller() const {
+    return interval_ctl_ ? &*interval_ctl_ : nullptr;
+  }
+
+  /// Interval currently requested of the hypervisor (the configured one
+  /// until the controller first changes it).
+  SimTime current_interval() const {
+    return interval_ctl_ ? interval_ctl_->current() : config_.sample_interval;
+  }
+
+  /// Downlink messages whose only payload was an interval update (the
+  /// policy's targets were suppressed or empty that sample).
+  std::uint64_t interval_msgs_sent() const { return interval_msgs_sent_; }
+
   // ---- Observability --------------------------------------------------------
 
   /// Installs a simulated-time source. Needed for staleness readings and
@@ -81,7 +112,9 @@ class MemoryManager {
   void register_metrics(obs::Registry& reg) const;
 
   /// Staleness of the most recently delivered sample, measured at delivery
-  /// time, in sampling intervals.
+  /// time, in sampling intervals — normalized by the interval in effect
+  /// when that sample was *captured* (MemStats::interval), so a resize
+  /// while samples are in flight cannot mis-normalize them.
   double last_stats_age_intervals() const { return last_stats_age_; }
 
  private:
@@ -90,6 +123,10 @@ class MemoryManager {
   void fill_audit_verdicts(obs::DecisionRecord& record,
                            const hyper::MemStats& stats,
                            const hyper::MmOut& out);
+
+  /// Ships a pure interval update (no targets) downlink. No-op when
+  /// `interval` is 0.
+  void send_interval_update(SimTime interval);
 
   PolicyPtr policy_;
   PageCount total_tmem_;
@@ -109,7 +146,11 @@ class MemoryManager {
   std::uint16_t mm_track_ = 0;
   obs::PolicyAuditScratch scratch_;  // reused across decisions
   SimTime last_stats_when_ = -1;     // capture time of last delivered sample
+  SimTime last_stats_interval_ = 0;  // interval in effect at that capture
   double last_stats_age_ = 0.0;
+  std::optional<IntervalController> interval_ctl_;
+  PressureProbe pressure_probe_;
+  std::uint64_t interval_msgs_sent_ = 0;
 };
 
 }  // namespace smartmem::mm

@@ -24,10 +24,12 @@ struct PolicyContext {
   const StatsHistory* history = nullptr;
 
   /// Read-only staleness of the sample being acted on, in sampling
-  /// intervals: (delivery time - capture time) / sample_interval. 0.0 when
-  /// the MM has no clock (tests driving on_stats directly). Policies may
-  /// consult it (e.g. to damp decisions on stale data); none do by default,
-  /// so behaviour is unchanged.
+  /// intervals: (delivery time - capture time) / the interval in effect at
+  /// capture (MemStats::interval, falling back to the MM's configured
+  /// interval for hand-built samples). 0.0 when the MM has no clock (tests
+  /// driving on_stats directly). SmartPolicy's stale modes key off it; with
+  /// them off (the default) no policy consults it and behaviour is
+  /// unchanged.
   double stats_age_intervals = 0.0;
 
   /// Non-null when decision auditing is enabled. Policies record per-VM
@@ -46,6 +48,11 @@ class Policy {
   /// (nothing is sent to the hypervisor).
   virtual hyper::MmOut compute(const hyper::MemStats& stats,
                                const PolicyContext& ctx) = 0;
+
+  /// Decisions this policy altered (skipped or widened) because the sample
+  /// was stale. 0 for policies without a staleness mode; the MM exports it
+  /// as the mm.stale_decisions counter.
+  virtual std::uint64_t stale_decisions() const { return 0; }
 };
 
 using PolicyPtr = std::unique_ptr<Policy>;

@@ -15,7 +15,13 @@ std::string PolicySpec::label() const {
     case PolicyKind::kGreedy: return "greedy";
     case PolicyKind::kStatic: return "static-alloc";
     case PolicyKind::kReconfStatic: return "reconf-static";
-    case PolicyKind::kSmart: return strfmt("sm-%.2gp", smart_config.p_percent);
+    case PolicyKind::kSmart:
+      // Stale modes get their own label so ablation rows with and without
+      // them never collide; the off path keeps the paper's figure labels.
+      return smart_config.stale_mode == StaleMode::kOff
+                 ? strfmt("sm-%.2gp", smart_config.p_percent)
+                 : strfmt("sm-%.2gp+%s", smart_config.p_percent,
+                          to_string(smart_config.stale_mode));
     case PolicyKind::kSwapRate: return "swap-rate";
     case PolicyKind::kWss: return "wss";
   }

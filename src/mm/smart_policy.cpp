@@ -1,5 +1,6 @@
 #include "mm/smart_policy.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
@@ -7,14 +8,48 @@
 
 namespace smartmem::mm {
 
+const char* to_string(StaleMode m) {
+  switch (m) {
+    case StaleMode::kOff: return "off";
+    case StaleMode::kSkip: return "skip";
+    case StaleMode::kWiden: return "widen";
+  }
+  return "?";
+}
+
+bool parse_stale_mode(const std::string& text, StaleMode& out) {
+  if (text == "off") {
+    out = StaleMode::kOff;
+  } else if (text == "skip") {
+    out = StaleMode::kSkip;
+  } else if (text == "widen") {
+    out = StaleMode::kWiden;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 SmartPolicy::SmartPolicy(SmartPolicyConfig config) : config_(config) {
   if (config_.p_percent <= 0.0 || config_.p_percent > 100.0) {
     throw std::invalid_argument("SmartPolicy: P must be in (0, 100]");
   }
+  if (config_.stale_threshold_intervals <= 0.0) {
+    throw std::invalid_argument(
+        "SmartPolicy: stale threshold must be positive");
+  }
+  if (config_.stale_widen_max < 1.0) {
+    throw std::invalid_argument("SmartPolicy: stale_widen_max must be >= 1");
+  }
 }
 
 std::string SmartPolicy::name() const {
-  return strfmt("smart-alloc(P=%.2f%%)", config_.p_percent);
+  if (config_.stale_mode == StaleMode::kOff) {
+    return strfmt("smart-alloc(P=%.2f%%)", config_.p_percent);
+  }
+  return strfmt("smart-alloc(P=%.2f%%,stale=%s@%.2g)", config_.p_percent,
+                to_string(config_.stale_mode),
+                config_.stale_threshold_intervals);
 }
 
 PageCount SmartPolicy::effective_threshold(PageCount total_tmem) const {
@@ -23,15 +58,59 @@ PageCount SmartPolicy::effective_threshold(PageCount total_tmem) const {
                                 static_cast<double>(total_tmem));
 }
 
+double SmartPolicy::widen_factor(double age_intervals) const {
+  if (age_intervals <= config_.stale_threshold_intervals) return 1.0;
+  // One extra unit of P per interval of blindness beyond the threshold,
+  // capped so a pathological age cannot grant the whole node in one step.
+  return std::min(1.0 + (age_intervals - config_.stale_threshold_intervals),
+                  config_.stale_widen_max);
+}
+
 hyper::MmOut SmartPolicy::compute(const hyper::MemStats& stats,
                                   const PolicyContext& ctx) {
   const auto local_tmem = static_cast<double>(ctx.total_tmem);  // line 2
   const PageCount threshold = effective_threshold(ctx.total_tmem);
+  obs::PolicyAuditScratch* audit = ctx.audit;
+
+  const bool stale =
+      config_.stale_mode != StaleMode::kOff &&
+      ctx.stats_age_intervals > config_.stale_threshold_intervals;
+  if (stale) ++stale_decisions_;
+
+  if (stale && config_.stale_mode == StaleMode::kSkip) {
+    // The sample is too old to act on: emit no targets (the MM transmits
+    // nothing, the hypervisor keeps its current vector) and audit why.
+    if (audit != nullptr) {
+      audit->vms.reserve(stats.vm.size());
+      for (const auto& vm : stats.vm) {
+        obs::VmVerdict v;
+        v.vm = vm.vm_id;
+        v.verdict = "hold";
+        v.condition = "alg4:stale-skip";
+        v.target_before = vm.mm_target;
+        v.target_after = vm.mm_target;
+        v.failed_puts = vm.puts_total - vm.puts_succ;
+        v.tmem_used = vm.tmem_used;
+        if (vm.mm_target != kUnlimitedTarget) {
+          v.slack_pages = static_cast<double>(vm.mm_target) -
+                          static_cast<double>(vm.tmem_used);
+        }
+        audit->vms.push_back(v);
+      }
+    }
+    return {};
+  }
+
+  // kWiden: the stale sample is blind to (age - threshold) intervals of
+  // demand movement, so each grow grant covers them with a larger step.
+  const double grow_p =
+      stale ? std::min(config_.p_percent * widen_factor(ctx.stats_age_intervals),
+                       100.0)
+            : config_.p_percent;
 
   hyper::MmOut out;
   out.reserve(stats.vm.size());
   double sum_targets = 0.0;  // line 4
-  obs::PolicyAuditScratch* audit = ctx.audit;
   if (audit != nullptr) audit->vms.reserve(stats.vm.size());
 
   for (const auto& vm : stats.vm) {  // lines 5-26
@@ -50,11 +129,11 @@ hyper::MmOut SmartPolicy::compute(const hyper::MemStats& stats,
     double mm_target;
     if (failed_puts > 0) {
       // Lines 10-12: the VM hit its ceiling during the last interval; grant
-      // it P% of the node's tmem more.
-      const double incr = config_.p_percent * local_tmem / 100.0;
+      // it P% of the node's tmem more (widened when acting on stale data).
+      const double incr = grow_p * local_tmem / 100.0;
       mm_target = curr_tgt + incr;
       verdict = "grow";
-      condition = "alg4:failed_puts>0";
+      condition = stale ? "alg4:stale-widen" : "alg4:failed_puts>0";
     } else {
       // Lines 14-21: shrink only when the VM leaves more slack than the
       // threshold, to avoid oscillation.
@@ -85,7 +164,8 @@ hyper::MmOut SmartPolicy::compute(const hyper::MemStats& stats,
 
   // Lines 27-33 (Equation 2): proportional scale-down when over-allocated,
   // so that the sum of targets never exceeds the node's capacity and every
-  // page stays assigned (Equation 1).
+  // page stays assigned (Equation 1). The widened increments of kWiden pass
+  // through the same renormalization, so the invariant survives staleness.
   if (sum_targets > local_tmem && sum_targets > 0.0) {
     const double factor = local_tmem / sum_targets;  // line 28
     for (std::size_t i = 0; i < out.size(); ++i) {

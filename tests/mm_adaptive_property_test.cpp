@@ -1,0 +1,316 @@
+// Staleness-aware smart-alloc: property tests over randomized samples.
+//
+//   * Equation 2 survives stale-widen: however far the widened increments
+//     overshoot, the renormalized sum of targets never exceeds the node's
+//     tmem and no single target does either.
+//   * A fresh sample produces byte-identical output with the stale modes on
+//     and off — the modes only engage beyond the threshold.
+//   * stale-skip emits no targets (so the MM transmits nothing) and audits
+//     every VM with the alg4:stale-skip condition.
+//   * The staleness normalization uses the interval carried by the sample
+//     (MemStats::interval), not the MM's configured one, so a mid-run
+//     interval resize cannot mis-classify in-flight samples (regression).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mm/manager.hpp"
+#include "mm/smart_policy.hpp"
+
+namespace smartmem::mm {
+namespace {
+
+SmartPolicyConfig stale_config(StaleMode mode, double p = 6.0) {
+  SmartPolicyConfig cfg;
+  cfg.p_percent = p;
+  cfg.stale_mode = mode;
+  return cfg;
+}
+
+hyper::MemStats random_stats(Rng& rng, PageCount total, std::uint32_t vms) {
+  hyper::MemStats stats;
+  stats.total_tmem = total;
+  stats.vm_count = vms;
+  for (VmId id = 1; id <= vms; ++id) {
+    hyper::VmMemStats v;
+    v.vm_id = id;
+    // Mix grounded and unlimited targets; used can exceed the fair share.
+    v.mm_target = rng.chance(0.2) ? kUnlimitedTarget
+                                  : static_cast<PageCount>(rng.uniform(total));
+    v.tmem_used = static_cast<PageCount>(rng.uniform(total));
+    v.puts_total = rng.uniform(2000);
+    v.puts_succ = v.puts_total - rng.uniform(v.puts_total + 1);
+    stats.vm.push_back(v);
+  }
+  return stats;
+}
+
+TEST(StalePropertyTest, WidenPreservesEquation2OnRandomSamples) {
+  Rng rng(0xADA7ull);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const auto total =
+        static_cast<PageCount>(rng.uniform_range(1000, 2'000'000));
+    const auto vms = static_cast<std::uint32_t>(rng.uniform(6)) + 1;
+    SmartPolicy policy(stale_config(StaleMode::kWiden));
+    hyper::MemStats stats = random_stats(rng, total, vms);
+    PolicyContext ctx;
+    ctx.total_tmem = total;
+    StatsHistory history(8);
+    ctx.history = &history;
+    ctx.stats_age_intervals = rng.uniform_double() * 8.0;  // 0..8 intervals
+
+    const hyper::MmOut out = policy.compute(stats, ctx);
+    ASSERT_EQ(out.size(), stats.vm.size()) << "trial " << trial;
+    double sum = 0.0;
+    for (const auto& t : out) {
+      // No target may exceed the node by itself...
+      ASSERT_LE(t.mm_target, total) << "trial " << trial;
+      sum += static_cast<double>(t.mm_target);
+    }
+    // ...and Equation 2 holds for the vector: the widened grants passed
+    // through the same renormalization as the base algorithm.
+    ASSERT_LE(sum, static_cast<double>(total)) << "trial " << trial;
+  }
+}
+
+TEST(StalePropertyTest, FreshSamplesMatchBaselineByteForByte) {
+  Rng rng(0xF00Dull);
+  for (int trial = 0; trial < 500; ++trial) {
+    const PageCount total = 100'000;
+    hyper::MemStats stats = random_stats(rng, total, 3);
+    PolicyContext ctx;
+    ctx.total_tmem = total;
+    StatsHistory history(8);
+    ctx.history = &history;
+    // Below the 1.5-interval threshold: the modes must not engage.
+    ctx.stats_age_intervals = rng.uniform_double() * 1.5;
+
+    SmartPolicy off(stale_config(StaleMode::kOff));
+    SmartPolicy skip(stale_config(StaleMode::kSkip));
+    SmartPolicy widen(stale_config(StaleMode::kWiden));
+    const hyper::MmOut base = off.compute(stats, ctx);
+    ASSERT_EQ(skip.compute(stats, ctx), base) << "trial " << trial;
+    ASSERT_EQ(widen.compute(stats, ctx), base) << "trial " << trial;
+    EXPECT_EQ(skip.stale_decisions(), 0u);
+    EXPECT_EQ(widen.stale_decisions(), 0u);
+  }
+}
+
+TEST(StalePropertyTest, SkipEmitsNothingAndAuditsEveryVm) {
+  Rng rng(0x5EEDull);
+  for (int trial = 0; trial < 200; ++trial) {
+    SmartPolicy policy(stale_config(StaleMode::kSkip));
+    hyper::MemStats stats = random_stats(rng, 50'000, 4);
+    PolicyContext ctx;
+    ctx.total_tmem = 50'000;
+    StatsHistory history(8);
+    ctx.history = &history;
+    ctx.stats_age_intervals = 1.5 + rng.uniform_double() * 5.0;
+    obs::PolicyAuditScratch scratch;
+    ctx.audit = &scratch;
+
+    ASSERT_TRUE(policy.compute(stats, ctx).empty()) << "trial " << trial;
+    ASSERT_EQ(scratch.vms.size(), stats.vm.size());
+    for (std::size_t i = 0; i < scratch.vms.size(); ++i) {
+      EXPECT_STREQ(scratch.vms[i].condition, "alg4:stale-skip");
+      EXPECT_STREQ(scratch.vms[i].verdict, "hold");
+      // A skip holds the current target by definition.
+      EXPECT_EQ(scratch.vms[i].target_after, scratch.vms[i].target_before);
+    }
+    EXPECT_EQ(policy.stale_decisions(), 1u);
+  }
+}
+
+TEST(StalePropertyTest, WidenFactorIsMonotonicAndCapped) {
+  SmartPolicy policy(stale_config(StaleMode::kWiden));
+  const double threshold = policy.config().stale_threshold_intervals;
+  const double cap = policy.config().stale_widen_max;
+  EXPECT_EQ(policy.widen_factor(0.0), 1.0);
+  EXPECT_EQ(policy.widen_factor(threshold), 1.0);
+  double prev = 1.0;
+  for (double age = threshold; age < threshold + 10.0; age += 0.25) {
+    const double f = policy.widen_factor(age);
+    EXPECT_GE(f, prev);
+    EXPECT_LE(f, cap);
+    prev = f;
+  }
+  EXPECT_EQ(policy.widen_factor(threshold + 100.0), cap);
+}
+
+TEST(StalePropertyTest, WidenedConditionIsAudited) {
+  SmartPolicy policy(stale_config(StaleMode::kWiden));
+  hyper::MemStats stats;
+  stats.total_tmem = 10'000;
+  hyper::VmMemStats v;
+  v.vm_id = 1;
+  v.mm_target = 2'000;
+  v.tmem_used = 2'000;
+  v.puts_total = 100;
+  v.puts_succ = 50;  // failed puts -> grow path
+  stats.vm.push_back(v);
+  PolicyContext ctx;
+  ctx.total_tmem = 10'000;
+  StatsHistory history(8);
+  ctx.history = &history;
+  ctx.stats_age_intervals = 3.0;  // stale
+  obs::PolicyAuditScratch scratch;
+  ctx.audit = &scratch;
+  const hyper::MmOut out = policy.compute(stats, ctx);
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(scratch.vms.size(), 1u);
+  EXPECT_STREQ(scratch.vms[0].condition, "alg4:stale-widen");
+  EXPECT_STREQ(scratch.vms[0].verdict, "grow");
+  // age 3.0, threshold 1.5 -> widen factor 2.5: the grant is 2.5x P.
+  const double expect =
+      2'000.0 + 6.0 * 2.5 * 10'000.0 / 100.0;
+  EXPECT_EQ(out[0].mm_target, static_cast<PageCount>(expect));
+}
+
+// ---- MM-level behaviour ----------------------------------------------------
+
+hyper::MemStats hot_stats(PageCount total, SimTime when, SimTime interval) {
+  hyper::MemStats stats;
+  stats.total_tmem = total;
+  stats.vm_count = 2;
+  stats.when = when;
+  stats.interval = interval;
+  for (VmId id = 1; id <= 2; ++id) {
+    hyper::VmMemStats v;
+    v.vm_id = id;
+    v.mm_target = total / 2;
+    v.tmem_used = total / 2;
+    v.puts_total = 100;
+    v.puts_succ = 0;  // all failed: always wants to grow
+    stats.vm.push_back(v);
+  }
+  return stats;
+}
+
+TEST(StaleManagerTest, SkipSuppressesTheTargetsMessage) {
+  ManagerConfig cfg;
+  cfg.sample_interval = kSecond;
+  MemoryManager mm(std::make_unique<SmartPolicy>(stale_config(StaleMode::kSkip)),
+                   10'000, cfg);
+  SimTime now = 0;
+  mm.set_clock([&now] { return now; });
+  int sends = 0;
+  mm.set_sender([&](const hyper::TargetsMsg&) { ++sends; });
+
+  // Stale delivery: captured at 0, delivered at 3 s (age 3 intervals).
+  now = 3 * kSecond;
+  mm.on_stats(hot_stats(10'000, 0, kSecond));
+  EXPECT_EQ(sends, 0);
+  EXPECT_EQ(mm.policy().stale_decisions(), 1u);
+
+  // A fresh sample acts normally.
+  hyper::MemStats fresh = hot_stats(10'000, now, kSecond);
+  fresh.seq = 2;
+  mm.on_stats(fresh);
+  EXPECT_EQ(sends, 1);
+}
+
+// Regression: the staleness normalization must use the interval in effect
+// when the sample was captured (MemStats::interval), not the configured
+// one. A sampler resized mid-run from 1 s to 4 s would otherwise report
+// its 4 s-interval samples as 4x staler than they are.
+TEST(StaleManagerTest, StalenessNormalizedByCaptureInterval) {
+  ManagerConfig cfg;
+  cfg.sample_interval = kSecond;  // configured (initial) interval
+  MemoryManager mm(std::make_unique<SmartPolicy>(stale_config(StaleMode::kSkip)),
+                   10'000, cfg);
+  SimTime now = 4 * kSecond;
+  mm.set_clock([&now] { return now; });
+  int sends = 0;
+  mm.set_sender([&](const hyper::TargetsMsg&) { ++sends; });
+
+  // Captured at 0 under a 4 s interval, delivered at 4 s: exactly one
+  // interval old -> NOT stale -> the decision goes through.
+  mm.on_stats(hot_stats(10'000, 0, 4 * kSecond));
+  EXPECT_DOUBLE_EQ(mm.last_stats_age_intervals(), 1.0);
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(mm.policy().stale_decisions(), 0u);
+
+  // The same delivery without the carried interval falls back to the
+  // configured 1 s and classifies as 4 intervals stale -> skipped.
+  hyper::MemStats legacy = hot_stats(10'000, 0, 0);
+  legacy.seq = 2;
+  now = 4 * kSecond + 1;  // strictly newer delivery time
+  mm.on_stats(legacy);
+  EXPECT_GT(mm.last_stats_age_intervals(), 3.9);
+  EXPECT_EQ(mm.policy().stale_decisions(), 1u);
+  EXPECT_EQ(sends, 1);  // skipped: no second transmission
+}
+
+TEST(StaleManagerTest, IntervalUpdateRidesOutgoingMessage) {
+  ManagerConfig cfg;
+  cfg.sample_interval = kSecond;
+  cfg.adaptive.enabled = true;
+  MemoryManager mm(std::make_unique<SmartPolicy>(stale_config(StaleMode::kOff)),
+                   10'000, cfg);
+  SimTime now = 0;
+  mm.set_clock([&now] { return now; });
+  std::vector<hyper::TargetsMsg> sent;
+  mm.set_sender([&](const hyper::TargetsMsg& msg) { sent.push_back(msg); });
+
+  // Hot sample: the controller shrinks 1 s -> 0.5 s and the update ships on
+  // the same message as the targets.
+  now = kSecond;
+  hyper::MemStats stats = hot_stats(10'000, now, kSecond);
+  stats.seq = 1;
+  mm.on_stats(stats);
+  ASSERT_EQ(sent.size(), 1u);
+  EXPECT_FALSE(sent[0].targets.empty());
+  EXPECT_EQ(sent[0].new_interval, kSecond / 2);
+  EXPECT_EQ(mm.current_interval(), kSecond / 2);
+  EXPECT_EQ(mm.interval_msgs_sent(), 0u);
+}
+
+TEST(StaleManagerTest, PureIntervalUpdateWhenTargetsSuppressed) {
+  ManagerConfig cfg;
+  cfg.sample_interval = kSecond;
+  cfg.adaptive.enabled = true;
+  cfg.adaptive.quiet_samples_to_stretch = 2;
+  cfg.adaptive.hysteresis = 0;
+  MemoryManager mm(std::make_unique<SmartPolicy>(stale_config(StaleMode::kOff)),
+                   10'000, cfg);
+  SimTime now = 0;
+  mm.set_clock([&now] { return now; });
+  std::vector<hyper::TargetsMsg> sent;
+  mm.set_sender([&](const hyper::TargetsMsg& msg) { sent.push_back(msg); });
+
+  // Quiet samples: targets settle (suppressed) while the quiet streak
+  // eventually stretches the interval -> a pure interval message goes out.
+  hyper::MemStats quiet;
+  quiet.total_tmem = 10'000;
+  quiet.vm_count = 1;
+  hyper::VmMemStats v;
+  v.vm_id = 1;
+  v.mm_target = 10'000;
+  v.tmem_used = 100;
+  quiet.vm.push_back(v);
+  std::uint64_t seq = 0;
+  for (int i = 0; i < 4; ++i) {
+    now += kSecond;
+    quiet.when = now;
+    quiet.interval = kSecond;
+    quiet.seq = ++seq;
+    mm.on_stats(quiet);
+  }
+  ASSERT_GE(mm.interval_msgs_sent(), 1u);
+  bool saw_pure_update = false;
+  for (const auto& msg : sent) {
+    if (msg.targets.empty()) {
+      saw_pure_update = true;
+      EXPECT_GT(msg.new_interval, kSecond);
+    }
+  }
+  EXPECT_TRUE(saw_pure_update);
+  // Sequence numbers are shared with the targets stream and keep climbing.
+  for (std::size_t i = 1; i < sent.size(); ++i) {
+    EXPECT_GT(sent[i].seq, sent[i - 1].seq);
+  }
+}
+
+}  // namespace
+}  // namespace smartmem::mm
