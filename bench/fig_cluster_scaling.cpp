@@ -16,6 +16,11 @@
 //
 // Flags:
 //   --scale/--reps/--seed/--jobs/--csv   as every figure bench
+//   --sim-threads <n>        worker threads for the in-run parallel engine
+//                            (1 = inline, 0 = hardware concurrency). Changes
+//                            wall-clock only — the simulated results are
+//                            byte-identical at any value, and CI md5-checks
+//                            that after cutting the sim_threads CSV column.
 //   --nodes <n>              restrict the sweep to one node count
 //   --cluster-policy <p>     restrict to one policy (global-static,
 //                            global-smart[:P]; default sweeps both)
@@ -29,6 +34,7 @@
 //   --trace-out/--metrics-out/--audit-out   one extra observed 2-node (or
 //                            --nodes) run with the obs pillars enabled
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -50,8 +56,9 @@ struct Options {
   std::size_t reps = 3;
   std::uint64_t seed = 1;
   std::size_t jobs = 1;
+  std::size_t sim_threads = 1;
   std::string csv_dir;
-  std::size_t nodes = 0;  // 0 = sweep {1, 2, 4, 8}
+  std::size_t nodes = 0;  // 0 = sweep {1, 2, 4, 8, 16}
   std::string cluster_policy;  // empty = sweep both
   double latency_x = 0.0;      // 0 = sweep {1, 10}
   double interval_x = 2.0;
@@ -66,6 +73,7 @@ void usage(std::FILE* out) {
   std::fprintf(
       out,
       "fig_cluster_scaling [--scale f] [--reps n] [--seed n] [--jobs n]\n"
+      "  [--sim-threads n]\n"
       "  [--csv dir] [--nodes n] [--cluster-policy p] [--cluster-latency-x f]\n"
       "  [--cluster-interval-x f] [--cluster-no-lending] [--single]\n"
       "  [--trace-out f] [--metrics-out f] [--audit-out f]\n");
@@ -91,6 +99,8 @@ Options parse(int argc, char** argv) {
       o.seed = static_cast<std::uint64_t>(std::atoll(next(i)));
     } else if (arg == "--jobs") {
       o.jobs = static_cast<std::size_t>(std::atoll(next(i)));
+    } else if (arg == "--sim-threads") {
+      o.sim_threads = static_cast<std::size_t>(std::atoll(next(i)));
     } else if (arg == "--csv") {
       o.csv_dir = next(i);
     } else if (arg == "--nodes") {
@@ -179,6 +189,7 @@ cluster::ClusterRunResult run_cell(const Options& o, const Cell& cell,
   cfg.lending = o.lending;
   cfg.internode_latency_x = cell.lat_x;
   cfg.global_interval_x = o.interval_x;
+  cfg.sim_threads = o.sim_threads;
   return cluster::run_cluster_scenario(cfg);
 }
 
@@ -194,7 +205,7 @@ int main(int argc, char** argv) {
 
   std::vector<std::size_t> node_counts =
       o.nodes != 0 ? std::vector<std::size_t>{o.nodes}
-                   : std::vector<std::size_t>{1, 2, 4, 8};
+                   : std::vector<std::size_t>{1, 2, 4, 8, 16};
   if (o.single) node_counts = {1};
   const std::vector<double> lat_sweep =
       o.latency_x != 0.0 ? std::vector<double>{o.latency_x}
@@ -220,26 +231,36 @@ int main(int argc, char** argv) {
 
   std::printf("=== cluster scaling: hot node + cold donors "
               "(usemem / cluster-cold, smart P=25%%) ===\n");
-  std::printf("%zu cell(s) x %zu rep(s), scale %g, lending %s\n\n",
-              cells.size(), o.reps, o.scale, o.lending ? "on" : "off");
+  std::printf("%zu cell(s) x %zu rep(s), scale %g, lending %s, "
+              "sim-threads %zu\n\n",
+              cells.size(), o.reps, o.scale, o.lending ? "on" : "off",
+              o.sim_threads);
 
+  // Per-run wall-clock is printed to stdout only — never to the CSV, which
+  // must stay byte-identical across --sim-threads values.
   std::vector<cluster::ClusterRunResult> runs(cells.size() * o.reps);
+  std::vector<double> wall(runs.size());
   parallel_for_each(o.jobs, runs.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
     runs[i] = run_cell(o, cells[i / o.reps], o.seed + (i % o.reps));
+    wall[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
   });
 
-  std::printf("%-6s %-14s %-6s %16s %12s %12s %12s %10s\n", "nodes",
+  std::printf("%-6s %-14s %-6s %16s %12s %12s %12s %10s %9s\n", "nodes",
               "policy", "lat", "failed_puts", "remote_puts", "remote_gets",
-              "borrowed_pk", "makespan");
+              "borrowed_pk", "makespan", "wall");
   std::vector<double> mean_failed(cells.size());
   for (std::size_t c = 0; c < cells.size(); ++c) {
-    RunningStats failed, makespan;
+    RunningStats failed, makespan, wall_s;
     std::uint64_t rputs = 0, rgets = 0;
     PageCount peak = 0;
     for (std::size_t rep = 0; rep < o.reps; ++rep) {
       const cluster::ClusterRunResult& r = runs[c * o.reps + rep];
       failed.add(static_cast<double>(r.aggregate_failed_puts));
       makespan.add(r.makespan_s);
+      wall_s.add(wall[c * o.reps + rep]);
       for (const auto& nr : r.nodes) {
         rputs += nr.remote_puts;
         rgets += nr.remote_gets;
@@ -247,12 +268,12 @@ int main(int argc, char** argv) {
       peak = std::max(peak, r.peak_borrowed);
     }
     mean_failed[c] = failed.mean();
-    std::printf("%-6zu %-14s x%-5g %16.0f %12llu %12llu %12llu %9.1fs\n",
-                cells[c].nodes, cells[c].policy.c_str(), cells[c].lat_x,
-                failed.mean(),
-                static_cast<unsigned long long>(rputs / o.reps),
-                static_cast<unsigned long long>(rgets / o.reps),
-                static_cast<unsigned long long>(peak), makespan.mean());
+    std::printf(
+        "%-6zu %-14s x%-5g %16.0f %12llu %12llu %12llu %9.1fs %8.2fs\n",
+        cells[c].nodes, cells[c].policy.c_str(), cells[c].lat_x, failed.mean(),
+        static_cast<unsigned long long>(rputs / o.reps),
+        static_cast<unsigned long long>(rgets / o.reps),
+        static_cast<unsigned long long>(peak), makespan.mean(), wall_s.mean());
   }
 
   // Headline: does the node-level Algorithm 4 beat the static split where
@@ -279,8 +300,12 @@ int main(int argc, char** argv) {
   if (!o.csv_dir.empty()) {
     const std::string path = o.csv_dir + "/fig_cluster_scaling.csv";
     std::ofstream csv(path);
-    csv << "nodes,latency_x,global_policy,lending,rep,node,scenario,"
-           "failed_puts,puts_total,puts_succ,runtime_s,remote_puts,"
+    // sim_threads is deliberately the second column: the CI determinism
+    // check compares runs at different thread counts with that one column
+    // cut away (`cut -d, -f2 --complement`), and everything else must be
+    // byte-identical.
+    csv << "nodes,sim_threads,latency_x,global_policy,lending,rep,node,"
+           "scenario,failed_puts,puts_total,puts_succ,runtime_s,remote_puts,"
            "remote_gets,final_quota,makespan_s\n";
     for (std::size_t c = 0; c < cells.size(); ++c) {
       for (std::size_t rep = 0; rep < o.reps; ++rep) {
@@ -288,9 +313,9 @@ int main(int argc, char** argv) {
         for (const auto& nr : r.nodes) {
           char line[512];
           std::snprintf(line, sizeof line,
-                        "%zu,%g,%s,%d,%zu,%u,%s,%llu,%llu,%llu,%.6f,%llu,"
+                        "%zu,%zu,%g,%s,%d,%zu,%u,%s,%llu,%llu,%llu,%.6f,%llu,"
                         "%llu,%s,%.6f\n",
-                        cells[c].nodes, cells[c].lat_x,
+                        cells[c].nodes, o.sim_threads, cells[c].lat_x,
                         cells[c].policy.c_str(), o.lending ? 1 : 0, rep,
                         nr.node, nr.scenario.c_str(),
                         static_cast<unsigned long long>(nr.failed_puts),
@@ -320,6 +345,7 @@ int main(int argc, char** argv) {
     cfg.lending = o.lending;
     cfg.internode_latency_x = o.latency_x != 0.0 ? o.latency_x : 1.0;
     cfg.global_interval_x = o.interval_x;
+    cfg.sim_threads = o.sim_threads;
     cfg.obs.trace_out = o.trace_out;
     cfg.obs.metrics_out = o.metrics_out;
     cfg.obs.audit_out = o.audit_out;

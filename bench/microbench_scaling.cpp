@@ -267,14 +267,22 @@ double cluster_rebalance_per_sec() {
   return static_cast<double>(kDecisions) / elapsed;
 }
 
-/// Observability overhead: one seeded smart-policy run of scenario 1 with
-/// all three obs pillars capturing in memory (no file I/O) vs. the same run
-/// with obs off. Returns the enabled-over-disabled overhead in percent; the
-/// acceptance bar keeps it under 5%.
-double obs_overhead_pct(const ScalingOptions& o) {
+/// Observability overhead: seeded smart-policy runs of the SAME scenario-1
+/// grid cell with all three obs pillars capturing in memory (no file I/O)
+/// vs. obs off. Both variants share one node config, so the delta is pure
+/// instrumentation cost. The probe interleaves off/on pairs (background
+/// drift biases both variants equally), computes one overhead ratio per
+/// pair, and reports the median with a ± spread so the <5% acceptance bar
+/// is judged against a stable number instead of a single noisy run.
+struct ObsOverhead {
+  double pct = 0.0;     // median over pairs
+  double spread = 0.0;  // ± half the (max - min) pair range, in pct points
+};
+
+ObsOverhead obs_overhead(const ScalingOptions& o) {
   const core::ScenarioSpec spec = core::scenario1(o.scale);
   const mm::PolicySpec policy = mm::PolicySpec::smart(0.75);
-  const int reps = 3;
+  const int pairs = 5;
 
   auto timed_run = [&](const core::NodeConfig* overrides) {
     const auto start = Clock::now();
@@ -282,22 +290,25 @@ double obs_overhead_pct(const ScalingOptions& o) {
     return seconds_since(start);
   };
 
-  // Same node config for both variants — only the obs pillars differ, so
-  // the delta is pure instrumentation cost. Runs interleave off/on pairs
-  // and keep the per-variant minimum, so background-load drift on the
-  // measuring host biases both variants equally.
   core::NodeConfig off_cfg = core::scaled_node_defaults(o.scale);
   core::NodeConfig on_cfg = core::scaled_node_defaults(o.scale);
   on_cfg.obs = obs::ObsConfig::capture_all();
-  double off_s = 0.0;
-  double on_s = 0.0;
-  for (int r = 0; r < reps; ++r) {
+  // One throwaway pair warms the allocator and page-cache state so the
+  // first measured pair is not systematically slower.
+  timed_run(&off_cfg);
+  timed_run(&on_cfg);
+  std::vector<double> pct;
+  for (int r = 0; r < pairs; ++r) {
     const double off = timed_run(&off_cfg);
     const double on = timed_run(&on_cfg);
-    if (r == 0 || off < off_s) off_s = off;
-    if (r == 0 || on < on_s) on_s = on;
+    if (off > 0) pct.push_back(100.0 * (on - off) / off);
   }
-  return off_s > 0 ? 100.0 * (on_s - off_s) / off_s : 0.0;
+  ObsOverhead out;
+  if (pct.empty()) return out;
+  std::sort(pct.begin(), pct.end());
+  out.pct = pct[pct.size() / 2];
+  out.spread = (pct.back() - pct.front()) / 2.0;
+  return out;
 }
 
 }  // namespace
@@ -305,10 +316,17 @@ double obs_overhead_pct(const ScalingOptions& o) {
 int main(int argc, char** argv) {
   const ScalingOptions opts = parse(argc, argv);
   const std::size_t hw = ThreadPool::resolve_jobs(0);
+  // A speedup figure measured with more jobs than hardware threads says
+  // nothing about the engine — publish it flagged as unreliable rather than
+  // letting a 1-core CI box record "speedup_j4 = 0.92" as a regression.
+  const bool speedup_reliable = hw >= opts.jobs && hw > 1;
 
   std::printf("== microbench_scaling ==\n");
-  std::printf("host: %zu hardware thread(s); measuring jobs=%zu\n\n", hw,
-              opts.jobs);
+  std::printf("host: %zu hardware thread(s); measuring jobs=%zu%s\n\n", hw,
+              opts.jobs,
+              speedup_reliable
+                  ? ""
+                  : "  [speedup UNRELIABLE: fewer cores than jobs]");
 
   std::printf("[1/4] figure grid, serial (4 policies x %zu reps, scale %g)\n",
               opts.repetitions, opts.scale);
@@ -331,8 +349,9 @@ int main(int argc, char** argv) {
   std::printf("      cluster gm: %.3g rebalances/s (4 nodes)\n", rebalance_ps);
 
   std::printf("[4/4] observability overhead (all pillars, in-memory)\n");
-  const double obs_pct = obs_overhead_pct(opts);
-  std::printf("      %+.2f%% vs. obs-off\n", obs_pct);
+  const ObsOverhead obs = obs_overhead(opts);
+  std::printf("      %+.2f%% +/- %.2f%% vs. obs-off (median of 5 pairs)\n",
+              obs.pct, obs.spread);
 
   std::ofstream out(opts.out);
   if (!out) {
@@ -353,15 +372,18 @@ int main(int argc, char** argv) {
                 "    \"jobs\": %zu\n"
                 "  },\n"
                 "  \"speedup_j%zu\": %.3f,\n"
+                "  \"speedup_reliable\": %s,\n"
                 "  \"events_per_sec\": %.1f,\n"
                 "  \"sim_events_per_sec\": %.1f,\n"
                 "  \"comm_msgs_per_sec\": %.1f,\n"
                 "  \"cluster_rebalance_per_sec\": %.1f,\n"
-                "  \"obs_overhead_pct\": %.2f\n"
+                "  \"obs_overhead_pct\": %.2f,\n"
+                "  \"obs_overhead_spread_pct\": %.2f\n"
                 "}\n",
                 hw, opts.scale, opts.repetitions, serial_s, parallel_s,
-                opts.jobs, opts.jobs, speedup, store_eps, sim_eps, chan_mps,
-                rebalance_ps, obs_pct);
+                opts.jobs, opts.jobs, speedup,
+                speedup_reliable ? "true" : "false", store_eps, sim_eps,
+                chan_mps, rebalance_ps, obs.pct, obs.spread);
   out << buf;
   std::printf("\nwrote %s\n", opts.out.c_str());
   return 0;

@@ -1,5 +1,6 @@
 #include "cluster/cluster.hpp"
 
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
@@ -13,8 +14,9 @@ SimTime cluster_sim_clock(const void* ctx) {
   return static_cast<const sim::Simulator*>(ctx)->now();
 }
 
-/// Stamps this thread's log lines with the shared simulator's time for the
-/// guard's lifetime (the cluster-level twin of VirtualNode's guard).
+/// Stamps this thread's log lines with the driving simulator's time for the
+/// guard's lifetime (the cluster-level twin of VirtualNode's guard). The
+/// clock is thread-local, so engine workers simply log without timestamps.
 class LogClockGuard {
  public:
   explicit LogClockGuard(const sim::Simulator& sim) {
@@ -28,6 +30,10 @@ class LogClockGuard {
 }  // namespace
 
 Cluster::Cluster(ClusterConfig config) : config_(std::move(config)) {
+  // Sharding needs a safe conservative window: a positive lower bound on
+  // every inter-node hop. Zero (a lognormal hop somewhere) forces the
+  // classic shared-simulator wiring.
+  sharded_ = config_.topology.min_internode_latency() > 0;
   if (config_.obs.any()) {
     observer_ = std::make_unique<obs::Observer>(config_.obs);
   }
@@ -39,19 +45,44 @@ std::size_t Cluster::add_node(core::NodeConfig config) {
   if (started_) {
     throw std::logic_error("Cluster: add_node after start");
   }
-  nodes_.push_back(
-      std::make_unique<core::VirtualNode>(std::move(config), sim_));
+  if (sharded_) {
+    // Own-simulator mode: the node is a shard. For one node this is the
+    // exact single-node stack (a private fresh simulator either way).
+    nodes_.push_back(std::make_unique<core::VirtualNode>(std::move(config)));
+  } else {
+    nodes_.push_back(
+        std::make_unique<core::VirtualNode>(std::move(config), sim_));
+  }
   return nodes_.size() - 1;
+}
+
+sim::Simulator& Cluster::drive_sim() {
+  if (sharded_ && nodes_.size() == 1) return nodes_[0]->simulator();
+  return sim_;
 }
 
 void Cluster::wire_rack() {
   const std::size_t n = nodes_.size();
 
+  if (sharded_) {
+    sim::ParallelEngine::Config ecfg;
+    ecfg.lookahead = config_.topology.min_internode_latency();
+    ecfg.threads = config_.sim_threads;
+    engine_ = std::make_unique<sim::ParallelEngine>(ecfg);
+    for (std::size_t i = 0; i < n; ++i) {
+      engine_->add_shard(&nodes_[i]->simulator());
+    }
+    rack_shard_ = engine_->add_shard(&sim_);
+    engine_->set_barrier_hook([this](SimTime end) { on_barrier(end); });
+  }
+
   if (config_.lending) {
     std::vector<hyper::Hypervisor*> hyps;
     hyps.reserve(n);
     for (auto& node : nodes_) hyps.push_back(&node->hypervisor());
-    broker_ = std::make_unique<LendingBroker>(std::move(hyps));
+    broker_ = std::make_unique<LendingBroker>(
+        std::move(hyps),
+        sharded_ ? LendingMode::kSharded : LendingMode::kImmediate);
     for (std::size_t i = 0; i < n; ++i) {
       nodes_[i]->hypervisor().set_remote_tmem(
           broker_->port(static_cast<NodeId>(i)));
@@ -79,14 +110,22 @@ void Cluster::wire_rack() {
   uplinks_.reserve(n);
   downlinks_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
+    // Uplink: source side (send, latency draw, stats) lives with the node;
+    // in sharded mode the receiver (GlobalManager) is reached through the
+    // engine. Downlink: the mirror image, sourced from the rack shard.
+    sim::Simulator& node_sim = sharded_ ? nodes_[i]->simulator() : sim_;
     uplinks_.push_back(std::make_unique<comm::Channel<NodeStats>>(
-        sim_, config_.topology.uplink_for(i)));
+        node_sim, config_.topology.uplink_for(i)));
     uplinks_.back()->open(
         [this](const NodeStats& stats) { gm_->on_node_stats(stats); });
     downlinks_.push_back(std::make_unique<comm::Channel<NodeQuotaMsg>>(
         sim_, config_.topology.downlink_for(i)));
     downlinks_.back()->open(
         [this, i](const NodeQuotaMsg& msg) { on_quota(i, msg); });
+    if (sharded_) {
+      uplinks_.back()->bind_cross_shard(engine_.get(), i, rack_shard_);
+      downlinks_.back()->bind_cross_shard(engine_.get(), rack_shard_, i);
+    }
     nodes_[i]->set_stats_tap([this, i](const hyper::MemStats& stats) {
       on_node_sample(i, stats);
     });
@@ -99,15 +138,40 @@ void Cluster::wire_rack() {
     obs::TraceRecorder* trace = observer_->trace();
     obs::Registry* registry = observer_->registry();
     gm_->attach_obs(trace, observer_->audit());
-    if (broker_) {
+    if (broker_ && !sharded_) {
       broker_->attach_obs(trace, [this] { return sim_.now(); });
     }
     if (trace != nullptr) {
-      for (std::size_t i = 0; i < n; ++i) {
-        const std::uint16_t track = trace->register_track(
-            "cluster", "fabric-n" + std::to_string(i));
-        uplinks_[i]->set_trace(trace, track);
-        downlinks_[i]->set_trace(trace, track);
+      if (sharded_) {
+        // Each node shard records into a private ring; the rings merge into
+        // the rack recorder at teardown. The record hot path therefore
+        // never crosses shards.
+        obs::TraceConfig tcfg;
+        tcfg.categories = config_.obs.trace_categories;
+        tcfg.capacity = config_.obs.trace_capacity;
+        node_traces_.reserve(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          node_traces_.push_back(std::make_unique<obs::TraceRecorder>(tcfg));
+          const std::uint16_t track = node_traces_[i]->register_track(
+              "cluster", "fabric-n" + std::to_string(i));
+          uplinks_[i]->set_trace(node_traces_[i].get(), track);
+          const std::uint16_t down_track = trace->register_track(
+              "cluster", "fabric-n" + std::to_string(i));
+          downlinks_[i]->set_trace(trace, down_track);
+          if (broker_) {
+            sim::Simulator* node_sim = &nodes_[i]->simulator();
+            broker_->attach_partition_obs(
+                static_cast<NodeId>(i), node_traces_[i].get(),
+                [node_sim] { return node_sim->now(); });
+          }
+        }
+      } else {
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint16_t track = trace->register_track(
+              "cluster", "fabric-n" + std::to_string(i));
+          uplinks_[i]->set_trace(trace, track);
+          downlinks_[i]->set_trace(trace, track);
+        }
       }
     }
     if (registry != nullptr) {
@@ -132,9 +196,17 @@ void Cluster::wire_rack() {
         });
       }
       registry->snapshot(sim_.now());
-      metrics_sampler_ = sim_.schedule_periodic(gcfg.interval, [this] {
-        observer_->registry()->snapshot(sim_.now());
-      });
+      if (sharded_) {
+        // The gauges above reach into every shard, so snapshots may only
+        // run at window barriers (on_barrier), never from a mid-window
+        // periodic event.
+        snapshot_interval_ = gcfg.interval;
+        next_snapshot_ = gcfg.interval;
+      } else {
+        metrics_sampler_ = sim_.schedule_periodic(gcfg.interval, [this] {
+          observer_->registry()->snapshot(sim_.now());
+        });
+      }
     }
   }
 
@@ -164,7 +236,12 @@ void Cluster::on_node_sample(std::size_t i, const hyper::MemStats& stats) {
 void Cluster::on_quota(std::size_t i, const NodeQuotaMsg& msg) {
   hyper::Hypervisor& hyp = nodes_[i]->hypervisor();
   hyp.apply_node_quota(msg.seq, msg.quota);
-  if (!broker_) return;
+  if (!broker_ || broker_->mode() == LendingMode::kSharded) {
+    // Sharded mode: this runs on the node's shard, and recalls reach into
+    // other shards — sync_window() applies the entitlement consequence at
+    // the next barrier instead.
+    return;
+  }
   // Donor-side consequence of the (possibly) new quota: frames the node is
   // now entitled to again must come back from its lent pool.
   const PageCount phys = hyp.total_tmem();
@@ -176,6 +253,17 @@ void Cluster::on_quota(std::size_t i, const NodeQuotaMsg& msg) {
   if (hyp.lent_pages() > lendable_cap) {
     broker_->recall_lent(static_cast<NodeId>(i),
                          hyp.lent_pages() - lendable_cap);
+  }
+}
+
+void Cluster::on_barrier(SimTime end) {
+  if (broker_) broker_->sync_window();
+  if (snapshot_interval_ > 0) {
+    obs::Registry* registry = observer_->registry();
+    while (next_snapshot_ <= end) {
+      registry->snapshot(next_snapshot_);
+      next_snapshot_ += snapshot_interval_;
+    }
   }
 }
 
@@ -203,21 +291,38 @@ bool Cluster::all_done() const {
 }
 
 SimTime Cluster::run(SimTime deadline) {
-  LogClockGuard log_clock(sim_);
+  LogClockGuard log_clock(drive_sim());
   if (!started_) start();
-  while (!all_done() && sim_.now() < deadline) {
-    if (!sim_.step()) break;
-  }
-  if (!all_done()) {
-    log::warn(log::Component::kCore,
-              "cluster run() hit the deadline at %.1fs with unfinished VMs",
-              to_seconds(sim_.now()));
-    for (auto& node : nodes_) node->stop_all();
-    while (!all_done() && sim_.step()) {
+  SimTime end;
+  if (engine_) {
+    end = engine_->run([this] { return all_done(); }, deadline);
+    if (!all_done()) {
+      log::warn(log::Component::kCore,
+                "cluster run() hit the deadline at %.1fs with unfinished VMs",
+                to_seconds(end));
+      for (auto& node : nodes_) node->stop_all();
+      // Drain: stop requests land at the next batch boundaries; run the
+      // windows out until every VM has wound down.
+      end = engine_->run([this] { return all_done(); },
+                         std::numeric_limits<SimTime>::max() / 4);
     }
+  } else {
+    sim::Simulator& sim = drive_sim();
+    while (!all_done() && sim.now() < deadline) {
+      if (!sim.step()) break;
+    }
+    if (!all_done()) {
+      log::warn(log::Component::kCore,
+                "cluster run() hit the deadline at %.1fs with unfinished VMs",
+                to_seconds(sim.now()));
+      for (auto& node : nodes_) node->stop_all();
+      while (!all_done() && sim.step()) {
+      }
+    }
+    end = sim.now();
   }
   teardown();
-  return sim_.now();
+  return end;
 }
 
 void Cluster::teardown() {
@@ -229,8 +334,14 @@ void Cluster::teardown() {
   for (auto& ch : downlinks_) ch->close();
   for (auto& node : nodes_) node->finish();
   if (observer_) {
+    if (observer_->trace() != nullptr) {
+      // Fold the node shards' private rings into the rack recorder so the
+      // exported trace covers the whole cluster, as it did pre-sharding.
+      for (auto& t : node_traces_) observer_->trace()->merge_from(*t);
+      node_traces_.clear();
+    }
     if (observer_->registry() != nullptr) {
-      observer_->registry()->snapshot(sim_.now());
+      observer_->registry()->snapshot(drive_sim().now());
     }
     std::string err;
     if (!observer_->export_all(&err)) {

@@ -1,5 +1,4 @@
-// Cluster: N VirtualNodes on one shared simulator under a two-level
-// capacity hierarchy.
+// Cluster: N VirtualNodes under a two-level capacity hierarchy.
 //
 // Level 1 is the paper's single-server stack, unchanged: each node keeps
 // its private hypervisor, tmem store, guests, TKM and Memory Manager.
@@ -10,11 +9,23 @@
 // quota). Optionally a LendingBroker turns unused entitlement on cold
 // nodes into borrowable frames for quota-rich, physically-full nodes.
 //
+// Execution model: each node is a simulator *shard* — a private
+// sim::Simulator holding that node's whole event stream — plus one rack
+// shard for the GlobalManager and the downlink sources. A conservative
+// sim::ParallelEngine advances all shards in lock-free windows bounded by
+// the minimum inter-node channel latency (the ~5 ms rack hop); cross-shard
+// traffic (stats roll-ups, quota vectors, lending settlement) moves only
+// at window barriers, in a deterministic total order. A multi-node run is
+// therefore byte-identical for every sim_threads value, including 1 —
+// sharding is always on from 2 nodes up, threading is optional. If the
+// topology has no positive minimum inter-node latency (e.g. a lognormal
+// hop), sharding is impossible and the cluster falls back to the classic
+// single-simulator wiring.
+//
 // Determinism contract: a 1-node cluster wires *nothing* beyond the node
 // itself — no GlobalManager, no broker, no inter-node channels, no stats
-// tap — so its event stream, and therefore its output, is byte-identical
-// to the single-node path for the same NodeConfig and seed. The rack
-// machinery only exists from 2 nodes up.
+// tap, no engine — so its event stream, and therefore its output, is
+// byte-identical to the single-node path for the same NodeConfig and seed.
 #pragma once
 
 #include <functional>
@@ -28,6 +39,7 @@
 #include "comm/topology.hpp"
 #include "core/virtual_node.hpp"
 #include "obs/observer.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace smartmem::cluster {
@@ -53,6 +65,11 @@ struct ClusterConfig {
   /// Remote-tmem lending between nodes.
   bool lending = true;
 
+  /// Worker threads for the parallel engine (2+ node clusters only). 1 runs
+  /// the windowed schedule inline; 0 uses hardware_concurrency. The
+  /// simulation output is identical for every value.
+  std::size_t sim_threads = 1;
+
   /// Rack-level observability (GlobalManager audit/trace, lending and
   /// inter-node channel metrics). Per-node observability stays per node.
   obs::ObsConfig obs;
@@ -66,7 +83,9 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  /// Adds a node running `config` on the shared simulator. Call
+  /// Adds a node running `config`. In sharded mode (positive minimum
+  /// inter-node latency) the node owns a private simulator shard; otherwise
+  /// it shares the cluster simulator. Call
   /// core::populate_node(cluster.node(i), ...) afterwards to add its VMs.
   /// Nodes must all be added before start()/run().
   std::size_t add_node(core::NodeConfig config);
@@ -75,18 +94,21 @@ class Cluster {
   const core::VirtualNode& node(std::size_t i) const { return *nodes_.at(i); }
   std::size_t node_count() const { return nodes_.size(); }
 
-  /// Wires the rack (channels, GlobalManager, broker — 2+ nodes only) and
-  /// starts every node. run() calls this when needed.
+  /// Wires the rack (channels, GlobalManager, broker, engine — 2+ nodes
+  /// only) and starts every node. run() calls this when needed.
   void start();
 
-  /// Steps the shared simulator until every node's VMs are done (or the
+  /// Advances the simulation until every node's VMs are done (or the
   /// deadline), then tears everything down. Returns the end time.
   SimTime run(SimTime deadline = 4 * 3600 * kSecond);
 
+  /// The rack shard's simulator in sharded mode; the shared simulator
+  /// otherwise (for a 1-node sharded cluster, prefer node(0).simulator()).
   sim::Simulator& simulator() { return sim_; }
   GlobalManager* global_manager() { return gm_.get(); }
   LendingBroker* broker() { return broker_.get(); }
   obs::Observer* observer() { return observer_.get(); }
+  sim::ParallelEngine* engine() { return engine_.get(); }
   const ClusterConfig& config() const { return config_; }
   bool all_done() const;
 
@@ -94,17 +116,32 @@ class Cluster {
   void wire_rack();
   void on_node_sample(std::size_t i, const hyper::MemStats& stats);
   void on_quota(std::size_t i, const NodeQuotaMsg& msg);
+  void on_barrier(SimTime end);
   void teardown();
 
+  /// The simulator the classic (non-engine) run loop steps: node 0's shard
+  /// for a 1-node sharded cluster, the shared simulator otherwise.
+  sim::Simulator& drive_sim();
+
   ClusterConfig config_;
+  // Sharded mode: the rack shard (GlobalManager + downlink sources).
+  // Classic mode: the one shared simulator for everything.
   sim::Simulator sim_;
+  bool sharded_ = false;
   std::vector<std::unique_ptr<core::VirtualNode>> nodes_;
   std::vector<std::unique_ptr<comm::Channel<NodeStats>>> uplinks_;
   std::vector<std::unique_ptr<comm::Channel<NodeQuotaMsg>>> downlinks_;
+  std::unique_ptr<sim::ParallelEngine> engine_;
+  std::size_t rack_shard_ = 0;
   std::unique_ptr<GlobalManager> gm_;
   std::unique_ptr<LendingBroker> broker_;
   std::unique_ptr<obs::Observer> observer_;
-  sim::EventHandle metrics_sampler_;
+  // Sharded mode: per-node-shard trace rings (uplink spans, lending
+  // instants), merged into the rack recorder at teardown.
+  std::vector<std::unique_ptr<obs::TraceRecorder>> node_traces_;
+  sim::EventHandle metrics_sampler_;  // classic mode only
+  SimTime snapshot_interval_ = 0;     // sharded mode: barrier-driven
+  SimTime next_snapshot_ = 0;
   bool started_ = false;
   bool finished_ = false;
 };

@@ -37,6 +37,9 @@ struct ClusterExperimentConfig {
   double internode_latency_x = 1.0;
   /// Global decision interval as a multiple of the node sampling interval.
   double global_interval_x = 2.0;
+  /// Worker threads for the cluster's parallel engine (1 = inline, 0 =
+  /// hardware concurrency). Never changes the simulation output.
+  std::size_t sim_threads = 1;
   /// Rack-level observability, forwarded to the Cluster.
   obs::ObsConfig obs;
 };

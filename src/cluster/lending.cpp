@@ -1,19 +1,25 @@
 #include "cluster/lending.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <stdexcept>
 #include <utility>
 
 namespace smartmem::cluster {
 
-LendingBroker::LendingBroker(std::vector<hyper::Hypervisor*> nodes)
-    : hyps_(std::move(nodes)) {
+LendingBroker::LendingBroker(std::vector<hyper::Hypervisor*> nodes,
+                             LendingMode mode)
+    : hyps_(std::move(nodes)), mode_(mode) {
   if (hyps_.size() < 2) {
     throw std::invalid_argument("LendingBroker: needs at least 2 nodes");
   }
   state_.resize(hyps_.size());
   for (NodeId i = 0; i < state_.size(); ++i) {
     state_[i].port = std::make_unique<Port>(*this, i);
+    if (mode_ == LendingMode::kSharded) {
+      state_[i].credit.assign(hyps_.size(), 0);
+      state_[i].pending_release.assign(hyps_.size(), 0);
+    }
   }
 }
 
@@ -30,12 +36,29 @@ void LendingBroker::attach_obs(obs::TraceRecorder* trace,
   }
 }
 
-void LendingBroker::trace_instant(const char* name, NodeId borrower,
-                                  NodeId donor) {
-  if (trace_ == nullptr || !trace_->enabled(obs::kCatCluster)) return;
-  trace_->instant(obs::kCatCluster, track_, name, clock_ ? clock_() : 0,
-                  {{"borrower", static_cast<double>(borrower)},
-                   {"donor", static_cast<double>(donor)}});
+void LendingBroker::attach_partition_obs(NodeId node,
+                                         obs::TraceRecorder* trace,
+                                         std::function<SimTime()> clock) {
+  NodeState& st = state_.at(node);
+  st.trace = trace;
+  st.clock = std::move(clock);
+  if (st.trace != nullptr) {
+    st.track = st.trace->register_track("cluster", "lending");
+  }
+}
+
+void LendingBroker::trace_instant(NodeState& st, const char* name,
+                                  NodeId borrower, NodeId donor) {
+  // Partition recorder first (sharded mode); the shared recorder is only
+  // safe when the broker runs on a single simulator.
+  obs::TraceRecorder* trace = st.trace != nullptr ? st.trace : trace_;
+  if (trace == nullptr || !trace->enabled(obs::kCatCluster)) return;
+  const std::uint16_t track = st.trace != nullptr ? st.track : track_;
+  const SimTime now = st.trace != nullptr ? (st.clock ? st.clock() : 0)
+                                          : (clock_ ? clock_() : 0);
+  trace->instant(obs::kCatCluster, track, name, now,
+                 {{"borrower", static_cast<double>(borrower)},
+                  {"donor", static_cast<double>(donor)}});
 }
 
 void LendingBroker::drop_entry(NodeState& st, const RemoteKey& key) {
@@ -49,6 +72,12 @@ void LendingBroker::drop_entry(NodeState& st, const RemoteKey& key) {
   }
 }
 
+void LendingBroker::release_frame(NodeState& st, const RemoteKey& key,
+                                  NodeId donor) {
+  st.shadow.erase(key);
+  st.pending_release[donor] += 1;
+}
+
 bool LendingBroker::do_put(NodeId node, VmId vm, tmem::PoolType type,
                            std::uint64_t object, std::uint32_t index,
                            const tmem::PagePayload& payload) {
@@ -59,31 +88,46 @@ bool LendingBroker::do_put(NodeId node, VmId vm, tmem::PoolType type,
   // donor-side put swaps the payload without consuming a new frame).
   auto it = st.index.find(key);
   if (it != st.index.end()) {
+    if (mode_ == LendingMode::kSharded) {
+      st.shadow[key] = payload;
+      return true;
+    }
     return hyps_[it->second]->host_remote_put(node, vm, type, object, index,
                                               payload);
   }
 
   // Fresh placement: deterministic rotation over the other nodes, first
-  // donor with lendable capacity wins. The cursor advances past a chosen
-  // donor so successive placements spread instead of piling on node 0.
+  // donor with capacity wins (lendable frames in immediate mode, remaining
+  // window credit in sharded mode). The cursor advances past a chosen donor
+  // so successive placements spread instead of piling on node 0.
   const NodeId n = static_cast<NodeId>(hyps_.size());
   for (NodeId j = 0; j < n; ++j) {
     const NodeId donor = (node + 1 + st.rotation + j) % n;
     if (donor == node) continue;
-    if (hyps_[donor]->lendable_pages() == 0) continue;
-    if (!hyps_[donor]->host_remote_put(node, vm, type, object, index,
-                                       payload)) {
-      continue;
+    if (mode_ == LendingMode::kSharded) {
+      if (st.credit[donor] == 0) continue;
+      st.credit[donor] -= 1;
+      st.shadow.emplace(key, payload);
+    } else {
+      if (hyps_[donor]->lendable_pages() == 0) continue;
+      if (!hyps_[donor]->host_remote_put(node, vm, type, object, index,
+                                         payload)) {
+        continue;
+      }
     }
     st.index.emplace(key, donor);
     st.borrowed_total += 1;
     st.borrowed_per_vm[vm] += 1;
     st.rotation = (st.rotation + j + 1) % n;
-    ++borrow_placements_;
-    PageCount total = 0;
-    for (const NodeState& s : state_) total += s.borrowed_total;
-    peak_borrowed_ = std::max(peak_borrowed_, total);
-    trace_instant("borrow_place", node, donor);
+    ++st.placements;
+    if (mode_ == LendingMode::kImmediate) {
+      // Sharded mode tracks the peak at barriers only (summing partitions
+      // mid-window would race the other shards).
+      PageCount total = 0;
+      for (const NodeState& s : state_) total += s.borrowed_total;
+      peak_borrowed_ = std::max(peak_borrowed_, total);
+    }
+    trace_instant(st, "borrow_place", node, donor);
     return true;
   }
   return false;
@@ -97,26 +141,35 @@ std::optional<tmem::PagePayload> LendingBroker::do_get(NodeId node, VmId vm,
   const RemoteKey key{vm, type, object, index};
   auto it = st.index.find(key);
   if (it == st.index.end()) {
-    ++borrow_misses_;
+    ++st.misses;
     return std::nullopt;
   }
   const NodeId donor = it->second;
-  std::optional<tmem::PagePayload> payload =
-      hyps_[donor]->host_remote_get(node, vm, type, object, index);
+  std::optional<tmem::PagePayload> payload;
+  if (mode_ == LendingMode::kSharded) {
+    auto sh = st.shadow.find(key);
+    if (sh != st.shadow.end()) payload = sh->second;
+  } else {
+    payload = hyps_[donor]->host_remote_get(node, vm, type, object, index);
+  }
   if (!payload) {
-    // Index and donor disagree — repair the index rather than lie.
+    // Index and backing store disagree — repair the index rather than lie.
     drop_entry(st, key);
-    ++borrow_misses_;
+    ++st.misses;
     return std::nullopt;
   }
-  ++borrow_hits_;
+  ++st.hits;
   if (type == tmem::PoolType::kEphemeral) {
     // Victim-cache semantics survive the rack hop: an ephemeral hit
     // consumes the page.
-    hyps_[donor]->host_remote_flush(node, vm, type, object, index);
+    if (mode_ == LendingMode::kSharded) {
+      release_frame(st, key, donor);
+    } else {
+      hyps_[donor]->host_remote_flush(node, vm, type, object, index);
+    }
     drop_entry(st, key);
   }
-  trace_instant("borrow_hit", node, donor);
+  trace_instant(st, "borrow_hit", node, donor);
   return payload;
 }
 
@@ -126,7 +179,11 @@ bool LendingBroker::do_flush(NodeId node, VmId vm, tmem::PoolType type,
   const RemoteKey key{vm, type, object, index};
   auto it = st.index.find(key);
   if (it == st.index.end()) return false;
-  hyps_[it->second]->host_remote_flush(node, vm, type, object, index);
+  if (mode_ == LendingMode::kSharded) {
+    release_frame(st, key, it->second);
+  } else {
+    hyps_[it->second]->host_remote_flush(node, vm, type, object, index);
+  }
   drop_entry(st, key);
   return true;
 }
@@ -142,9 +199,13 @@ PageCount LendingBroker::do_flush_object(NodeId node, VmId vm,
   while (it != st.index.end() && it->first.vm == vm &&
          it->first.type == type && it->first.object == object) {
     const RemoteKey key = it->first;
+    const NodeId donor = it->second;
     ++it;
-    hyps_[st.index.at(key)]->host_remote_flush(node, vm, type, object,
-                                               key.index);
+    if (mode_ == LendingMode::kSharded) {
+      release_frame(st, key, donor);
+    } else {
+      hyps_[donor]->host_remote_flush(node, vm, type, object, key.index);
+    }
     drop_entry(st, key);
     ++flushed;
   }
@@ -167,6 +228,24 @@ PageCount LendingBroker::borrowed_total(NodeId node) const {
   return state_.at(node).borrowed_total;
 }
 
+std::uint64_t LendingBroker::borrow_placements() const {
+  std::uint64_t total = 0;
+  for (const NodeState& s : state_) total += s.placements;
+  return total;
+}
+
+std::uint64_t LendingBroker::borrow_hits() const {
+  std::uint64_t total = 0;
+  for (const NodeState& s : state_) total += s.hits;
+  return total;
+}
+
+std::uint64_t LendingBroker::borrow_misses() const {
+  std::uint64_t total = 0;
+  for (const NodeState& s : state_) total += s.misses;
+  return total;
+}
+
 PageCount LendingBroker::do_release(NodeId node, PageCount max_pages) {
   NodeState& st = state_[node];
   PageCount released = 0;
@@ -179,8 +258,12 @@ PageCount LendingBroker::do_release(NodeId node, PageCount max_pages) {
     const RemoteKey key = it->first;
     const NodeId donor = it->second;
     ++it;
-    hyps_[donor]->host_remote_flush(node, key.vm, key.type, key.object,
-                                    key.index);
+    if (mode_ == LendingMode::kSharded) {
+      release_frame(st, key, donor);
+    } else {
+      hyps_[donor]->host_remote_flush(node, key.vm, key.type, key.object,
+                                      key.index);
+    }
     drop_entry(st, key);
     ++released;
   }
@@ -204,18 +287,27 @@ PageCount LendingBroker::recall_lent(NodeId donor, PageCount max_pages) {
       ++it;
       if (key.type == tmem::PoolType::kEphemeral) {
         // Victim cache: the borrower just loses the cached copy.
-        hyps_[donor]->host_remote_flush(b, key.vm, key.type, key.object,
-                                        key.index);
+        if (mode_ == LendingMode::kSharded) {
+          st.shadow.erase(key);
+        } else {
+          hyps_[donor]->host_remote_flush(b, key.vm, key.type, key.object,
+                                          key.index);
+        }
         drop_entry(st, key);
         ++recalled;
         ++recalls_;
         continue;
       }
-      // Persistent: the donor holds the only copy; migrate it home. When
-      // the borrower has no free frame the page must stay with the donor.
-      std::optional<tmem::PagePayload> payload =
-          hyps_[donor]->host_remote_get(b, key.vm, key.type, key.object,
-                                        key.index);
+      // Persistent: migrate the only copy home. When the borrower has no
+      // free frame the page must stay borrowed.
+      std::optional<tmem::PagePayload> payload;
+      if (mode_ == LendingMode::kSharded) {
+        auto sh = st.shadow.find(key);
+        if (sh != st.shadow.end()) payload = sh->second;
+      } else {
+        payload = hyps_[donor]->host_remote_get(b, key.vm, key.type,
+                                                key.object, key.index);
+      }
       if (!payload) {
         drop_entry(st, key);
         continue;
@@ -224,22 +316,104 @@ PageCount LendingBroker::recall_lent(NodeId donor, PageCount max_pages) {
                                  *payload)) {
         continue;
       }
-      hyps_[donor]->host_remote_flush(b, key.vm, key.type, key.object,
-                                      key.index);
+      if (mode_ == LendingMode::kSharded) {
+        st.shadow.erase(key);
+      } else {
+        hyps_[donor]->host_remote_flush(b, key.vm, key.type, key.object,
+                                        key.index);
+      }
       drop_entry(st, key);
       ++recalled;
       ++recalls_;
       ++recall_migrations_;
-      trace_instant("recall_migrate", b, donor);
+      trace_instant(st, "recall_migrate", b, donor);
     }
+  }
+  if (mode_ == LendingMode::kSharded && recalled > 0) {
+    // Sharded recalls free leased frames, not directly-stored pages.
+    hyps_[donor]->host_unlease(recalled);
   }
   return recalled;
 }
 
+void LendingBroker::sync_window() {
+  assert(mode_ == LendingMode::kSharded);
+  const NodeId n = static_cast<NodeId>(hyps_.size());
+
+  // 1. Pool the window's leftovers: unused credit (counters only, no store
+  //    traffic) and frames freed by borrower-side flushes.
+  std::vector<PageCount> credit_pool(n, 0);
+  std::vector<PageCount> freed(n, 0);
+  for (NodeId b = 0; b < n; ++b) {
+    NodeState& st = state_[b];
+    for (NodeId d = 0; d < n; ++d) {
+      credit_pool[d] += st.credit[d];
+      st.credit[d] = 0;
+      freed[d] += st.pending_release[d];
+      st.pending_release[d] = 0;
+    }
+  }
+  for (NodeId d = 0; d < n; ++d) {
+    if (freed[d] > 0) hyps_[d]->host_unlease(freed[d]);
+  }
+
+  // 2. Entitlement pressure: a donor whose quota grew needs frames back.
+  //    Shed unused credit first (free), recall actually-borrowed pages only
+  //    for the remainder.
+  for (NodeId d = 0; d < n; ++d) {
+    const hyper::Hypervisor& hyp = *hyps_[d];
+    const PageCount phys = hyp.total_tmem();
+    const PageCount quota = hyp.node_quota();
+    const PageCount entitlement =
+        quota == kUnlimitedTarget ? phys : std::min(quota, phys);
+    const PageCount cap = phys > entitlement ? phys - entitlement : 0;
+    PageCount lent = hyp.lent_pages();
+    if (lent <= cap) continue;
+    PageCount excess = lent - cap;
+    const PageCount shed = std::min(excess, credit_pool[d]);
+    if (shed > 0) {
+      hyps_[d]->host_unlease(shed);
+      credit_pool[d] -= shed;
+      excess -= shed;
+    }
+    if (excess > 0) recall_lent(d, excess);
+  }
+
+  // 3. Top every donor's lease back up to its lendable capacity and hand
+  //    the pooled credit out evenly (remainder to the lowest borrower
+  //    indices) for the next window.
+  for (NodeId d = 0; d < n; ++d) {
+    credit_pool[d] += hyps_[d]->host_lease(hyps_[d]->lendable_pages());
+    if (credit_pool[d] == 0) continue;
+    const PageCount borrowers = n - 1;
+    const PageCount base = credit_pool[d] / borrowers;
+    PageCount rem = credit_pool[d] % borrowers;
+    for (NodeId b = 0; b < n; ++b) {
+      if (b == d) continue;
+      PageCount share = base;
+      if (rem > 0) {
+        share += 1;
+        --rem;
+      }
+      state_[b].credit[d] = share;
+    }
+  }
+
+  PageCount total = 0;
+  for (const NodeState& s : state_) total += s.borrowed_total;
+  peak_borrowed_ = std::max(peak_borrowed_, total);
+}
+
 void LendingBroker::register_metrics(obs::Registry& reg) const {
-  reg.add_counter("lend.borrow_placements", &borrow_placements_);
-  reg.add_counter("lend.borrow_hits", &borrow_hits_);
-  reg.add_counter("lend.borrow_misses", &borrow_misses_);
+  // Placements/hits/misses live per partition; the registry snapshots only
+  // at barriers (or after the run), where summing is safe.
+  reg.add_gauge("lend.borrow_placements", [this] {
+    return static_cast<double>(borrow_placements());
+  });
+  reg.add_gauge("lend.borrow_hits",
+                [this] { return static_cast<double>(borrow_hits()); });
+  reg.add_gauge("lend.borrow_misses",
+                [this] { return static_cast<double>(borrow_misses()); });
   reg.add_counter("lend.recalls", &recalls_);
   reg.add_counter("lend.recall_migrations", &recall_migrations_);
   reg.add_gauge("lend.peak_borrowed",

@@ -42,11 +42,29 @@
 
 namespace smartmem::cluster {
 
+/// How the broker reaches donors.
+enum class LendingMode : std::uint8_t {
+  /// Synchronous cross-node calls on a shared simulator (single-simulator
+  /// clusters and unit tests): every put/get touches the donor store
+  /// directly.
+  kImmediate,
+  /// Parallel-engine clusters: mid-window operations are strictly
+  /// shard-local. Each borrower partition holds its borrowed payloads in a
+  /// shadow map plus per-donor placement *credit* — frames the coordinator
+  /// pre-reserved on the donor via Hypervisor::host_lease at the last
+  /// window barrier. A fresh placement consumes one credit; flushes and
+  /// ephemeral-hit consumes queue the freed frame in pending_release. The
+  /// coordinator's sync_window() settles everything against the real donor
+  /// stores between windows.
+  kSharded,
+};
+
 class LendingBroker {
  public:
   /// `nodes[i]` is node i's hypervisor; the broker holds the pointers for
   /// the cluster's lifetime.
-  explicit LendingBroker(std::vector<hyper::Hypervisor*> nodes);
+  explicit LendingBroker(std::vector<hyper::Hypervisor*> nodes,
+                         LendingMode mode = LendingMode::kImmediate);
 
   LendingBroker(const LendingBroker&) = delete;
   LendingBroker& operator=(const LendingBroker&) = delete;
@@ -61,17 +79,38 @@ class LendingBroker {
   /// and stay put otherwise. Returns pages actually recalled.
   PageCount recall_lent(NodeId donor, PageCount max_pages);
 
+  /// Sharded-mode window barrier (coordinator context, all shards
+  /// quiescent). Settles the window's lending activity against the donor
+  /// stores: frames freed by borrower flushes are unleased; donors whose
+  /// entitlement grew past their lease shed unused credit and recall
+  /// borrowed pages; every donor then tops its lease back up to its full
+  /// lendable capacity and the resulting credit pool is split evenly across
+  /// the borrowers. Only lease *deltas* touch the store, so the steady-state
+  /// cost per barrier is proportional to the window's lending activity, not
+  /// to the lease depth.
+  void sync_window();
+
+  LendingMode mode() const { return mode_; }
+
   PageCount borrowed_total(NodeId node) const;
   PageCount peak_borrowed() const { return peak_borrowed_; }
-  std::uint64_t borrow_placements() const { return borrow_placements_; }
-  std::uint64_t borrow_hits() const { return borrow_hits_; }
-  std::uint64_t borrow_misses() const { return borrow_misses_; }
+  std::uint64_t borrow_placements() const;
+  std::uint64_t borrow_hits() const;
+  std::uint64_t borrow_misses() const;
   std::uint64_t recalls() const { return recalls_; }
   std::uint64_t recall_migrations() const { return recall_migrations_; }
 
   /// `clock` stamps the broker's trace instants with shared-sim time (the
   /// broker has no simulator reference of its own).
   void attach_obs(obs::TraceRecorder* trace, std::function<SimTime()> clock);
+
+  /// Sharded-mode observability: borrower `node`'s partition writes its
+  /// instants to its own shard's recorder/clock (partitions run
+  /// concurrently, so the shared recorder of attach_obs is off-limits
+  /// mid-window).
+  void attach_partition_obs(NodeId node, obs::TraceRecorder* trace,
+                            std::function<SimTime()> clock);
+
   void register_metrics(obs::Registry& reg) const;
 
  private:
@@ -131,6 +170,27 @@ class LendingBroker {
     PageCount borrowed_total = 0;
     NodeId rotation = 0;  // donor rotation cursor
     std::unique_ptr<Port> port;
+    // Per-partition op counters: written from this borrower's shard
+    // mid-window, summed by the accessors (which run at barriers or after
+    // the run, never concurrently with a window).
+    std::uint64_t placements = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    // ---- kSharded only ----------------------------------------------------
+    // Authoritative payloads of this borrower's borrowed pages. In sharded
+    // mode the donor store holds opaque leased frames; the data itself
+    // lives here, shard-local, so gets/puts never cross shards mid-window.
+    std::map<RemoteKey, tmem::PagePayload> shadow;
+    // credit[d]: fresh placements this borrower may still charge against
+    // donor d's lease before the next barrier.
+    std::vector<PageCount> credit;
+    // pending_release[d]: frames freed this window (flush / ephemeral-hit
+    // consume) that sync_window() returns to donor d's free pool.
+    std::vector<PageCount> pending_release;
+    // Partition-local trace sink (attach_partition_obs).
+    obs::TraceRecorder* trace = nullptr;
+    std::function<SimTime()> clock;
+    std::uint16_t track = 0;
   };
 
   bool do_put(NodeId node, VmId vm, tmem::PoolType type, std::uint64_t object,
@@ -148,16 +208,18 @@ class LendingBroker {
   PageCount do_borrowed_pages(NodeId node, VmId vm) const;
   PageCount do_release(NodeId node, PageCount max_pages);
 
-  /// Removes one index entry and fixes the borrow accounting.
+  /// Removes one index entry and fixes the borrow accounting. In sharded
+  /// mode also erases the shadow payload and queues the freed frame for the
+  /// donor (`release_frame`).
   void drop_entry(NodeState& st, const RemoteKey& key);
-  void trace_instant(const char* name, NodeId borrower, NodeId donor);
+  void release_frame(NodeState& st, const RemoteKey& key, NodeId donor);
+  void trace_instant(NodeState& st, const char* name, NodeId borrower,
+                     NodeId donor);
 
   std::vector<hyper::Hypervisor*> hyps_;
   std::vector<NodeState> state_;
+  LendingMode mode_;
   PageCount peak_borrowed_ = 0;
-  std::uint64_t borrow_placements_ = 0;
-  std::uint64_t borrow_hits_ = 0;
-  std::uint64_t borrow_misses_ = 0;
   std::uint64_t recalls_ = 0;
   std::uint64_t recall_migrations_ = 0;
   obs::TraceRecorder* trace_ = nullptr;

@@ -28,6 +28,20 @@ SimTime sample_latency(const LatencySpec& spec, Rng& rng) {
   return spec.fixed;
 }
 
+SimTime min_latency(const LatencySpec& spec) {
+  switch (spec.model) {
+    case LatencyModel::kFixed:
+      return spec.fixed;
+    case LatencyModel::kUniform:
+      return spec.lo;
+    case LatencyModel::kLognormal:
+      // exp(sigma * z) has no positive lower bound: draws can land
+      // arbitrarily close to zero.
+      return 0;
+  }
+  return 0;
+}
+
 void ChannelConfig::scale_times(double f) {
   auto scaled = [f](SimTime t) {
     return static_cast<SimTime>(static_cast<double>(t) * f);

@@ -28,6 +28,7 @@
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <stdexcept>
 #include <string>
 #include <utility>
 
@@ -36,6 +37,7 @@
 #include "common/types.hpp"
 #include "obs/registry.hpp"
 #include "obs/trace.hpp"
+#include "sim/parallel.hpp"
 #include "sim/simulator.hpp"
 
 namespace smartmem::comm {
@@ -166,6 +168,12 @@ struct Backpressure {
 /// Draws one one-way delay from `spec` (exposed for tests and benches).
 SimTime sample_latency(const LatencySpec& spec, Rng& rng);
 
+/// Hard lower bound of `spec`: no draw from sample_latency can come out
+/// smaller. This is what the parallel engine's lookahead is derived from —
+/// a lognormal hop has no positive lower bound and returns 0, which the
+/// engine rejects (conservative sync needs a safe window).
+SimTime min_latency(const LatencySpec& spec);
+
 /// Queue-policy <-> flag-string helpers for bench front-ends. parse returns
 /// false (leaving `out` untouched) on an unknown name.
 const char* to_string(QueuePolicy p);
@@ -275,27 +283,65 @@ class Channel {
     trace_name_ = trace != nullptr ? trace->intern(config_.name) : nullptr;
   }
 
+  /// Makes the channel span two engine shards: the sender side (this
+  /// channel's simulator, stats, RNG, trace) lives on shard `src`, while the
+  /// receiver closure is carried to shard `dst` through the engine's staged
+  /// outboxes. The channel's minimum latency must be >= the engine lookahead
+  /// for the conservative window to stay safe — callers derive the lookahead
+  /// from min_latency() over every cross-shard hop. kDropOldest with a
+  /// bounded queue is rejected: cancelling the oldest in-flight message
+  /// cannot reach into a peer shard's already-staged delivery.
+  void bind_cross_shard(sim::ParallelEngine* engine, std::size_t src_shard,
+                        std::size_t dst_shard) {
+    if (engine != nullptr && config_.queue_capacity != 0 &&
+        config_.queue_policy == QueuePolicy::kDropOldest) {
+      throw std::invalid_argument(
+          "Channel: kDropOldest with a bounded queue cannot cross shards");
+    }
+    engine_ = engine;
+    src_shard_ = src_shard;
+    dst_shard_ = dst_shard;
+  }
+
  private:
   void schedule_delivery(const T& msg, SimTime delay) {
     const std::uint64_t id = next_delivery_id_++;
+    if (engine_ != nullptr) {
+      // Cross-shard: the source shard keeps all bookkeeping (in-flight map,
+      // stats, trace span) via a local completion event at the delivery
+      // time; only the receiver invocation crosses shards, injected at the
+      // destination by the engine in deterministic (when, src, seq) order.
+      pending_.emplace(id, sim_.schedule(delay, [this, id, delay] {
+        pending_.erase(id);
+        record_delivery(id, delay);
+      }));
+      engine_->post(src_shard_, dst_shard_, sim_.now() + delay,
+                    [this, msg] {
+                      if (receiver_) receiver_(msg);
+                    });
+      return;
+    }
     // schedule() never fires synchronously (even at delay 0 the event waits
     // for the next step), so inserting the handle after scheduling is safe.
     pending_.emplace(id, sim_.schedule(delay, [this, id, delay, msg] {
       pending_.erase(id);
-      ++stats_.delivered;
-      const double us =
-          static_cast<double>(delay) / static_cast<double>(kMicrosecond);
-      stats_.latency.add(us);
-      stats_.latency_hist.add(us);
-      if (trace_ != nullptr && trace_->enabled(obs::kCatComm)) {
-        // Span covers the message's flight: begins at send, ends now.
-        trace_->span(obs::kCatComm, trace_track_, trace_name_,
-                     sim_.now() - delay, delay,
-                     {{"latency_us", us},
-                      {"msg_id", static_cast<double>(id)}});
-      }
+      record_delivery(id, delay);
       if (receiver_) receiver_(msg);
     }));
+  }
+
+  void record_delivery(std::uint64_t id, SimTime delay) {
+    ++stats_.delivered;
+    const double us =
+        static_cast<double>(delay) / static_cast<double>(kMicrosecond);
+    stats_.latency.add(us);
+    stats_.latency_hist.add(us);
+    if (trace_ != nullptr && trace_->enabled(obs::kCatComm)) {
+      // Span covers the message's flight: begins at send, ends now.
+      trace_->span(obs::kCatComm, trace_track_, trace_name_,
+                   sim_.now() - delay, delay,
+                   {{"latency_us", us}, {"msg_id", static_cast<double>(id)}});
+    }
   }
 
   void trace_drop(const char* kind) {
@@ -317,6 +363,11 @@ class Channel {
   obs::TraceRecorder* trace_ = nullptr;
   std::uint16_t trace_track_ = 0;
   const char* trace_name_ = nullptr;  // interned config_.name
+  // Cross-shard mode (bind_cross_shard): nullptr = classic single-simulator
+  // delivery.
+  sim::ParallelEngine* engine_ = nullptr;
+  std::size_t src_shard_ = 0;
+  std::size_t dst_shard_ = 0;
 };
 
 /// Registers one channel's counters and latency summary into `reg` under

@@ -1,5 +1,7 @@
 #include "comm/topology.hpp"
 
+#include <algorithm>
+
 namespace smartmem::comm {
 
 std::uint64_t derive_seed(std::uint64_t base, std::uint64_t salt) {
@@ -49,6 +51,21 @@ ChannelConfig ClusterTopology::downlink_for(std::size_t node) const {
   auto it = down_overrides.find(node);
   return finalize(it != down_overrides.end() ? it->second : internode_down,
                   node, seed, 1);
+}
+
+SimTime ClusterTopology::min_internode_latency() const {
+  // Templates plus every override — deliberately independent of node_count
+  // (which is informative only), so the answer is conservative when an
+  // override replaces the template on every node.
+  SimTime lo = std::min(min_latency(internode_up.latency),
+                        min_latency(internode_down.latency));
+  for (const auto& [node, c] : up_overrides) {
+    lo = std::min(lo, min_latency(c.latency));
+  }
+  for (const auto& [node, c] : down_overrides) {
+    lo = std::min(lo, min_latency(c.latency));
+  }
+  return lo;
 }
 
 void ClusterTopology::scale_times(double f) {

@@ -63,6 +63,12 @@ struct ClusterTopology {
 
   /// Scales every time constant (templates and overrides) by `f`.
   void scale_times(double f);
+
+  /// Minimum latency over every inter-node hop (uplink and downlink of each
+  /// node, overrides included) — the safe lookahead for the parallel
+  /// engine's conservative windows. 0 (e.g. a lognormal hop) means no safe
+  /// window exists and the engine will refuse to run sharded.
+  SimTime min_internode_latency() const;
 };
 
 }  // namespace smartmem::comm

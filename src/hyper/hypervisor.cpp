@@ -636,6 +636,37 @@ PageCount Hypervisor::host_remote_flush_object(std::uint32_t borrower_node,
   return freed;
 }
 
+PageCount Hypervisor::host_lease(PageCount want) {
+  if (want == 0) return 0;
+  if (!lease_pool_) {
+    lease_pool_ = store_.create_pool(kLeaseVmId, tmem::PoolType::kPersistent);
+  }
+  PageCount got = 0;
+  // lendable_pages() shrinks by one per leased frame (free falls, own usage
+  // does not), so the loop self-limits at exactly the lendable capacity.
+  while (got < want && lendable_pages() > 0) {
+    if (store_.put(tmem::TmemKey{*lease_pool_, 0, lease_top_}, 1) !=
+        tmem::PutResult::kStored) {
+      break;
+    }
+    ++lease_top_;
+    ++lease_depth_;
+    ++lent_pages_;
+    ++got;
+  }
+  return got;
+}
+
+void Hypervisor::host_unlease(PageCount count) {
+  while (count > 0 && lease_depth_ > 0) {
+    --lease_top_;
+    store_.flush_page(tmem::TmemKey{*lease_pool_, 0, lease_top_});
+    --lease_depth_;
+    if (lent_pages_ > 0) --lent_pages_;
+    --count;
+  }
+}
+
 bool Hypervisor::rehome_page(VmId vm, tmem::PoolType type,
                              std::uint64_t object, std::uint32_t index,
                              tmem::PagePayload payload) {

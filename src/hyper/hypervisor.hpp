@@ -178,6 +178,21 @@ class Hypervisor {
   bool rehome_page(VmId vm, tmem::PoolType type, std::uint64_t object,
                    std::uint32_t index, tmem::PagePayload payload);
 
+  /// Bulk frame reservation for the sharded lending protocol: at an engine
+  /// barrier the broker leases every currently-lendable frame so borrower
+  /// shards can consume placement credit mid-window without touching this
+  /// donor. Leased frames occupy real store capacity (a dedicated persistent
+  /// pool under a pseudo VM) and count as lent. Stops at `want` frames or
+  /// when lendable_pages() hits zero; returns the frames actually leased.
+  PageCount host_lease(PageCount want);
+
+  /// Returns up to `count` leased frames (LIFO) to the free pool. Capped at
+  /// the number outstanding.
+  void host_unlease(PageCount count);
+
+  /// Frames currently reserved through host_lease().
+  PageCount leased_pages() const { return lease_depth_; }
+
   /// Builds a memstats snapshot *without* resetting interval counters
   /// (used by monitoring and tests; the periodic sampler resets).
   MemStats snapshot() const;
@@ -305,7 +320,16 @@ class Hypervisor {
   // Donor-side pools hosting lent pages, by (borrower node, vm, type).
   std::map<std::tuple<std::uint32_t, VmId, tmem::PoolType>, tmem::PoolId>
       lender_pools_;
+  // Bulk-lease reservation pool (sharded lending): dummy persistent pages
+  // with monotonically increasing indices, pushed/popped LIFO.
+  std::optional<tmem::PoolId> lease_pool_;
+  std::uint32_t lease_top_ = 0;    // next index to lease
+  PageCount lease_depth_ = 0;      // frames outstanding
 };
+
+/// Pseudo VM id owning the bulk-lease reservation pool (sharded lending);
+/// sits just below kLenderVmBase, equally outside the guest range.
+inline constexpr VmId kLeaseVmId = 0x3fffffffu;
 
 /// Pseudo VM id owning donor-side lender pools: borrower node i's pages live
 /// under kLenderVmBase + i, far outside any guest id, so they are invisible

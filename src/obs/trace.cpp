@@ -90,7 +90,12 @@ const char* category_name(std::uint32_t bit) {
 
 TraceRecorder::TraceRecorder(TraceConfig config) : config_(config) {
   if (config_.capacity == 0) config_.capacity = 1;
-  ring_.resize(config_.capacity);
+  // Power-of-two ring so the hot-path wrap is a mask instead of an integer
+  // divide (push() is the single most frequent observability call).
+  std::size_t cap = 1;
+  while (cap < config_.capacity) cap <<= 1;
+  ring_.resize(cap);
+  ring_mask_ = cap - 1;
 }
 
 std::uint16_t TraceRecorder::register_track(const std::string& process,
@@ -114,9 +119,9 @@ void TraceRecorder::push(std::uint32_t category, char phase,
                          std::uint16_t track, const char* name, SimTime ts,
                          SimTime dur, std::initializer_list<TraceArg> args) {
   if (!enabled(category)) return;
-  Event& e = ring_[(head_ + size_) % ring_.size()];
+  Event& e = ring_[(head_ + size_) & ring_mask_];
   if (size_ == ring_.size()) {
-    head_ = (head_ + 1) % ring_.size();  // drop the oldest
+    head_ = (head_ + 1) & ring_mask_;  // drop the oldest
     ++dropped_;
   } else {
     ++size_;
@@ -153,6 +158,36 @@ void TraceRecorder::counter(std::uint32_t category, std::uint16_t track,
   push(category, 'C', track, name, ts, 0, args);
 }
 
+void TraceRecorder::merge_from(const TraceRecorder& other) {
+  // Remap other's tracks onto fresh ids here (same process/thread names, so
+  // the UI groups them identically).
+  std::vector<std::uint16_t> track_map;
+  track_map.reserve(other.tracks_.size());
+  for (const Track& tr : other.tracks_) {
+    track_map.push_back(register_track(tr.process, tr.thread));
+  }
+  for (std::size_t i = 0; i < other.size_; ++i) {
+    const Event& src = other.ring_[(other.head_ + i) & other.ring_mask_];
+    Event& e = ring_[(head_ + size_) & ring_mask_];
+    if (size_ == ring_.size()) {
+      head_ = (head_ + 1) & ring_mask_;
+      ++dropped_;
+    } else {
+      ++size_;
+    }
+    e = src;
+    // Names and arg keys may point into other's interned storage; re-own
+    // them (string literals get harmlessly deduplicated into storage too).
+    e.name = intern(src.name);
+    e.track = track_map.at(src.track);
+    for (std::uint8_t a = 0; a < e.nargs; ++a) {
+      e.args[a].key = intern(src.args[a].key);
+    }
+    ++events_recorded_;
+  }
+  dropped_ += other.dropped_;
+}
+
 std::string TraceRecorder::to_json() const {
   std::string out = "{\"traceEvents\":[\n";
   bool first = true;
@@ -183,7 +218,7 @@ std::string TraceRecorder::to_json() const {
 
   const double us = static_cast<double>(kMicrosecond);
   for (std::size_t i = 0; i < size_; ++i) {
-    const Event& e = ring_[(head_ + i) % ring_.size()];
+    const Event& e = ring_[(head_ + i) & ring_mask_];
     const Track& tr = tracks_.at(e.track);
     std::string line = strfmt(
         "{\"ph\":\"%c\",\"name\":\"%s\",\"cat\":\"%s\",\"pid\":%u,"

@@ -97,6 +97,15 @@ class TraceRecorder {
   std::uint64_t dropped() const { return dropped_; }
   std::size_t track_count() const { return tracks_.size(); }
 
+  /// Appends every track and buffered event of `other` into this recorder
+  /// (track ids remapped, names and argument keys re-interned so nothing
+  /// dangles when `other` dies). Used by the sharded cluster: each shard
+  /// records into a private ring all run long and the rings are merged once
+  /// at export — the record hot path never shares state across shards.
+  /// Events keep their timestamps; Chrome JSON does not require global
+  /// order. Subject to this ring's capacity like any other push.
+  void merge_from(const TraceRecorder& other);
+
   /// Serializes the ring as Chrome trace-event JSON ({"traceEvents": [...]},
   /// ts/dur in microseconds, with process/thread metadata).
   std::string to_json() const;
@@ -129,7 +138,8 @@ class TraceRecorder {
             std::initializer_list<TraceArg> args);
 
   TraceConfig config_;
-  std::vector<Event> ring_;
+  std::vector<Event> ring_;  // capacity rounded up to a power of two
+  std::size_t ring_mask_ = 0;  // ring_.size() - 1: wrap is a mask, not a div
   std::size_t head_ = 0;  // index of the oldest event
   std::size_t size_ = 0;
   std::size_t events_recorded_ = 0;

@@ -1,0 +1,180 @@
+#include "sim/parallel.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace smartmem::sim {
+
+ParallelEngine::ParallelEngine(Config config) : config_(config) {
+  if (config_.lookahead <= 0) {
+    throw std::invalid_argument(
+        "ParallelEngine: lookahead must be positive (a zero-lookahead "
+        "topology admits no safe window)");
+  }
+  if (config_.threads == 0) {
+    config_.threads = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::thread::hardware_concurrency()));
+  }
+}
+
+ParallelEngine::~ParallelEngine() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+std::size_t ParallelEngine::add_shard(Simulator* sim) {
+  if (sim == nullptr) {
+    throw std::invalid_argument("ParallelEngine: null shard simulator");
+  }
+  shards_.push_back(Shard{sim, {}, 0});
+  for (Shard& s : shards_) s.outbox.resize(shards_.size());
+  return shards_.size() - 1;
+}
+
+void ParallelEngine::post(std::size_t src, std::size_t dst, SimTime when,
+                          std::function<void()> action) {
+  Shard& s = shards_.at(src);
+  s.outbox.at(dst).push_back(
+      Staged{when, s.next_post_seq++, std::move(action)});
+}
+
+void ParallelEngine::set_barrier_hook(std::function<void(SimTime)> hook) {
+  hook_ = std::move(hook);
+}
+
+void ParallelEngine::worker_loop(std::size_t worker) {
+  std::uint64_t seen_epoch = 0;
+  while (true) {
+    SimTime end;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      end = window_end_;
+    }
+    // Static slice: worker w advances shards w, w+T, w+2T, ... Shards are
+    // independent inside a window, so the assignment affects wall-clock
+    // only, never the produced schedule.
+    for (std::size_t i = worker; i < shards_.size(); i += config_.threads) {
+      shards_[i].sim->run_window(end);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++workers_done_;
+    }
+    cv_done_.notify_one();
+  }
+}
+
+void ParallelEngine::run_window_parallel(SimTime end) {
+  if (config_.threads <= 1 || shards_.size() <= 1) {
+    for (Shard& s : shards_) s.sim->run_window(end);
+    return;
+  }
+  if (workers_.empty()) {
+    const std::size_t n = std::min(config_.threads, shards_.size());
+    config_.threads = n;
+    workers_.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      workers_.emplace_back([this, w] { worker_loop(w); });
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    window_end_ = end;
+    workers_done_ = 0;
+    ++epoch_;
+  }
+  cv_work_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_done_.wait(lock, [&] { return workers_done_ == workers_.size(); });
+  }
+}
+
+void ParallelEngine::drain_outboxes(SimTime end) {
+  // Gather every staged delivery and impose the deterministic total order:
+  // (deliver time, source shard, source sequence). Destination simulators
+  // assign their tie-break sequence numbers in this order, so equal-time
+  // deliveries on one shard always fire in the same relative order no
+  // matter which worker staged them first in wall-clock.
+  struct Entry {
+    SimTime when;
+    std::size_t src;
+    std::uint64_t seq;
+    std::size_t dst;
+    std::function<void()>* action;
+  };
+  std::vector<Entry> all;
+  for (std::size_t src = 0; src < shards_.size(); ++src) {
+    for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
+      for (Staged& st : shards_[src].outbox[dst]) {
+        all.push_back(Entry{st.when, src, st.seq, dst, &st.action});
+      }
+    }
+  }
+  if (all.empty()) return;
+  std::sort(all.begin(), all.end(), [](const Entry& a, const Entry& b) {
+    if (a.when != b.when) return a.when < b.when;
+    if (a.src != b.src) return a.src < b.src;
+    return a.seq < b.seq;
+  });
+  for (Entry& e : all) {
+    // The lookahead discipline guarantees nothing staged in a window is due
+    // before the window's end; a violation would mean the message raced
+    // events that already executed.
+    assert(e.when >= end);
+    const SimTime when = e.when < end ? end : e.when;
+    shards_[e.dst].sim->schedule_at(when, std::move(*e.action));
+    ++posted_;
+  }
+  for (Shard& s : shards_) {
+    for (auto& box : s.outbox) box.clear();
+  }
+}
+
+SimTime ParallelEngine::run(const std::function<bool()>& stop_when,
+                            SimTime deadline) {
+  if (shards_.empty()) {
+    throw std::logic_error("ParallelEngine: run() with no shards");
+  }
+  SimTime global = 0;
+  while (true) {
+    // Next window starts at the globally earliest pending event — idle
+    // stretches are skipped entirely. Computed from shard state between
+    // windows, so it is a pure function of the simulation, not the threads.
+    SimTime m = -1;
+    for (Shard& s : shards_) {
+      const SimTime t = s.sim->next_event_time();
+      if (t >= 0 && (m < 0 || t < m)) m = t;
+    }
+    if (m < 0 || m >= deadline) {
+      if (m >= 0) global = std::max(global, deadline);
+      break;
+    }
+    const SimTime end = std::min(m + config_.lookahead, deadline);
+    run_window_parallel(end);
+    global = end;
+    ++windows_;
+    drain_outboxes(end);
+    if (hook_) {
+      hook_(end);
+      // The hook may itself stage deliveries (it runs in coordinator context
+      // where post() is legal). Inject them now: if one of them is the only
+      // remaining work, the earliest-event scan above must be able to see it.
+      drain_outboxes(end);
+    }
+    if (stop_when && stop_when()) break;
+  }
+  return global;
+}
+
+}  // namespace smartmem::sim

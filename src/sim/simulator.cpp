@@ -125,6 +125,31 @@ SimTime Simulator::run() {
   return now_;
 }
 
+SimTime Simulator::run_window(SimTime end) {
+  while (!heap_.empty()) {
+    const Event& head = heap_.front();
+    if (slots_[head.slot].cancelled) {
+      release_slot(heap_pop().slot);
+      ++cancelled_;
+      continue;
+    }
+    if (head.when >= end) break;  // strictly-before: boundary events wait
+    step();
+  }
+  if (now_ < end) now_ = end;
+  return now_;
+}
+
+SimTime Simulator::next_event_time() {
+  while (!heap_.empty()) {
+    const Event& head = heap_.front();
+    if (!slots_[head.slot].cancelled) return head.when;
+    release_slot(heap_pop().slot);
+    ++cancelled_;
+  }
+  return -1;
+}
+
 SimTime Simulator::run_until(SimTime deadline) {
   while (!heap_.empty()) {
     // Peek without popping; skip cancelled heads so they don't block progress.

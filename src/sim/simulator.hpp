@@ -77,6 +77,18 @@ class Simulator {
   /// queue drains earlier. Returns the final time.
   SimTime run_until(SimTime deadline);
 
+  /// Conservative-window execution for the parallel engine: runs events with
+  /// timestamp strictly below `end` and leaves the clock at `end`. Events at
+  /// exactly `end` stay queued — they belong to the next window (a message
+  /// injected at a window boundary must not race events of the window that
+  /// produced it). Returns the final time (always `end`).
+  SimTime run_window(SimTime end);
+
+  /// Timestamp of the earliest pending live event, or -1 when the queue is
+  /// empty. Discards cancelled heads as a side effect (they would otherwise
+  /// make the engine open windows over events that will never fire).
+  SimTime next_event_time();
+
   /// Executes the single earliest event; returns false if none remain.
   bool step();
 

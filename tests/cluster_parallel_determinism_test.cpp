@@ -1,0 +1,85 @@
+// Thread-count invariance of the sharded cluster: the parallel engine's
+// worker count is a wall-clock knob only, so a multi-node run must produce
+// byte-identical results at --sim-threads 1, 2 and 4 (the CI smoke job
+// md5-checks the same property on full fig_cluster_scaling CSVs). The
+// comparison serializes every field a CSV row carries, so "identical" here
+// means identical output bytes, not just matching headline counters.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/experiment.hpp"
+#include "common/strfmt.hpp"
+
+namespace smartmem::cluster {
+namespace {
+
+std::string serialize(const ClusterRunResult& r) {
+  std::string out = strfmt("makespan=%.9f agg_failed=%llu gm=%llu sent=%llu ",
+                           r.makespan_s,
+                           static_cast<unsigned long long>(
+                               r.aggregate_failed_puts),
+                           static_cast<unsigned long long>(r.gm_decisions),
+                           static_cast<unsigned long long>(r.quotas_sent));
+  out += strfmt("borrow=%llu hits=%llu recalls=%llu peak=%llu\n",
+                static_cast<unsigned long long>(r.borrow_placements),
+                static_cast<unsigned long long>(r.borrow_hits),
+                static_cast<unsigned long long>(r.recalls),
+                static_cast<unsigned long long>(r.peak_borrowed));
+  for (const auto& n : r.nodes) {
+    out += strfmt(
+        "node=%u scen=%s failed=%llu total=%llu succ=%llu rt=%.9f "
+        "rput=%llu rget=%llu quota=%llu phys=%llu\n",
+        n.node, n.scenario.c_str(),
+        static_cast<unsigned long long>(n.failed_puts),
+        static_cast<unsigned long long>(n.puts_total),
+        static_cast<unsigned long long>(n.puts_succ), n.runtime_s,
+        static_cast<unsigned long long>(n.remote_puts),
+        static_cast<unsigned long long>(n.remote_gets),
+        static_cast<unsigned long long>(n.final_quota),
+        static_cast<unsigned long long>(n.phys_tmem));
+  }
+  return out;
+}
+
+std::string run_at(std::size_t nodes, std::size_t sim_threads,
+                   const std::string& policy, double latency_x) {
+  ClusterExperimentConfig cfg;
+  cfg.nodes = nodes;
+  cfg.scale = 0.0625;  // small: the full matrix runs inside the test budget
+  cfg.seed = 42;
+  cfg.global_policy = policy;
+  cfg.internode_latency_x = latency_x;
+  cfg.sim_threads = sim_threads;
+  return serialize(run_cluster_scenario(cfg));
+}
+
+TEST(ClusterParallelDeterminismTest, ThreadCountInvisibleGlobalSmart) {
+  const std::string base = run_at(3, 1, "global-smart", 1.0);
+  EXPECT_FALSE(base.empty());
+  EXPECT_EQ(run_at(3, 2, "global-smart", 1.0), base);
+  EXPECT_EQ(run_at(3, 4, "global-smart", 1.0), base);
+}
+
+TEST(ClusterParallelDeterminismTest, ThreadCountInvisibleGlobalStatic) {
+  const std::string base = run_at(2, 1, "global-static", 1.0);
+  EXPECT_EQ(run_at(2, 4, "global-static", 1.0), base);
+}
+
+TEST(ClusterParallelDeterminismTest, ThreadCountInvisibleAtHighLatency) {
+  // x10 hop stretches the lookahead window tenfold — different window
+  // boundaries, same contract.
+  const std::string base = run_at(2, 1, "global-smart", 10.0);
+  EXPECT_EQ(run_at(2, 2, "global-smart", 10.0), base);
+}
+
+TEST(ClusterParallelDeterminismTest, HardwareThreadCountInvisible) {
+  // sim_threads = 0 resolves to hardware concurrency, whatever that is on
+  // the host running the suite.
+  const std::string base = run_at(2, 1, "global-smart", 1.0);
+  EXPECT_EQ(run_at(2, 0, "global-smart", 1.0), base);
+}
+
+}  // namespace
+}  // namespace smartmem::cluster

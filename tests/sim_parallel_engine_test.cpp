@@ -1,0 +1,186 @@
+// Conservative-sync engine edge cases: lookahead validation, deterministic
+// ordering of simultaneous cross-shard deliveries, and shard-local periodic
+// events spanning the sync horizon. Every scenario is run at several thread
+// counts and must produce an identical event trace — the engine's core
+// contract is that worker scheduling is invisible in simulation results.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "comm/channel.hpp"
+#include "comm/topology.hpp"
+#include "sim/parallel.hpp"
+#include "sim/simulator.hpp"
+
+namespace smartmem::sim {
+namespace {
+
+constexpr SimTime kLookahead = 100;
+
+TEST(ParallelEngineTest, ZeroLookaheadRejected) {
+  EXPECT_THROW(ParallelEngine({/*lookahead=*/0, /*threads=*/1}),
+               std::invalid_argument);
+  EXPECT_THROW(ParallelEngine({/*lookahead=*/-5, /*threads=*/2}),
+               std::invalid_argument);
+}
+
+TEST(ParallelEngineTest, LognormalLatencyHasZeroLookahead) {
+  // The unbounded-tail latency model offers no safe window: min_latency is
+  // 0, so a topology using it must fall back to the shared-simulator path.
+  const comm::LatencySpec spec =
+      comm::LatencySpec::lognormal(5 * kMillisecond, 0.5);
+  EXPECT_EQ(comm::min_latency(spec), 0);
+
+  comm::ClusterTopology topo;
+  EXPECT_GT(topo.min_internode_latency(), 0);  // default fixed 5 ms hops
+  topo.internode_up.latency = spec;
+  EXPECT_EQ(topo.min_internode_latency(), 0);
+}
+
+TEST(ParallelEngineTest, OverrideLatencyLowersLookahead) {
+  comm::ClusterTopology topo;
+  topo.up_overrides[3].latency = comm::LatencySpec::fixed_at(kMillisecond);
+  EXPECT_EQ(topo.min_internode_latency(), kMillisecond);
+}
+
+/// Two source shards each post a pair of messages due at the SAME instant on
+/// a third shard. Destination execution order must be (time, src, seq) —
+/// source 0's messages before source 1's, and within a source, posting
+/// order — regardless of which worker ran which shard first.
+std::vector<std::string> run_simultaneous(std::size_t threads) {
+  Simulator s0, s1, s2;
+  ParallelEngine eng({kLookahead, threads});
+  const std::size_t a = eng.add_shard(&s0);
+  const std::size_t b = eng.add_shard(&s1);
+  const std::size_t c = eng.add_shard(&s2);
+
+  std::vector<std::string> order;
+  auto stage = [&](Simulator& sim, std::size_t src, const std::string& tag) {
+    sim.schedule_at(10, [&, src, tag] {
+      eng.post(src, c, 10 + kLookahead,
+               [&order, tag] { order.push_back(tag + "-first"); });
+      eng.post(src, c, 10 + kLookahead,
+               [&order, tag] { order.push_back(tag + "-second"); });
+    });
+  };
+  stage(s0, a, "src0");
+  stage(s1, b, "src1");
+
+  eng.run([] { return false; }, 1'000);
+  return order;
+}
+
+TEST(ParallelEngineTest, SimultaneousCrossShardEventsOrderBySrcThenSeq) {
+  const std::vector<std::string> want = {"src0-first", "src0-second",
+                                         "src1-first", "src1-second"};
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    EXPECT_EQ(run_simultaneous(threads), want) << "threads=" << threads;
+  }
+}
+
+/// A shard-local periodic ticks straight through window barriers: one
+/// period far below the lookahead (many fires per window) and one far above
+/// it (a fire every few windows), while a second shard keeps cross-shard
+/// traffic flowing so windows actually happen.
+struct HorizonResult {
+  std::uint64_t short_fires = 0;
+  std::uint64_t long_fires = 0;
+  std::vector<SimTime> long_times;
+  std::uint64_t windows = 0;
+  bool operator==(const HorizonResult& o) const {
+    return short_fires == o.short_fires && long_fires == o.long_fires &&
+           long_times == o.long_times && windows == o.windows;
+  }
+};
+
+HorizonResult run_periodic_horizon(std::size_t threads) {
+  Simulator s0, s1;
+  ParallelEngine eng({kLookahead, threads});
+  const std::size_t a = eng.add_shard(&s0);
+  const std::size_t b = eng.add_shard(&s1);
+
+  HorizonResult r;
+  s0.schedule_periodic(7, [&r] { ++r.short_fires; });    // << lookahead
+  s0.schedule_periodic(260, [&r, &s0] {                  // >> lookahead
+    ++r.long_fires;
+    r.long_times.push_back(s0.now());
+  });
+  // Ping-pong keeps both shards live until the deadline cuts the run.
+  std::function<void(std::size_t, std::size_t, Simulator*)> bounce =
+      [&](std::size_t src, std::size_t dst, Simulator* src_sim) {
+        eng.post(src, dst, src_sim->now() + kLookahead, [&, src, dst] {
+          Simulator* other = dst == a ? &s0 : &s1;
+          bounce(dst, src, other);
+        });
+      };
+  s1.schedule_at(1, [&] { bounce(b, a, &s1); });
+
+  const SimTime deadline = 2'000;
+  eng.run([] { return false; }, deadline);
+  r.windows = eng.windows_run();
+  // Both periodics fire for every multiple of their period below the
+  // deadline — no tick is lost or duplicated at a window boundary.
+  EXPECT_EQ(r.short_fires, (deadline - 1) / 7);
+  EXPECT_EQ(r.long_fires, (deadline - 1) / 260);
+  for (std::size_t i = 0; i < r.long_times.size(); ++i) {
+    EXPECT_EQ(r.long_times[i], static_cast<SimTime>(260 * (i + 1)));
+  }
+  return r;
+}
+
+TEST(ParallelEngineTest, PeriodicEventsSpanSyncHorizon) {
+  const HorizonResult base = run_periodic_horizon(1);
+  EXPECT_GT(base.windows, 10u);  // the run really was windowed
+  EXPECT_EQ(run_periodic_horizon(2), base);
+  EXPECT_EQ(run_periodic_horizon(4), base);
+}
+
+/// Idle stretches: with nothing pending before t=5000, the engine must skip
+/// ahead instead of marching W-sized windows through dead time.
+TEST(ParallelEngineTest, SkipsIdleGaps) {
+  Simulator s0, s1;
+  ParallelEngine eng({kLookahead, 1});
+  eng.add_shard(&s0);
+  eng.add_shard(&s1);
+  int fired = 0;
+  s0.schedule_at(5'000, [&] { ++fired; });
+  s1.schedule_at(5'010, [&] { ++fired; });
+  eng.run([] { return false; }, 100'000);
+  EXPECT_EQ(fired, 2);
+  EXPECT_LE(eng.windows_run(), 3u);
+}
+
+TEST(ParallelEngineTest, StopWhenCutsRunAtBarrier) {
+  Simulator s0, s1;
+  ParallelEngine eng({kLookahead, 1});
+  eng.add_shard(&s0);
+  eng.add_shard(&s1);
+  int fired = 0;
+  for (SimTime t = 1; t <= 10'000; t += 50) {
+    s0.schedule_at(t, [&] { ++fired; });
+  }
+  const SimTime end = eng.run([&] { return fired >= 5; }, 1'000'000);
+  EXPECT_GE(fired, 5);
+  EXPECT_LT(fired, 200);  // stopped long before the queue drained
+  EXPECT_LE(end, 1'000);
+}
+
+TEST(ParallelEngineTest, CrossShardChannelRejectsDropOldestBounded) {
+  Simulator s0, s1;
+  ParallelEngine eng({kLookahead, 1});
+  const std::size_t a = eng.add_shard(&s0);
+  const std::size_t b = eng.add_shard(&s1);
+  comm::ChannelConfig cfg;
+  cfg.name = "x";
+  cfg.latency = comm::LatencySpec::fixed_at(kLookahead);
+  cfg.queue_capacity = 4;
+  cfg.queue_policy = comm::QueuePolicy::kDropOldest;
+  comm::Channel<int> chan(s0, cfg);
+  EXPECT_THROW(chan.bind_cross_shard(&eng, a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace smartmem::sim
