@@ -1,0 +1,330 @@
+// Fleet scaling figure: the control plane at nodes x VMs/node scale.
+//
+// Sweeps the fleet geometry (node count x tenants per node) x the control-
+// plane encoding (classic full-vector vs DESIGN §12 delta) under the
+// multi-tenant fleet workload: zipf-ranked tenant intensity (node 0 holds
+// the hottest tenants), staggered arrivals, YCSB-style phase mixes. The
+// simulated outcome (failed puts, makespan, decisions) is byte-identical
+// between the two encodings — the sweep isolates what the encodings cost:
+// control-plane payload bytes per sampling interval, resync counts, and
+// the suppression counters, all reported in the trailing CSV columns.
+//
+// CSV layout contract (checked by CI):
+//   - columns 1-11 (nodes..makespan_s) are encoding-independent: a
+//     `--fleet-encoding delta` run and a `--fleet-encoding full` run md5
+//     to the same value after `cut -d, -f1-11`.
+//   - column 2 is sim_threads: runs at different --sim-threads md5 to the
+//     same value after `cut -d, -f2 --complement`.
+//   - wall-clock and the mm_decide_ns probe are printed to stdout only.
+//
+// Flags (all values strictly validated; garbage exits with status 2):
+//   --scale/--reps/--seed/--jobs/--csv   as every figure bench
+//   --sim-threads n          parallel-engine workers (output-invariant)
+//   --fleet-nodes n          restrict to one node count (default sweep 2,4,8)
+//   --fleet-vms n            tenants per node (default 8)
+//   --fleet-skew f           zipf exponent of tenant intensity (default 0.8)
+//   --fleet-mix m            read-heavy | balanced | write-heavy
+//   --fleet-policy p         global-static | global-smart[:P]
+//   --fleet-encoding e       delta | full | both (default both)
+//   --fleet-resync n         delta resync cadence (default 16)
+//   --fleet-incremental      O(changed-VMs) MM decide path
+//   --fleet-demand-weighted  demand-weighted lending credit split
+//   --fleet-no-lending       disable remote-tmem lending
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+
+namespace {
+
+using namespace smartmem;
+
+struct Options {
+  double scale = 0.125;
+  std::size_t reps = 2;
+  std::uint64_t seed = 1;
+  std::size_t jobs = 1;
+  std::size_t sim_threads = 1;
+  std::string csv_dir;
+  std::size_t nodes = 0;  // 0 = sweep {2, 4, 8}
+  std::size_t vms = 8;
+  double skew = 0.8;
+  workloads::FleetMix mix = workloads::FleetMix::kBalanced;
+  std::string policy = "global-smart";
+  std::string encoding = "both";  // delta | full | both
+  std::uint64_t resync = 16;
+  bool incremental = false;
+  bool demand_weighted = false;
+  bool lending = true;
+};
+
+void usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "fig_fleet_scaling [--scale f] [--reps n] [--seed n] [--jobs n]\n"
+      "  [--sim-threads n] [--csv dir]\n"
+      "  [--fleet-nodes n] [--fleet-vms n] [--fleet-skew f]\n"
+      "  [--fleet-mix read-heavy|balanced|write-heavy]\n"
+      "  [--fleet-policy p] [--fleet-encoding delta|full|both]\n"
+      "  [--fleet-resync n] [--fleet-incremental] [--fleet-demand-weighted]\n"
+      "  [--fleet-no-lending]\n");
+}
+
+[[noreturn]] void bad_value(const char* flag, const char* value) {
+  std::fprintf(stderr, "bad value for %s: '%s'\n", flag, value);
+  usage(stderr);
+  std::exit(2);
+}
+
+/// Strict numeric parsers: the whole token must convert, and the result
+/// must sit inside the flag's valid range.
+std::uint64_t parse_u64(const char* flag, const char* value,
+                        std::uint64_t min, std::uint64_t max) {
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(value, &end, 10);
+  if (errno != 0 || end == value || *end != '\0' || v < min || v > max) {
+    bad_value(flag, value);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const char* flag, const char* value, double min, double max) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(value, &end);
+  if (errno != 0 || end == value || *end != '\0' || !(v >= min) || !(v <= max)) {
+    bad_value(flag, value);
+  }
+  return v;
+}
+
+Options parse(int argc, char** argv) {
+  Options o;
+  auto next = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "missing value for %s\n", argv[i]);
+      usage(stderr);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--scale") {
+      o.scale = parse_f64("--scale", next(i), 1e-3, 16.0);
+    } else if (arg == "--reps") {
+      o.reps = parse_u64("--reps", next(i), 1, 1000);
+    } else if (arg == "--seed") {
+      o.seed = parse_u64("--seed", next(i), 0, UINT64_MAX);
+    } else if (arg == "--jobs") {
+      o.jobs = parse_u64("--jobs", next(i), 0, 4096);
+    } else if (arg == "--sim-threads") {
+      o.sim_threads = parse_u64("--sim-threads", next(i), 0, 4096);
+    } else if (arg == "--csv") {
+      o.csv_dir = next(i);
+    } else if (arg == "--fleet-nodes") {
+      o.nodes = parse_u64("--fleet-nodes", next(i), 2, 256);
+    } else if (arg == "--fleet-vms") {
+      o.vms = parse_u64("--fleet-vms", next(i), 1, 256);
+    } else if (arg == "--fleet-skew") {
+      o.skew = parse_f64("--fleet-skew", next(i), 0.0, 4.0);
+    } else if (arg == "--fleet-mix") {
+      const char* v = next(i);
+      if (!workloads::parse_fleet_mix(v, o.mix)) bad_value("--fleet-mix", v);
+    } else if (arg == "--fleet-policy") {
+      o.policy = next(i);
+    } else if (arg == "--fleet-encoding") {
+      o.encoding = next(i);
+      if (o.encoding != "delta" && o.encoding != "full" &&
+          o.encoding != "both") {
+        bad_value("--fleet-encoding", o.encoding.c_str());
+      }
+    } else if (arg == "--fleet-resync") {
+      o.resync = parse_u64("--fleet-resync", next(i), 1, 1u << 20);
+    } else if (arg == "--fleet-incremental") {
+      o.incremental = true;
+    } else if (arg == "--fleet-demand-weighted") {
+      o.demand_weighted = true;
+    } else if (arg == "--fleet-no-lending") {
+      o.lending = false;
+    } else if (arg == "--help" || arg == "-h") {
+      usage(stdout);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      usage(stderr);
+      std::exit(2);
+    }
+  }
+  return o;
+}
+
+struct Cell {
+  std::size_t nodes = 2;
+  bool delta = false;
+};
+
+cluster::FleetRunResult run_cell(const Options& o, const Cell& cell,
+                                 std::uint64_t seed) {
+  cluster::FleetExperimentConfig cfg;
+  cfg.nodes = cell.nodes;
+  cfg.vms_per_node = o.vms;
+  cfg.skew = o.skew;
+  cfg.mix = o.mix;
+  cfg.global_policy = o.policy;
+  cfg.lending = o.lending;
+  cfg.lending_demand_weighted = o.demand_weighted;
+  cfg.delta = cell.delta;
+  cfg.resync_every = o.resync;
+  cfg.mm_incremental = o.incremental;
+  cfg.scale = o.scale;
+  cfg.seed = seed;
+  cfg.sim_threads = o.sim_threads;
+  return cluster::run_fleet_scenario(cfg);
+}
+
+double per_interval(std::uint64_t bytes, std::uint64_t intervals) {
+  return intervals == 0 ? 0.0
+                        : static_cast<double>(bytes) /
+                              static_cast<double>(intervals);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options o = parse(argc, argv);
+
+  const std::vector<std::size_t> node_counts =
+      o.nodes != 0 ? std::vector<std::size_t>{o.nodes}
+                   : std::vector<std::size_t>{2, 4, 8};
+  std::vector<bool> encodings;
+  if (o.encoding == "full" || o.encoding == "both") encodings.push_back(false);
+  if (o.encoding == "delta" || o.encoding == "both") encodings.push_back(true);
+
+  std::vector<Cell> cells;
+  for (const std::size_t n : node_counts) {
+    for (const bool d : encodings) cells.push_back(Cell{n, d});
+  }
+
+  std::printf("=== fleet scaling: %zu tenants/node, skew %g, mix %s, %s ===\n",
+              o.vms, o.skew, workloads::to_string(o.mix), o.policy.c_str());
+  std::printf("%zu cell(s) x %zu rep(s), scale %g, resync %llu, "
+              "incremental %s, lending %s%s, sim-threads %zu\n\n",
+              cells.size(), o.reps, o.scale,
+              static_cast<unsigned long long>(o.resync),
+              o.incremental ? "on" : "off", o.lending ? "on" : "off",
+              o.demand_weighted ? " (demand-weighted)" : "", o.sim_threads);
+
+  // Wall-clock and the decide-ns probe go to stdout only — the CSV must
+  // stay byte-identical across --sim-threads and machine speeds.
+  std::vector<cluster::FleetRunResult> runs(cells.size() * o.reps);
+  std::vector<double> wall(runs.size());
+  parallel_for_each(o.jobs, runs.size(), [&](std::size_t i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    runs[i] = run_cell(o, cells[i / o.reps], o.seed + (i % o.reps));
+    wall[i] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  });
+
+  std::printf("%-6s %-5s %14s %13s %13s %12s %10s %12s %9s\n", "nodes",
+              "enc", "failed_puts", "node_B/intvl", "rack_B/intvl",
+              "mm_samples", "makespan", "decide_ns/d", "wall");
+  std::vector<double> mean_bpi(cells.size());
+  for (std::size_t c = 0; c < cells.size(); ++c) {
+    RunningStats failed, bpi, rbpi, makespan, wall_s, decide;
+    std::uint64_t samples = 0;
+    for (std::size_t rep = 0; rep < o.reps; ++rep) {
+      const cluster::FleetRunResult& r = runs[c * o.reps + rep];
+      failed.add(static_cast<double>(r.aggregate_failed_puts));
+      bpi.add(per_interval(r.node_control_bytes, r.mm_samples));
+      rbpi.add(per_interval(r.rack_control_bytes, r.gm_decisions));
+      makespan.add(r.makespan_s);
+      wall_s.add(wall[c * o.reps + rep]);
+      if (r.mm_decides > 0) {
+        decide.add(static_cast<double>(r.mm_decide_ns) /
+                   static_cast<double>(r.mm_decides));
+      }
+      samples += r.mm_samples;
+    }
+    mean_bpi[c] = bpi.mean();
+    std::printf("%-6zu %-5s %14.0f %13.1f %13.1f %12llu %9.1fs %12.0f %8.2fs\n",
+                cells[c].nodes, cells[c].delta ? "delta" : "full",
+                failed.mean(), bpi.mean(), rbpi.mean(),
+                static_cast<unsigned long long>(samples / o.reps),
+                makespan.mean(), decide.mean(), wall_s.mean());
+  }
+
+  // Headline: the delta encoding's steady-state saving where both
+  // encodings ran at the same geometry.
+  for (std::size_t a = 0; a < cells.size(); ++a) {
+    if (cells[a].delta) continue;
+    for (std::size_t b = 0; b < cells.size(); ++b) {
+      if (!cells[b].delta || cells[b].nodes != cells[a].nodes) continue;
+      if (mean_bpi[b] > 0.0) {
+        std::printf("\n%zu nodes: delta control-plane bytes/interval %.1f vs "
+                    "full %.1f (%.1fx saving)\n",
+                    cells[a].nodes, mean_bpi[b], mean_bpi[a],
+                    mean_bpi[a] / mean_bpi[b]);
+      }
+    }
+  }
+
+  if (!o.csv_dir.empty()) {
+    const std::string path = o.csv_dir + "/fig_fleet_scaling.csv";
+    std::ofstream csv(path);
+    // Columns 1-11 are encoding-independent (delta-vs-full md5 cross-check
+    // cuts to them); column 2 is sim_threads (thread-count check cuts it
+    // away); everything encoding-dependent rides at the end.
+    csv << "nodes,sim_threads,vms_per_node,skew,mix,global_policy,"
+           "incremental,rep,failed_puts,puts_total,makespan_s,"
+           "encoding,puts_succ,node_control_bytes,rack_control_bytes,"
+           "mm_samples,node_bytes_per_interval,stats_full_sends,"
+           "targets_full_sends,rollups_suppressed,quota_sends_skipped,"
+           "gm_clean_decides,mm_incremental_decides,borrow_placements,"
+           "lending_failed_placements\n";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      for (std::size_t rep = 0; rep < o.reps; ++rep) {
+        const cluster::FleetRunResult& r = runs[c * o.reps + rep];
+        char line[640];
+        std::snprintf(
+            line, sizeof line,
+            "%zu,%zu,%zu,%g,%s,%s,%d,%zu,%llu,%llu,%.6f,"
+            "%s,%llu,%llu,%llu,%llu,%.3f,%llu,%llu,%llu,%llu,%llu,%llu,"
+            "%llu,%llu\n",
+            cells[c].nodes, o.sim_threads, o.vms, o.skew,
+            workloads::to_string(o.mix), o.policy.c_str(),
+            o.incremental ? 1 : 0, rep,
+            static_cast<unsigned long long>(r.aggregate_failed_puts),
+            static_cast<unsigned long long>(r.puts_total), r.makespan_s,
+            cells[c].delta ? "delta" : "full",
+            static_cast<unsigned long long>(r.puts_succ),
+            static_cast<unsigned long long>(r.node_control_bytes),
+            static_cast<unsigned long long>(r.rack_control_bytes),
+            static_cast<unsigned long long>(r.mm_samples),
+            per_interval(r.node_control_bytes, r.mm_samples),
+            static_cast<unsigned long long>(r.stats_full_sends),
+            static_cast<unsigned long long>(r.targets_full_sends),
+            static_cast<unsigned long long>(r.rollups_suppressed),
+            static_cast<unsigned long long>(r.quota_sends_skipped),
+            static_cast<unsigned long long>(r.gm_clean_decides),
+            static_cast<unsigned long long>(r.mm_incremental_decides),
+            static_cast<unsigned long long>(r.borrow_placements),
+            static_cast<unsigned long long>(r.lending_failed_placements));
+        csv << line;
+      }
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return 0;
+}

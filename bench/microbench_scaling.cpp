@@ -1,7 +1,9 @@
 // Perf-baseline harness: measures (a) serial vs. parallel wall-time of a
 // mid-size scenario grid — the figure benches' policy x repetition fan-out —
 // (b) raw events/sec of the two simulation hot paths (tmem store ops,
-// simulator event dispatch), and (c) the wall-time overhead of running with
+// simulator event dispatch), (c) the DESIGN §12 control-plane probes —
+// modeled uplink bytes/interval full vs delta, and smart-alloc decide time
+// classic vs O(changed-VMs) — and (d) the wall-time overhead of running with
 // every observability pillar enabled (in-memory capture), then persists
 // everything to a machine-readable JSON baseline so later PRs have a
 // trajectory to compare against.
@@ -29,6 +31,9 @@
 #include "common/thread_pool.hpp"
 #include "core/experiment.hpp"
 #include "core/scenario.hpp"
+#include "hyper/delta.hpp"
+#include "mm/history.hpp"
+#include "mm/smart_policy.hpp"
 #include "obs/observer.hpp"
 #include "sim/simulator.hpp"
 #include "tmem/store.hpp"
@@ -267,6 +272,195 @@ double cluster_rebalance_per_sec() {
   return static_cast<double>(kDecisions) / elapsed;
 }
 
+/// Control-plane encoding probe (DESIGN §12): modeled wire bytes per
+/// sampling interval of the MemStats uplink at 128 VMs with 8 VMs changing
+/// per interval, full-vector vs delta (resync every 16). Deterministic —
+/// pure function of the wire-size model, no wall clock involved.
+struct ControlBytes {
+  double full_bpi = 0.0;
+  double delta_bpi = 0.0;
+};
+
+ControlBytes control_bytes_probe() {
+  constexpr std::size_t kVms = 128;
+  constexpr std::size_t kIntervals = 512;
+  constexpr std::size_t kDirty = 8;
+
+  comm::DeltaConfig dcfg;
+  dcfg.enabled = true;
+  dcfg.resync_every = 16;
+  hyper::StatsDeltaEncoder enc(dcfg);
+
+  hyper::MemStats s;
+  s.total_tmem = 1u << 18;
+  s.free_tmem = 1u << 17;
+  s.vm_count = kVms;
+  s.vm.resize(kVms);
+  for (std::size_t i = 0; i < kVms; ++i) {
+    s.vm[i].vm_id = static_cast<VmId>(i + 1);
+    s.vm[i].tmem_used = (1u << 18) / kVms;
+  }
+
+  std::uint64_t full_bytes = 0;
+  std::uint64_t delta_bytes = 0;
+  for (std::size_t interval = 1; interval <= kIntervals; ++interval) {
+    for (std::size_t k = 0; k < kDirty; ++k) {
+      auto& vm = s.vm[(interval * kDirty + k) % kVms];
+      vm.puts_total += 100;
+      vm.puts_succ += 90;
+      vm.cumul_puts_failed += 10;
+    }
+    s.seq = interval;
+    s.when = static_cast<SimTime>(interval) * kSecond;
+    full_bytes += wire_size(s);
+    delta_bytes += wire_size(enc.encode(s));
+  }
+  ControlBytes out;
+  out.full_bpi = static_cast<double>(full_bytes) / kIntervals;
+  out.delta_bpi = static_cast<double>(delta_bytes) / kIntervals;
+  return out;
+}
+
+/// MM decide-time probe (DESIGN §12): ns per decision of smart-alloc over
+/// 1024 VMs when only ~16 change per interval — the classic O(n) compute()
+/// against the O(changed-VMs) decide_incremental() path. Both paths consume
+/// the same mutation schedule (a rotating window of VMs alternating demand
+/// spikes and slack); each folds its own outputs back into its sample so
+/// the streams stay self-consistent. Wall-clock, host-dependent.
+struct DecideProbe {
+  double classic_ns = 0.0;
+  double incremental_ns = 0.0;
+};
+
+DecideProbe mm_decide_probe() {
+  constexpr std::size_t kVms = 1024;
+  constexpr std::size_t kRounds = 1024;
+  constexpr std::size_t kDirty = 8;
+  const PageCount total = 1u << 20;
+
+  auto make_stats = [&] {
+    hyper::MemStats s;
+    s.total_tmem = total;
+    s.free_tmem = total / 2;
+    s.vm_count = kVms;
+    s.vm.resize(kVms);
+    for (std::size_t i = 0; i < kVms; ++i) {
+      s.vm[i].vm_id = static_cast<VmId>(i + 1);
+      // Targets start at a quarter share: the occasional grows below fit
+      // inside the remaining headroom, so the Eq. 2 renormalization (an
+      // O(n) walk either way) stays out of the measured steady state and
+      // the probe isolates the few-changes regime.
+      s.vm[i].mm_target = total / (4 * kVms);
+      s.vm[i].tmem_used = total / (4 * kVms);
+    }
+    return s;
+  };
+
+  // Mutates the round's window: counters churn (successful puts, usage
+  // pinned on target) without tripping any Algorithm 4 condition; every
+  // 16th round the first window VM fails its puts and earns a grow.
+  // Entries touched the round before settle back (counters to zero), which
+  // dirties them once more — exactly what a real sample stream does.
+  auto mutate = [&](hyper::MemStats& s, std::size_t round,
+                    std::vector<std::size_t>& dirty) {
+    dirty.clear();
+    if (round > 0) {
+      for (std::size_t k = 0; k < kDirty; ++k) {
+        const std::size_t i = ((round - 1) * kDirty + k) % kVms;
+        s.vm[i].puts_total = 0;
+        s.vm[i].puts_succ = 0;
+        s.vm[i].tmem_used = s.vm[i].mm_target;
+        dirty.push_back(i);
+      }
+    }
+    for (std::size_t k = 0; k < kDirty; ++k) {
+      const std::size_t i = (round * kDirty + k) % kVms;
+      auto& vm = s.vm[i];
+      if (k == 0 && round % 16 == 0) {
+        vm.puts_total = 100;
+        vm.puts_succ = 40;
+        vm.cumul_puts_failed += 60;
+      } else {
+        vm.puts_total = 100;
+        vm.puts_succ = 100;
+      }
+      dirty.push_back(i);
+    }
+    std::sort(dirty.begin(), dirty.end());
+    dirty.erase(std::unique(dirty.begin(), dirty.end()), dirty.end());
+  };
+
+  auto apply = [](hyper::MemStats& s, const hyper::MmOut& out) {
+    for (const auto& t : out) {
+      auto& vm = s.vm[t.vm_id - 1];
+      vm.mm_target = t.mm_target;
+      vm.tmem_used = t.mm_target;
+    }
+  };
+
+  DecideProbe probe;
+  const mm::SmartPolicyConfig pcfg{};  // defaults: P=0.75%, stale off
+
+  {  // classic full-vector compute()
+    mm::SmartPolicy policy(pcfg);
+    mm::StatsHistory history;
+    mm::PolicyContext ctx;
+    ctx.total_tmem = total;
+    ctx.history = &history;
+    hyper::MemStats s = make_stats();
+    std::vector<std::size_t> dirty;
+    std::uint64_t ns = 0;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      mutate(s, r, dirty);
+      s.seq = r + 1;
+      history.record(s);
+      const auto start = Clock::now();
+      const hyper::MmOut out = policy.compute(s, ctx);
+      ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count());
+      apply(s, out);
+    }
+    probe.classic_ns = static_cast<double>(ns) / kRounds;
+  }
+
+  {  // O(changed-VMs) decide_incremental()
+    mm::SmartPolicy policy(pcfg);
+    if (!policy.supports_incremental()) {
+      std::fprintf(stderr, "smart policy lost incremental support\n");
+      std::exit(1);
+    }
+    mm::StatsHistory history;
+    mm::PolicyContext ctx;
+    ctx.total_tmem = total;
+    ctx.history = &history;
+    hyper::MemStats s = make_stats();
+    std::vector<std::size_t> dirty;
+    std::vector<std::size_t> all(kVms);
+    for (std::size_t i = 0; i < kVms; ++i) all[i] = i;
+    std::uint64_t ns = 0;
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      mutate(s, r, dirty);
+      s.seq = r + 1;
+      history.record(s);
+      // Round 0 passes every index: the policy builds its materialized
+      // state from scratch, exactly as on a VM-set change.
+      const std::vector<std::size_t>& idx = r == 0 ? all : dirty;
+      const auto start = Clock::now();
+      const std::vector<hyper::MmTarget> out =
+          policy.decide_incremental(s, idx, ctx);
+      ns += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                               start)
+              .count());
+      apply(s, out);
+    }
+    probe.incremental_ns = static_cast<double>(ns) / kRounds;
+  }
+  return probe;
+}
+
 /// Observability overhead: seeded smart-policy runs of the SAME scenario-1
 /// grid cell with all three obs pillars capturing in memory (no file I/O)
 /// vs. obs off. Both variants share one node config, so the delta is pure
@@ -338,7 +532,7 @@ int main(int argc, char** argv) {
   const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
   std::printf("      %.3f s  (speedup %.2fx)\n", parallel_s, speedup);
 
-  std::printf("[3/4] hot paths\n");
+  std::printf("[3/5] hot paths\n");
   const double store_eps = store_events_per_sec();
   std::printf("      tmem store: %.3g ops/s\n", store_eps);
   const double sim_eps = sim_events_per_sec();
@@ -348,7 +542,18 @@ int main(int argc, char** argv) {
   const double rebalance_ps = cluster_rebalance_per_sec();
   std::printf("      cluster gm: %.3g rebalances/s (4 nodes)\n", rebalance_ps);
 
-  std::printf("[4/4] observability overhead (all pillars, in-memory)\n");
+  std::printf("[4/5] control plane (DESIGN 12: delta encoding, O(changed) decide)\n");
+  const ControlBytes cb = control_bytes_probe();
+  std::printf("      uplink bytes/interval: full %.1f, delta %.1f (%.1fx)\n",
+              cb.full_bpi, cb.delta_bpi,
+              cb.delta_bpi > 0 ? cb.full_bpi / cb.delta_bpi : 0.0);
+  const DecideProbe dp = mm_decide_probe();
+  std::printf("      mm decide (1024 VMs, ~16 dirty): classic %.0f ns, "
+              "incremental %.0f ns (%.1fx)\n",
+              dp.classic_ns, dp.incremental_ns,
+              dp.incremental_ns > 0 ? dp.classic_ns / dp.incremental_ns : 0.0);
+
+  std::printf("[5/5] observability overhead (all pillars, in-memory)\n");
   const ObsOverhead obs = obs_overhead(opts);
   std::printf("      %+.2f%% +/- %.2f%% vs. obs-off (median of 5 pairs)\n",
               obs.pct, obs.spread);
@@ -358,7 +563,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", opts.out.c_str());
     return 1;
   }
-  char buf[1024];
+  char buf[1536];
   std::snprintf(buf, sizeof(buf),
                 "{\n"
                 "  \"schema\": 1,\n"
@@ -377,13 +582,18 @@ int main(int argc, char** argv) {
                 "  \"sim_events_per_sec\": %.1f,\n"
                 "  \"comm_msgs_per_sec\": %.1f,\n"
                 "  \"cluster_rebalance_per_sec\": %.1f,\n"
+                "  \"control_bytes_per_interval_full\": %.1f,\n"
+                "  \"control_bytes_per_interval_delta\": %.1f,\n"
+                "  \"mm_decide_ns_classic\": %.1f,\n"
+                "  \"mm_decide_ns_incremental\": %.1f,\n"
                 "  \"obs_overhead_pct\": %.2f,\n"
                 "  \"obs_overhead_spread_pct\": %.2f\n"
                 "}\n",
                 hw, opts.scale, opts.repetitions, serial_s, parallel_s,
                 opts.jobs, opts.jobs, speedup,
                 speedup_reliable ? "true" : "false", store_eps, sim_eps,
-                chan_mps, rebalance_ps, obs.pct, obs.spread);
+                chan_mps, rebalance_ps, cb.full_bpi, cb.delta_bpi,
+                dp.classic_ns, dp.incremental_ns, obs.pct, obs.spread);
   out << buf;
   std::printf("\nwrote %s\n", opts.out.c_str());
   return 0;

@@ -82,7 +82,8 @@ void Cluster::wire_rack() {
     for (auto& node : nodes_) hyps.push_back(&node->hypervisor());
     broker_ = std::make_unique<LendingBroker>(
         std::move(hyps),
-        sharded_ ? LendingMode::kSharded : LendingMode::kImmediate);
+        sharded_ ? LendingMode::kSharded : LendingMode::kImmediate,
+        config_.lending_demand_weighted);
     for (std::size_t i = 0; i < n; ++i) {
       nodes_[i]->hypervisor().set_remote_tmem(
           broker_->port(static_cast<NodeId>(i)));
@@ -94,6 +95,7 @@ void Cluster::wire_rack() {
                       ? config_.global_interval
                       : 2 * nodes_[0]->config().sample_interval;
   gcfg.adaptive = config_.global_adaptive;
+  gcfg.delta = config_.delta;
   if (gcfg.adaptive.enabled) {
     // Untouched bounds (the 1 s-geometry defaults) are re-derived from the
     // effective global interval so scaled runs keep a sensible band.
@@ -109,6 +111,8 @@ void Cluster::wire_rack() {
 
   uplinks_.reserve(n);
   downlinks_.reserve(n);
+  last_rollup_.resize(n);
+  rollup_rounds_.assign(n, 0);
   for (std::size_t i = 0; i < n; ++i) {
     // Uplink: source side (send, latency draw, stats) lives with the node;
     // in sharded mode the receiver (GlobalManager) is reached through the
@@ -116,10 +120,14 @@ void Cluster::wire_rack() {
     sim::Simulator& node_sim = sharded_ ? nodes_[i]->simulator() : sim_;
     uplinks_.push_back(std::make_unique<comm::Channel<NodeStats>>(
         node_sim, config_.topology.uplink_for(i)));
+    uplinks_.back()->set_sizer(
+        [](const NodeStats& s) { return wire_size(s); });
     uplinks_.back()->open(
         [this](const NodeStats& stats) { gm_->on_node_stats(stats); });
     downlinks_.push_back(std::make_unique<comm::Channel<NodeQuotaMsg>>(
         sim_, config_.topology.downlink_for(i)));
+    downlinks_.back()->set_sizer(
+        [](const NodeQuotaMsg& m) { return wire_size(m); });
     downlinks_.back()->open(
         [this, i](const NodeQuotaMsg& msg) { on_quota(i, msg); });
     if (sharded_) {
@@ -176,6 +184,7 @@ void Cluster::wire_rack() {
     }
     if (registry != nullptr) {
       gm_->register_metrics(*registry);
+      registry->add_counter("rack.rollups_suppressed", &rollups_suppressed_);
       if (broker_) broker_->register_metrics(*registry);
       for (std::size_t i = 0; i < n; ++i) {
         const std::string prefix = "n" + std::to_string(i);
@@ -230,7 +239,31 @@ void Cluster::on_node_sample(std::size_t i, const hyper::MemStats& stats) {
     ns.puts_succ += vm.puts_succ;
     ns.cumul_failed_puts += vm.cumul_puts_failed;
   }
+  if (config_.delta.enabled) {
+    // Suppress-unchanged on the rack uplink (DESIGN §12): a roll-up whose
+    // payload matches the last one sent carries no information for the
+    // pure global policies. The periodic full resend bounds how long a
+    // lost roll-up can keep the GlobalManager's view stale; per-node seq
+    // gaps are fine under its strictly-increasing check.
+    const bool resend_due =
+        config_.delta.resync_every <= 1 ||
+        (rollup_rounds_[i] % config_.delta.resync_every) == 0;
+    ++rollup_rounds_[i];
+    if (!resend_due && last_rollup_[i] &&
+        same_payload(*last_rollup_[i], ns)) {
+      ++rollups_suppressed_;
+      return;
+    }
+    last_rollup_[i] = ns;
+  }
   uplinks_[i]->send(ns);
+}
+
+std::uint64_t Cluster::rack_control_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& ch : uplinks_) total += ch->stats().payload_bytes;
+  for (const auto& ch : downlinks_) total += ch->stats().payload_bytes;
+  return total;
 }
 
 void Cluster::on_quota(std::size_t i, const NodeQuotaMsg& msg) {

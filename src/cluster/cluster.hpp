@@ -30,10 +30,12 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "cluster/global_manager.hpp"
+#include "comm/delta.hpp"
 #include "cluster/lending.hpp"
 #include "cluster/node_stats.hpp"
 #include "comm/topology.hpp"
@@ -64,6 +66,19 @@ struct ClusterConfig {
 
   /// Remote-tmem lending between nodes.
   bool lending = true;
+
+  /// Demand-weighted lending credit split (sharded mode): each window's
+  /// donor credit divides proportionally to the borrowers' failed
+  /// placements of the previous window instead of evenly. Off by default —
+  /// the even split is the byte-identical historic behaviour.
+  bool lending_demand_weighted = false;
+
+  /// Fleet-scale control plane (DESIGN §12) on the *rack* hops: suppress
+  /// NodeStats roll-ups whose payload is unchanged (with a full resend
+  /// every resync_every samples per node), let the GlobalManager skip
+  /// clean decision rounds and send quota deltas. The per-node VM hops
+  /// take their delta knob from each NodeConfig's comm.delta instead.
+  comm::DeltaConfig delta;
 
   /// Worker threads for the parallel engine (2+ node clusters only). 1 runs
   /// the windowed schedule inline; 0 uses hardware_concurrency. The
@@ -112,6 +127,12 @@ class Cluster {
   const ClusterConfig& config() const { return config_; }
   bool all_done() const;
 
+  /// Roll-ups not sent because the payload matched the node's previous one
+  /// (delta mode only).
+  std::uint64_t rollups_suppressed() const { return rollups_suppressed_; }
+  /// Rack control-plane payload bytes actually sent (uplinks + downlinks).
+  std::uint64_t rack_control_bytes() const;
+
  private:
   void wire_rack();
   void on_node_sample(std::size_t i, const hyper::MemStats& stats);
@@ -142,6 +163,11 @@ class Cluster {
   sim::EventHandle metrics_sampler_;  // classic mode only
   SimTime snapshot_interval_ = 0;     // sharded mode: barrier-driven
   SimTime next_snapshot_ = 0;
+  // Roll-up delta state (delta mode): last payload sent per node + per-node
+  // sample occasion counter driving the resync cadence.
+  std::vector<std::optional<NodeStats>> last_rollup_;
+  std::vector<std::uint64_t> rollup_rounds_;
+  std::uint64_t rollups_suppressed_ = 0;
   bool started_ = false;
   bool finished_ = false;
 };

@@ -1,0 +1,161 @@
+#include "cluster/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "cluster/experiment.hpp"
+#include "common/strfmt.hpp"
+#include "common/units.hpp"
+#include "core/scenario.hpp"
+
+namespace smartmem::cluster {
+
+namespace {
+
+PageCount scaled_mib(double mib, double scale) {
+  return pages_from_mib(static_cast<std::uint64_t>(std::llround(mib * scale)));
+}
+
+/// Application-usable RAM after the kernel's share (same convention as the
+/// scenario library).
+PageCount usable(PageCount ram_pages) { return ram_pages - ram_pages / 8; }
+
+/// One node's scenario: vms_per_node fleet tenants whose global rank is
+/// node * vms_per_node + vm. Working sets exceed usable RAM by 25%, so a
+/// tenant's phase loop spills into tmem in proportion to its intensity;
+/// node tmem covers only part of the aggregate overflow, so hot nodes fail
+/// puts while cold nodes idle — the gradient the rack policies work on.
+core::ScenarioSpec fleet_node_scenario(const FleetExperimentConfig& cfg,
+                                       std::size_t node,
+                                       const workloads::FleetWorkloadConfig& fw) {
+  core::ScenarioSpec spec;
+  spec.name = "fleet";
+  spec.description = strfmt("fleet node %zu: %zu tenants, skew=%.2f, mix=%s",
+                            node, cfg.vms_per_node, cfg.skew,
+                            workloads::to_string(cfg.mix));
+  spec.tmem_pages =
+      scaled_mib(16.0 * static_cast<double>(cfg.vms_per_node), cfg.scale);
+  // Arrivals are scheduled explicitly per tenant; no extra jitter on top.
+  spec.start_jitter_max = 0;
+  spec.scale = cfg.scale;
+  spec.deadline = 3600 * kSecond;
+  for (std::size_t v = 0; v < cfg.vms_per_node; ++v) {
+    const std::size_t rank = node * cfg.vms_per_node + v;
+    core::ScenarioVm vm;
+    vm.name = strfmt("VM%zu", v + 1);
+    vm.ram_pages = scaled_mib(96, cfg.scale);
+    vm.start_delay = workloads::fleet_arrival(fw, rank);
+    vm.make_workload = [fw, rank,
+                        ram = vm.ram_pages]() -> workloads::WorkloadPtr {
+      workloads::FleetWorkloadConfig tenant = fw;
+      tenant.working_set =
+          static_cast<PageCount>(static_cast<double>(usable(ram)) * 1.25);
+      tenant.touches_per_phase = 3 * tenant.working_set;
+      return workloads::make_fleet_tenant(tenant, rank);
+    };
+    spec.vms.push_back(std::move(vm));
+  }
+  return spec;
+}
+
+}  // namespace
+
+FleetRunResult run_fleet_scenario(const FleetExperimentConfig& cfg) {
+  core::NodeConfig base = core::scaled_node_defaults(cfg.scale);
+  base.comm.delta.enabled = cfg.delta;
+  base.comm.delta.resync_every = cfg.resync_every;
+  base.mm_incremental = cfg.mm_incremental;
+
+  workloads::FleetWorkloadConfig fw;
+  fw.tenants = cfg.nodes * cfg.vms_per_node;
+  fw.skew = cfg.skew;
+  fw.mix = cfg.mix;
+  fw.phases = 10;
+  fw.zipf_s = 0.9;
+  fw.per_touch_compute = 2 * kMicrosecond;
+  // Think time spans several sampling intervals: a cold tenant's touch
+  // burst lands in one interval out of ~8, so its stat entries sit
+  // unchanged the rest of the time — the idle steady state the delta
+  // encoding is built to exploit. Off the integer grid so bursts do not
+  // phase-lock onto interval boundaries.
+  fw.think_time = static_cast<SimTime>(
+      static_cast<double>(base.sample_interval) * 7.5);
+  // Spread arrivals over ~8 sampling intervals: enough that the fleet's
+  // demand spikes never phase-lock onto one interval, short against the
+  // phase loop so the steady state dominates the run.
+  fw.arrival_window = 8 * base.sample_interval;
+
+  ClusterConfig ccfg;
+  ccfg.topology.node_count = cfg.nodes;
+  ccfg.topology.node_comm = base.comm;
+  const auto hop = static_cast<SimTime>(
+      5.0 * static_cast<double>(kMillisecond) * cfg.scale);
+  ccfg.topology.internode_up.latency = comm::LatencySpec::fixed_at(hop);
+  ccfg.topology.internode_down.latency = comm::LatencySpec::fixed_at(hop);
+  ccfg.global_policy = cfg.global_policy;
+  ccfg.global_interval = static_cast<SimTime>(
+      cfg.global_interval_x * static_cast<double>(base.sample_interval));
+  ccfg.lending = cfg.lending;
+  ccfg.lending_demand_weighted = cfg.lending_demand_weighted;
+  ccfg.delta.enabled = cfg.delta;
+  ccfg.delta.resync_every = cfg.resync_every;
+  ccfg.sim_threads = cfg.sim_threads;
+  ccfg.obs = cfg.obs;
+
+  Cluster cluster(std::move(ccfg));
+  SimTime deadline = 0;
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    const core::ScenarioSpec spec = fleet_node_scenario(cfg, i, fw);
+    core::NodeConfig overrides = base;
+    overrides.comm = cluster.config().topology.node_comm_for(i);
+    const std::uint64_t ns = node_seed(cfg.seed, i);
+    const std::size_t idx = cluster.add_node(
+        core::node_config_for(spec, cfg.node_policy, ns, &overrides));
+    core::populate_node(cluster.node(idx), spec, ns);
+    deadline = std::max(deadline, spec.deadline);
+  }
+
+  const SimTime end = cluster.run(deadline);
+
+  FleetRunResult out;
+  out.makespan_s = to_seconds(end);
+  for (std::size_t i = 0; i < cfg.nodes; ++i) {
+    core::VirtualNode& n = cluster.node(i);
+    const hyper::Hypervisor& hyp = n.hypervisor();
+    for (VmId vm : n.vm_ids()) {
+      const hyper::VmData& vd = hyp.vm_data(vm);
+      out.aggregate_failed_puts += vd.cumul_puts_failed;
+      out.puts_total += vd.cumul_puts_total;
+      out.puts_succ += vd.cumul_puts_succ;
+    }
+    if (const guest::Tkm* tkm = n.tkm()) {
+      out.node_control_bytes += tkm->uplink().stats().payload_bytes;
+      out.node_control_bytes += tkm->downlink().stats().payload_bytes;
+      out.stats_full_sends += tkm->stats_full_sends();
+    }
+    if (const mm::MemoryManager* mgr = n.manager()) {
+      out.mm_samples += mgr->samples_seen();
+      out.mm_targets_sent += mgr->targets_sent();
+      out.mm_incremental_decides += mgr->incremental_decides();
+      out.mm_decide_ns += mgr->decide_ns_total();
+      out.mm_decides += mgr->decide_count();
+      out.targets_full_sends += mgr->targets_full_sends();
+    }
+  }
+  out.rack_control_bytes = cluster.rack_control_bytes();
+  out.rollups_suppressed = cluster.rollups_suppressed();
+  if (const GlobalManager* gm = cluster.global_manager()) {
+    out.gm_decisions = gm->decisions();
+    out.gm_clean_decides = gm->clean_decides();
+    out.quotas_sent = gm->quotas_sent();
+    out.quota_sends_skipped = gm->quota_sends_skipped();
+  }
+  if (const LendingBroker* broker = cluster.broker()) {
+    out.borrow_placements = broker->borrow_placements();
+    out.lending_failed_placements = broker->failed_placements();
+  }
+  return out;
+}
+
+}  // namespace smartmem::cluster

@@ -1,0 +1,90 @@
+// Fleet-scale experiment: nodes x VMs/node multi-tenant rack runs.
+//
+// Where the hot/cold cluster experiment stresses the *policies* (one
+// pathological node, N-1 donors), the fleet experiment stresses the
+// *control plane*: many tenants with zipf-ranked intensity spread over
+// many nodes (tenant rank = node * vms_per_node + vm, so node 0 is hottest
+// and the rack carries a demand gradient), staggered arrivals, and a
+// YCSB-style phase mix per tenant (workloads::make_fleet_tenant). Every
+// knob of DESIGN §12 is a config axis here — delta encoding on both the
+// per-VM and the rack hops, the O(changed-VMs) MM decide path, and the
+// demand-weighted lending split — so the fig_fleet_scaling bench can sweep
+// them against the classic full-vector baseline and read the control-plane
+// bytes and decide-time probes off the result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "cluster/cluster.hpp"
+#include "mm/policy_factory.hpp"
+#include "obs/observer.hpp"
+#include "workloads/fleet.hpp"
+
+namespace smartmem::cluster {
+
+struct FleetExperimentConfig {
+  std::size_t nodes = 4;
+  std::size_t vms_per_node = 4;
+  /// Zipf exponent of the tenant intensity ranking (0 = uniform fleet).
+  double skew = 0.8;
+  workloads::FleetMix mix = workloads::FleetMix::kBalanced;
+
+  /// Node-level policy ("global-static", "global-smart[:P]").
+  std::string global_policy = "global-smart";
+  /// Per-VM policy every node runs internally.
+  mm::PolicySpec node_policy = mm::PolicySpec::smart(25.0);
+  bool lending = true;
+  bool lending_demand_weighted = false;
+
+  /// Delta-encode the control plane (per-VM hops and rack hops) with this
+  /// resync cadence. Off = classic full-vector messages.
+  bool delta = false;
+  std::uint64_t resync_every = 16;
+  /// O(changed-VMs) MM decision loop (independent of `delta`).
+  bool mm_incremental = false;
+
+  double scale = 0.25;
+  std::uint64_t seed = 42;
+  /// Parallel-engine worker threads (never changes simulation output).
+  std::size_t sim_threads = 1;
+  double global_interval_x = 2.0;
+  obs::ObsConfig obs;
+};
+
+/// Aggregate outcome of one fleet run. Simulation-visible quantities only,
+/// except the wall-clock decide probe (mm_decide_ns / mm_decides), which
+/// callers must keep out of determinism-checked output.
+struct FleetRunResult {
+  std::uint64_t aggregate_failed_puts = 0;
+  std::uint64_t puts_total = 0;
+  std::uint64_t puts_succ = 0;
+  double makespan_s = 0.0;
+
+  // Control-plane accounting.
+  std::uint64_t node_control_bytes = 0;  // per-VM hops (TKM up+down), summed
+  std::uint64_t rack_control_bytes = 0;  // rack hops (roll-ups + quotas)
+  std::uint64_t mm_samples = 0;          // samples delivered to the MMs
+  std::uint64_t mm_targets_sent = 0;
+  std::uint64_t mm_incremental_decides = 0;
+  std::uint64_t mm_decide_ns = 0;  // wall clock — never in deterministic CSVs
+  std::uint64_t mm_decides = 0;
+  std::uint64_t stats_full_sends = 0;    // uplink resyncs (delta mode)
+  std::uint64_t targets_full_sends = 0;  // downlink resyncs (delta mode)
+
+  std::uint64_t gm_decisions = 0;
+  std::uint64_t gm_clean_decides = 0;
+  std::uint64_t quotas_sent = 0;
+  std::uint64_t quota_sends_skipped = 0;
+  std::uint64_t rollups_suppressed = 0;
+
+  std::uint64_t borrow_placements = 0;
+  std::uint64_t lending_failed_placements = 0;
+};
+
+/// Builds, runs and tears down one fleet. Deterministic for a given config
+/// (modulo the wall-clock fields called out on FleetRunResult) across
+/// sim_threads values and delta on/off.
+FleetRunResult run_fleet_scenario(const FleetExperimentConfig& cfg);
+
+}  // namespace smartmem::cluster

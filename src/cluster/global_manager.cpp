@@ -1,5 +1,6 @@
 #include "cluster/global_manager.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
@@ -36,7 +37,27 @@ void GlobalManager::on_node_stats(const NodeStats& stats) {
     last = stats.seq;
   }
   ++rollups_seen_;
-  latest_[stats.node] = stats;
+  auto [it, inserted] = index_.try_emplace(stats.node, stats_vec_.size());
+  if (inserted) {
+    // First roll-up from this node: sorted insert keeps decide()'s view in
+    // node-id order (the order the old map-rebuild produced).
+    const auto pos = std::lower_bound(
+        stats_vec_.begin(), stats_vec_.end(), stats.node,
+        [](const NodeStats& s, NodeId id) { return s.node < id; });
+    const std::size_t idx = static_cast<std::size_t>(pos - stats_vec_.begin());
+    stats_vec_.insert(pos, stats);
+    for (auto& [node, i] : index_) {
+      if (node != stats.node && i >= idx) ++i;
+    }
+    it->second = idx;
+    cluster_tmem_ += stats.phys_tmem;
+    dirty_since_decide_ = true;
+    return;
+  }
+  NodeStats& slot = stats_vec_[it->second];
+  cluster_tmem_ += stats.phys_tmem - slot.phys_tmem;
+  if (!same_payload(slot, stats)) dirty_since_decide_ = true;
+  slot = stats;
 }
 
 void GlobalManager::start() {
@@ -52,7 +73,7 @@ void GlobalManager::stop() {
 void GlobalManager::maybe_adapt() {
   if (!interval_ctl_) return;
   mm::IntervalSignal sig;
-  for (const auto& [node, ns] : latest_) {
+  for (const NodeStats& ns : stats_vec_) {
     sig.failed_puts += ns.failed_puts();
   }
   // Roll-ups dropped for being stale are the rack uplink's congestion tell:
@@ -74,39 +95,54 @@ void GlobalManager::maybe_adapt() {
 }
 
 void GlobalManager::decide() {
-  if (latest_.empty()) return;
+  if (stats_vec_.empty()) return;
 
-  std::vector<NodeStats> stats;
-  stats.reserve(latest_.size());
-  GlobalPolicyContext ctx;
-  for (const auto& [node, ns] : latest_) {
-    stats.push_back(ns);
-    ctx.cluster_tmem += ns.phys_tmem;
+  // Clean-decide fast path (DESIGN §12): no roll-up payload changed since
+  // the previous round, the global policies are pure functions of the rack
+  // view, and the previous output was transmitted — rerunning the policy
+  // could only reproduce the vector suppression would then drop. Counters
+  // advance exactly as the full path would have.
+  if (config_.delta.enabled && config_.suppress_unchanged &&
+      audit_ == nullptr && !dirty_since_decide_ && last_sent_) {
+    ++decisions_;
+    ++clean_decides_;
+    ++sends_suppressed_;
+    maybe_adapt();
+    if (trace_ != nullptr && trace_->enabled(obs::kCatCluster)) {
+      trace_->instant(obs::kCatCluster, track_, "global_decide", sim_.now(),
+                      {{"nodes", static_cast<double>(stats_vec_.size())},
+                       {"quotas", static_cast<double>(last_sent_->size())}});
+    }
+    return;
   }
+  dirty_since_decide_ = false;
+
+  GlobalPolicyContext ctx;
+  ctx.cluster_tmem = cluster_tmem_;
   const bool auditing = audit_ != nullptr;
   if (auditing) {
     scratch_.clear();
     ctx.audit = &scratch_;
   }
 
-  std::vector<NodeQuota> out = policy_->compute(stats, ctx);
+  std::vector<NodeQuota> out = policy_->compute(stats_vec_, ctx);
   ++decisions_;
   maybe_adapt();
 
   if (trace_ != nullptr && trace_->enabled(obs::kCatCluster)) {
     trace_->instant(obs::kCatCluster, track_, "global_decide", sim_.now(),
-                    {{"nodes", static_cast<double>(stats.size())},
+                    {{"nodes", static_cast<double>(stats_vec_.size())},
                      {"quotas", static_cast<double>(out.size())}});
   }
 
   obs::DecisionRecord record;
   if (auditing) {
     // Newest roll-up acted on; its age tells how stale the rack view was.
-    record.stats_seq = stats.back().seq;
-    record.stats_when = stats.back().when;
+    record.stats_seq = stats_vec_.back().seq;
+    record.stats_when = stats_vec_.back().when;
     record.decided_at = sim_.now();
     record.stats_age_intervals =
-        static_cast<double>(sim_.now() - stats.back().when) /
+        static_cast<double>(sim_.now() - stats_vec_.back().when) /
         static_cast<double>(config_.interval);
     record.policy = policy_->name();
     record.scope = "cluster";
@@ -139,7 +175,23 @@ void GlobalManager::decide() {
     audit_->append(std::move(record));
   }
   if (sender_) {
+    // Quota-delta downlink (DESIGN §12): skip nodes whose quota matches the
+    // last value sent to them. A NodeQuotaMsg is self-contained and
+    // idempotent, so per-node seq gaps are harmless; the periodic full
+    // fan-out bounds how long a lost grant can stay unrepaired.
+    const bool full_round =
+        !config_.delta.enabled || config_.delta.resync_every <= 1 ||
+        (quota_rounds_ % config_.delta.resync_every) == 0;
+    ++quota_rounds_;
     for (const NodeQuota& q : out) {
+      if (!full_round) {
+        const auto it = last_quota_sent_.find(q.node);
+        if (it != last_quota_sent_.end() && it->second == q.quota) {
+          ++quota_sends_skipped_;
+          continue;
+        }
+      }
+      last_quota_sent_[q.node] = q.quota;
       ++quotas_sent_;
       sender_(q.node, NodeQuotaMsg{next_send_seq_, q.node, q.quota});
     }
@@ -161,8 +213,10 @@ void GlobalManager::register_metrics(obs::Registry& reg) const {
   reg.add_counter("gm.decisions", &decisions_);
   reg.add_counter("gm.quotas_sent", &quotas_sent_);
   reg.add_counter("gm.sends_suppressed", &sends_suppressed_);
+  reg.add_counter("gm.clean_decides", &clean_decides_);
+  reg.add_counter("gm.quota_sends_skipped", &quota_sends_skipped_);
   reg.add_gauge("gm.nodes_seen",
-                [this] { return static_cast<double>(latest_.size()); });
+                [this] { return static_cast<double>(stats_vec_.size()); });
   reg.add_counter("gm.interval_changes", [this] {
     return interval_ctl_ ? static_cast<double>(interval_ctl_->changes()) : 0.0;
   });

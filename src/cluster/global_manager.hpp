@@ -18,6 +18,7 @@
 
 #include "cluster/global_policy.hpp"
 #include "cluster/node_stats.hpp"
+#include "comm/delta.hpp"
 #include "mm/interval_controller.hpp"
 #include "obs/audit.hpp"
 #include "obs/registry.hpp"
@@ -37,6 +38,17 @@ struct GlobalManagerConfig {
   /// fixed interval above. The GM owns its own periodic tick, so a change
   /// reschedules it directly (no control message needed).
   mm::IntervalControllerConfig adaptive;
+
+  /// Fleet-scale control plane (DESIGN §12). With delta on: (a) quota
+  /// downlinks carry only the nodes whose quota changed, with a full
+  /// fan-out every resync_every quota rounds (a NodeQuotaMsg is
+  /// self-contained and idempotent, so per-node gaps are safe under the
+  /// per-node seq check); (b) a decision round in which no roll-up payload
+  /// changed skips the policy entirely — the policies are pure, so the
+  /// output could only equal the suppressed previous vector. The fast path
+  /// is disabled while auditing (audits want the per-node verdicts) or
+  /// with suppression off.
+  comm::DeltaConfig delta;
 };
 
 class GlobalManager {
@@ -74,7 +86,13 @@ class GlobalManager {
   std::uint64_t decisions() const { return decisions_; }
   std::uint64_t quotas_sent() const { return quotas_sent_; }
   std::uint64_t sends_suppressed() const { return sends_suppressed_; }
-  std::size_t nodes_seen() const { return latest_.size(); }
+  std::size_t nodes_seen() const { return stats_vec_.size(); }
+  /// Decision rounds resolved without running the policy because no
+  /// roll-up payload changed (delta fast path).
+  std::uint64_t clean_decides() const { return clean_decides_; }
+  /// Per-node quota sends skipped because the value was unchanged
+  /// (delta mode only).
+  std::uint64_t quota_sends_skipped() const { return quota_sends_skipped_; }
 
   /// nullptr when the adaptive cadence is disabled.
   const mm::IntervalController* interval_controller() const {
@@ -92,10 +110,18 @@ class GlobalManager {
   GlobalManagerConfig config_;
   QuotaSender sender_;
 
-  /// Latest roll-up per node; map order gives the policy its sorted input.
-  std::map<NodeId, NodeStats> latest_;
+  /// Materialized rack view: latest roll-up per node, kept sorted by node
+  /// id in an indexed vector so decide() reads it in place instead of
+  /// rebuilding, with the cluster capacity folded incrementally as
+  /// roll-ups arrive (O(1) per roll-up, not O(nodes) per decision).
+  std::vector<NodeStats> stats_vec_;
+  std::map<NodeId, std::size_t> index_;   // node id -> stats_vec_ position
+  PageCount cluster_tmem_ = 0;            // running sum of phys_tmem
+  bool dirty_since_decide_ = false;       // any payload change since decide()
   std::map<NodeId, std::uint64_t> last_seq_;
   std::optional<std::vector<NodeQuota>> last_sent_;
+  std::map<NodeId, PageCount> last_quota_sent_;  // delta downlink state
+  std::uint64_t quota_rounds_ = 0;        // quota-sending decisions
   std::uint64_t next_send_seq_ = 0;
 
   std::uint64_t rollups_seen_ = 0;
@@ -103,6 +129,8 @@ class GlobalManager {
   std::uint64_t decisions_ = 0;
   std::uint64_t quotas_sent_ = 0;
   std::uint64_t sends_suppressed_ = 0;
+  std::uint64_t clean_decides_ = 0;
+  std::uint64_t quota_sends_skipped_ = 0;
 
   sim::EventHandle tick_;
   bool ticking_ = false;

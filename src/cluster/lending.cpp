@@ -7,9 +7,45 @@
 
 namespace smartmem::cluster {
 
+std::vector<PageCount> split_credit(PageCount pool,
+                                    const std::vector<std::uint64_t>& demand,
+                                    bool demand_weighted) {
+  const std::size_t n = demand.size();
+  std::vector<PageCount> share(n, 0);
+  if (n == 0 || pool == 0) return share;
+
+  // Largest-remainder apportionment over weights (1 + demand), which with
+  // uniform weights degenerates to the historic even split: base = pool / n,
+  // remainder to the lowest indices.
+  std::vector<std::uint64_t> weight(n, 1);
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (demand_weighted) weight[i] += demand[i];
+    total += weight[i];
+  }
+  PageCount assigned = 0;
+  std::vector<std::uint64_t> frac(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    share[i] = pool * weight[i] / total;
+    frac[i] = pool * weight[i] % total;
+    assigned += share[i];
+  }
+  std::vector<std::size_t> order(n);
+  for (std::size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (frac[a] != frac[b]) return frac[a] > frac[b];
+    return a < b;
+  });
+  for (std::size_t k = 0; assigned < pool; ++k) {
+    share[order[k]] += 1;
+    ++assigned;
+  }
+  return share;
+}
+
 LendingBroker::LendingBroker(std::vector<hyper::Hypervisor*> nodes,
-                             LendingMode mode)
-    : hyps_(std::move(nodes)), mode_(mode) {
+                             LendingMode mode, bool demand_weighted)
+    : hyps_(std::move(nodes)), mode_(mode), demand_weighted_(demand_weighted) {
   if (hyps_.size() < 2) {
     throw std::invalid_argument("LendingBroker: needs at least 2 nodes");
   }
@@ -130,6 +166,8 @@ bool LendingBroker::do_put(NodeId node, VmId vm, tmem::PoolType type,
     trace_instant(st, "borrow_place", node, donor);
     return true;
   }
+  ++st.failed_placements;
+  ++st.failed_placements_total;
   return false;
 }
 
@@ -243,6 +281,12 @@ std::uint64_t LendingBroker::borrow_hits() const {
 std::uint64_t LendingBroker::borrow_misses() const {
   std::uint64_t total = 0;
   for (const NodeState& s : state_) total += s.misses;
+  return total;
+}
+
+std::uint64_t LendingBroker::failed_placements() const {
+  std::uint64_t total = 0;
+  for (const NodeState& s : state_) total += s.failed_placements_total;
   return total;
 }
 
@@ -380,24 +424,28 @@ void LendingBroker::sync_window() {
   }
 
   // 3. Top every donor's lease back up to its lendable capacity and hand
-  //    the pooled credit out evenly (remainder to the lowest borrower
-  //    indices) for the next window.
+  //    the pooled credit out for the next window — evenly by default,
+  //    weighted by last window's failed placements when demand-weighting is
+  //    on (split_credit reduces to the historic even split in either case
+  //    when demands are uniform).
+  std::vector<std::uint64_t> demand(n - 1, 0);
   for (NodeId d = 0; d < n; ++d) {
     credit_pool[d] += hyps_[d]->host_lease(hyps_[d]->lendable_pages());
-    if (credit_pool[d] == 0) continue;
-    const PageCount borrowers = n - 1;
-    const PageCount base = credit_pool[d] / borrowers;
-    PageCount rem = credit_pool[d] % borrowers;
+    if (credit_pool[d] == 0) continue;  // step 1 already zeroed the credits
+    std::size_t k = 0;
     for (NodeId b = 0; b < n; ++b) {
-      if (b == d) continue;
-      PageCount share = base;
-      if (rem > 0) {
-        share += 1;
-        --rem;
-      }
-      state_[b].credit[d] = share;
+      if (b != d) demand[k++] = state_[b].failed_placements;
+    }
+    const std::vector<PageCount> share =
+        split_credit(credit_pool[d], demand, demand_weighted_);
+    k = 0;
+    for (NodeId b = 0; b < n; ++b) {
+      if (b != d) state_[b].credit[d] = share[k++];
     }
   }
+  // The window's demand signal is consumed; the next window accumulates
+  // afresh.
+  for (NodeState& s : state_) s.failed_placements = 0;
 
   PageCount total = 0;
   for (const NodeState& s : state_) total += s.borrowed_total;
@@ -414,6 +462,8 @@ void LendingBroker::register_metrics(obs::Registry& reg) const {
                 [this] { return static_cast<double>(borrow_hits()); });
   reg.add_gauge("lend.borrow_misses",
                 [this] { return static_cast<double>(borrow_misses()); });
+  reg.add_gauge("lend.failed_placements",
+                [this] { return static_cast<double>(failed_placements()); });
   reg.add_counter("lend.recalls", &recalls_);
   reg.add_counter("lend.recall_migrations", &recall_migrations_);
   reg.add_gauge("lend.peak_borrowed",

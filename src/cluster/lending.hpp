@@ -59,12 +59,26 @@ enum class LendingMode : std::uint8_t {
   kSharded,
 };
 
+/// Splits a donor's credit pool across its borrowers. `demand[i]` is
+/// borrower i's failed-placement count from the last window; with
+/// `demand_weighted` the pool divides proportionally to (1 + demand[i]) by
+/// largest remainder (ties to the lowest index), otherwise evenly with the
+/// remainder to the lowest indices. The two coincide when every demand is
+/// equal, so the weighted split is a strict generalization of the even one.
+std::vector<PageCount> split_credit(PageCount pool,
+                                    const std::vector<std::uint64_t>& demand,
+                                    bool demand_weighted);
+
 class LendingBroker {
  public:
   /// `nodes[i]` is node i's hypervisor; the broker holds the pointers for
-  /// the cluster's lifetime.
+  /// the cluster's lifetime. With `demand_weighted` (kSharded only) each
+  /// window's credit splits proportionally to the borrowers' failed
+  /// placements of the previous window instead of evenly — borrowers that
+  /// ran out of credit get more, idle ones keep a floor share.
   explicit LendingBroker(std::vector<hyper::Hypervisor*> nodes,
-                         LendingMode mode = LendingMode::kImmediate);
+                         LendingMode mode = LendingMode::kImmediate,
+                         bool demand_weighted = false);
 
   LendingBroker(const LendingBroker&) = delete;
   LendingBroker& operator=(const LendingBroker&) = delete;
@@ -97,6 +111,11 @@ class LendingBroker {
   std::uint64_t borrow_placements() const;
   std::uint64_t borrow_hits() const;
   std::uint64_t borrow_misses() const;
+  /// Lifetime fresh placements that found no donor (no lendable frame in
+  /// immediate mode, no remaining window credit in sharded mode). The
+  /// per-window slice of this is the demand-weighted split's signal.
+  std::uint64_t failed_placements() const;
+  bool demand_weighted() const { return demand_weighted_; }
   std::uint64_t recalls() const { return recalls_; }
   std::uint64_t recall_migrations() const { return recall_migrations_; }
 
@@ -176,6 +195,8 @@ class LendingBroker {
     std::uint64_t placements = 0;
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
+    std::uint64_t failed_placements = 0;        // this window (demand signal)
+    std::uint64_t failed_placements_total = 0;  // lifetime
     // ---- kSharded only ----------------------------------------------------
     // Authoritative payloads of this borrower's borrowed pages. In sharded
     // mode the donor store holds opaque leased frames; the data itself
@@ -219,6 +240,7 @@ class LendingBroker {
   std::vector<hyper::Hypervisor*> hyps_;
   std::vector<NodeState> state_;
   LendingMode mode_;
+  bool demand_weighted_ = false;
   PageCount peak_borrowed_ = 0;
   std::uint64_t recalls_ = 0;
   std::uint64_t recall_migrations_ = 0;

@@ -8,6 +8,7 @@
 // NodeQuotaMsg per node over that node's inter-node downlink.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/types.hpp"
@@ -60,5 +61,25 @@ struct NodeQuotaMsg {
   NodeId node = 0;
   PageCount quota = kUnlimitedTarget;
 };
+
+/// Payload equality, ignoring the transport stamps (seq, when) — the
+/// GlobalManager's dirty test: a roll-up whose numbers are identical to the
+/// previous one cannot change a pure policy's output.
+inline bool same_payload(const NodeStats& a, const NodeStats& b) {
+  return a.node == b.node && a.phys_tmem == b.phys_tmem &&
+         a.quota == b.quota && a.used == b.used && a.lent == b.lent &&
+         a.borrowed == b.borrowed && a.puts_total == b.puts_total &&
+         a.puts_succ == b.puts_succ &&
+         a.cumul_failed_puts == b.cumul_failed_puts &&
+         a.vm_count == b.vm_count;
+}
+
+/// Modeled packed wire sizes (bytes) for the rack control plane's
+/// payload-byte accounting; same role as hyper::wire_size for the per-VM
+/// hops. NodeStats: node 4 + seq 8 + when 8 + 5 page counters x 8 +
+/// 3 put counters x 8 + vm_count 4.
+inline std::size_t wire_size(const NodeStats&) { return 88; }
+/// NodeQuotaMsg: seq 8 + node 4 + quota 8.
+inline std::size_t wire_size(const NodeQuotaMsg&) { return 20; }
 
 }  // namespace smartmem::cluster

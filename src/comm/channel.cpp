@@ -77,6 +77,7 @@ void register_channel_metrics(obs::Registry& reg, const std::string& prefix,
   reg.add_counter(prefix + "dropped_queue", &stats->dropped_queue);
   reg.add_counter(prefix + "backpressured", &stats->backpressured);
   reg.add_counter(prefix + "duplicated", &stats->duplicated);
+  reg.add_counter(prefix + "payload_bytes", &stats->payload_bytes);
   reg.add_running_stats(prefix + "latency_us", &stats->latency);
   // Quantiles come from the histogram; .count already covered above.
   const Histogram* hist = &stats->latency_hist;

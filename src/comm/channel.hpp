@@ -32,6 +32,7 @@
 #include <string>
 #include <utility>
 
+#include "comm/delta.hpp"
 #include "common/rng.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
@@ -147,6 +148,10 @@ struct ChannelStats {
   std::uint64_t duplicated = 0;     // extra deliveries scheduled
   std::uint64_t reordered = 0;      // messages given the reorder penalty
   std::uint64_t cancelled = 0;      // in-flight deliveries killed by close()
+  /// Modeled wire bytes of accepted sends (set_sizer). Counted once per
+  /// accepted send — duplication is the channel's fault, not the sender's
+  /// traffic — so the delta-vs-full saving reads directly off this counter.
+  std::uint64_t payload_bytes = 0;
   /// Delivery latency in microseconds (mean/min/max and a histogram for
   /// quantiles; the 10 ms upper edge covers every configured hop, slower
   /// deliveries land in the overflow bucket and still count in `latency`).
@@ -250,6 +255,7 @@ class Channel {
       }
     }
     ++stats_.sent;
+    if (sizer_) stats_.payload_bytes += sizer_(msg);
     SimTime delay = sample_latency(config_.latency, rng_);
     if (f.reorder_rate > 0.0 && rng_.chance(f.reorder_rate)) {
       ++stats_.reordered;
@@ -274,6 +280,14 @@ class Channel {
 
   const ChannelStats& stats() const { return stats_; }
   const ChannelConfig& config() const { return config_; }
+
+  /// Installs a payload-size model: every accepted send adds `sizer(msg)` to
+  /// stats().payload_bytes. The sizer must be a pure function of the message
+  /// (wire_size() helpers next to each message type) so byte counts are
+  /// deterministic. nullptr detaches (bytes stop accumulating).
+  void set_sizer(std::function<std::size_t(const T&)> sizer) {
+    sizer_ = std::move(sizer);
+  }
 
   /// Attaches a trace recorder: each delivery becomes a flight span (from
   /// send to delivery on `track`) and each drop an instant. nullptr detaches.
@@ -356,6 +370,7 @@ class Channel {
   Receiver receiver_;
   bool open_ = false;
   std::uint64_t next_delivery_id_ = 0;
+  std::function<std::size_t(const T&)> sizer_;
   // Ordered by send sequence so kDropOldest can cancel begin(); deliveries
   // erase themselves when they fire.
   std::map<std::uint64_t, sim::EventHandle> pending_;
@@ -398,6 +413,10 @@ struct CommConfig {
   bool ack_targets = false;
   SimTime ack_timeout = 500 * kMillisecond;
   std::uint32_t ack_max_retries = 3;
+
+  /// Delta-encodes the MemStats uplink and the TargetsMsg downlink (DESIGN
+  /// §12). Off by default: the classic full-vector path stays byte-identical.
+  DeltaConfig delta;
 
   CommConfig() {
     uplink.name = "uplink";

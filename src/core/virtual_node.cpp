@@ -64,6 +64,8 @@ VirtualNode::VirtualNode(NodeConfig config, sim::Simulator* external)
     mcfg.sample_interval = config_.sample_interval;
     mcfg.suppress_unchanged = config_.mm_suppress_unchanged;
     mcfg.adaptive = config_.adaptive_interval;
+    mcfg.delta = config_.comm.delta;
+    mcfg.incremental = config_.mm_incremental;
     manager_ = std::make_unique<mm::MemoryManager>(
         mm::make_policy(config_.policy),
         config_.tmem_pages + config_.nvm_tmem_pages, mcfg);

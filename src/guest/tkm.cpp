@@ -27,7 +27,15 @@ Tkm::Tkm(sim::Simulator& sim, hyper::Hypervisor& hypervisor,
       downlink_(sim, seeded(std::move(config.downlink), config.seed, 1)),
       ack_targets_(config.ack_targets),
       ack_timeout_(config.ack_timeout),
-      ack_max_retries_(config.ack_max_retries) {
+      ack_max_retries_(config.ack_max_retries),
+      delta_(config.delta),
+      stats_encoder_(config.delta) {
+  // Wire-size models make control-plane bytes measurable in either
+  // encoding; a sizer is pure bookkeeping and never touches behavior.
+  uplink_.set_sizer(
+      [](const hyper::MemStats& m) { return hyper::wire_size(m); });
+  downlink_.set_sizer(
+      [](const hyper::TargetsMsg& m) { return hyper::wire_size(m); });
   // The downlink terminates in the sequenced hypercall from construction on,
   // so an MM (or test) may submit targets before start().
   install_downlink();
@@ -51,7 +59,11 @@ void Tkm::start(StatsSink sink) {
   if (!downlink_.is_open()) install_downlink();
   hyp_.start_sampling([this](const hyper::MemStats& stats) {
     if (virq_tap_) virq_tap_(stats);
-    uplink_.send(stats);
+    if (delta_.enabled) {
+      uplink_.send(stats_encoder_.encode(stats));
+    } else {
+      uplink_.send(stats);
+    }
   });
 }
 

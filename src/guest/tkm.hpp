@@ -21,6 +21,7 @@
 
 #include "comm/channel.hpp"
 #include "common/types.hpp"
+#include "hyper/delta.hpp"
 #include "hyper/hypervisor.hpp"
 #include "sim/simulator.hpp"
 
@@ -76,6 +77,13 @@ class Tkm {
     return uplink_.backpressure();
   }
 
+  /// Uplink stats messages encoded as deltas / as full snapshots (delta
+  /// mode only; both 0 when CommConfig::delta is off).
+  std::uint64_t stats_delta_sends() const {
+    return stats_encoder_.sends() - stats_encoder_.full_sends();
+  }
+  std::uint64_t stats_full_sends() const { return stats_encoder_.full_sends(); }
+
   /// Attaches a trace recorder to both hops (one "comm" track per hop) and
   /// registers their counters/latency metrics; either pointer may be null.
   void attach_obs(obs::TraceRecorder* trace, obs::Registry* registry);
@@ -99,6 +107,11 @@ class Tkm {
   comm::Channel<hyper::MemStats> uplink_;
   comm::Channel<hyper::TargetsMsg> downlink_;
   StatsSink virq_tap_;
+  // Uplink delta codec (DESIGN §12): when CommConfig::delta is on, each
+  // VIRQ sample is diffed against the previous send before hitting the
+  // channel. The virq_tap_ still sees the full snapshot.
+  comm::DeltaConfig delta_;
+  hyper::StatsDeltaEncoder stats_encoder_;
 
   // Ack/retry state (CommConfig::ack_targets). The delivered hypercall is
   // the implicit ack: the downlink is one-way, so "a message with seq >= the

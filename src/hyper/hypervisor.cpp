@@ -340,6 +340,28 @@ void Hypervisor::apply_targets(const TargetsMsg& msg) {
                  static_cast<unsigned long long>(last_target_seq_));
       return;
     }
+    if (msg.delta && msg.base_seq != last_target_seq_) {
+      // Broken delta chain (DESIGN §12): a predecessor was lost or
+      // reordered, so this delta would fold onto the wrong base. Drop it
+      // WITHOUT advancing last_target_seq_ — every later delta keeps
+      // failing the same check until the MM's periodic full snapshot
+      // restores the chain.
+      ++target_chain_breaks_;
+      if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+        trace_->instant(obs::kCatHyper, hyper_track_, "targets_chain_break",
+                        sim_.now(),
+                        {{"seq", static_cast<double>(msg.seq)},
+                         {"base_seq", static_cast<double>(msg.base_seq)},
+                         {"last_seq",
+                          static_cast<double>(last_target_seq_)}});
+      }
+      log::debug(kLogComp,
+                 "dropped delta mm_out seq %llu: base %llu != last %llu",
+                 static_cast<unsigned long long>(msg.seq),
+                 static_cast<unsigned long long>(msg.base_seq),
+                 static_cast<unsigned long long>(last_target_seq_));
+      return;
+    }
     last_target_seq_ = msg.seq;
   }
   // Adaptive control plane: an interval update rides the same sequenced
@@ -733,6 +755,7 @@ void Hypervisor::register_metrics(obs::Registry& reg) const {
   reg.add_gauge("hyper.sample_interval_s",
                 [this] { return to_seconds(config_.sample_interval); });
   reg.add_counter("hyper.stale_targets_dropped", &stale_targets_dropped_);
+  reg.add_counter("hyper.target_chain_breaks", &target_chain_breaks_);
   reg.add_counter("hyper.quota_updates", &quota_updates_);
   reg.add_counter("hyper.stale_quotas_dropped", &stale_quotas_dropped_);
   reg.add_counter("hyper.remote_puts", &remote_puts_);

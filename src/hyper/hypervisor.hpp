@@ -242,6 +242,9 @@ class Hypervisor {
   std::uint64_t stale_targets_dropped() const {
     return stale_targets_dropped_;
   }
+  /// Delta TargetsMsgs dropped because their base_seq did not match the
+  /// last applied seq (DESIGN §12 chain invariant).
+  std::uint64_t target_chain_breaks() const { return target_chain_breaks_; }
   std::uint64_t last_target_seq() const { return last_target_seq_; }
   std::vector<VmId> registered_vms() const;
 
@@ -301,6 +304,7 @@ class Hypervisor {
   std::uint64_t target_updates_ = 0;
   std::uint64_t last_target_seq_ = 0;
   std::uint64_t stale_targets_dropped_ = 0;
+  std::uint64_t target_chain_breaks_ = 0;
   obs::TraceRecorder* trace_ = nullptr;
   std::uint16_t hyper_track_ = 0;
   std::map<VmId, std::uint16_t> vm_tracks_;

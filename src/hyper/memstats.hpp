@@ -27,6 +27,8 @@ struct VmMemStats {
   PageCount tmem_used = 0;
   /// Target currently enforced by the hypervisor (vm_data_hyp[id].mm_target).
   PageCount mm_target = kUnlimitedTarget;
+
+  friend bool operator==(const VmMemStats&, const VmMemStats&) = default;
 };
 
 /// One sample of node-wide memory statistics (memstats in Table I).
@@ -48,6 +50,15 @@ struct MemStats {
   PageCount free_tmem = 0;           // node_info.free_tmem
   std::uint32_t vm_count = 0;        // node_info.vm_count
   std::vector<VmMemStats> vm;
+  /// Delta framing (DESIGN §12). When `delta` is true, `vm` carries only the
+  /// entries that changed since the sender's previous send and the message
+  /// chains onto it: it applies iff the receiver's last applied seq equals
+  /// `base_seq`. A broken chain (lost/reordered predecessor) drops the
+  /// message *without* advancing the receiver's seq, so recovery is the next
+  /// full snapshot — never a partial fold onto the wrong base. The scalar
+  /// header fields above are always absolute.
+  bool delta = false;
+  std::uint64_t base_seq = 0;
 };
 
 /// One entry of the MM's output (mm_out[i] in Table I).
@@ -75,6 +86,31 @@ struct TargetsMsg {
   /// change — the paper-faithful default. `targets` may be empty on a pure
   /// interval update.
   SimTime new_interval = 0;
+  /// Delta framing, mirroring MemStats: when true, `targets` carries only
+  /// the per-VM targets that changed since the sender's previous send, and
+  /// the message applies iff the hypervisor's last applied seq == base_seq.
+  bool delta = false;
+  std::uint64_t base_seq = 0;
 };
+
+/// Modeled wire sizes (bytes) of the control messages — pure functions of
+/// the payload, used as Channel sizers so control_bytes is deterministic.
+/// Layout mirrors a packed C ABI struct: fixed header + array of entries.
+inline std::size_t wire_size(const VmMemStats&) {
+  // vm_id(4) + puts_total(8) + puts_succ(8) + cumul(8) + used(8) + target(8)
+  return 44;
+}
+inline std::size_t wire_size(const MemStats& s) {
+  // seq(8) + when(8) + interval(8) + total(8) + free(8) + vm_count(4) +
+  // flags/base_seq(1+8) + entry count(4)
+  return 57 + s.vm.size() * 44;
+}
+inline std::size_t wire_size(const MmTarget&) {
+  return 12;  // vm_id(4) + mm_target(8)
+}
+inline std::size_t wire_size(const TargetsMsg& m) {
+  // seq(8) + new_interval(8) + flags/base_seq(1+8) + entry count(4)
+  return 29 + m.targets.size() * 12;
+}
 
 }  // namespace smartmem::hyper

@@ -1,5 +1,7 @@
 #include "mm/manager.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
@@ -27,6 +29,13 @@ MemoryManager::MemoryManager(PolicyPtr policy, PageCount total_tmem,
   }
   if (config_.adaptive.enabled) {
     interval_ctl_.emplace(config_.adaptive, config_.sample_interval);
+  }
+  if (config_.delta.enabled && !config_.incremental) {
+    // Classic compute + delta framing: the per-decision full vector is
+    // diffed against the last sent one by the encoder. The incremental
+    // path frames its own deltas (the policy already returns exactly the
+    // changed entries).
+    targets_encoder_.emplace(config_.delta);
   }
 }
 
@@ -64,6 +73,13 @@ void MemoryManager::register_metrics(obs::Registry& reg) const {
     return interval_ctl_ ? static_cast<double>(interval_ctl_->changes()) : 0.0;
   });
   reg.add_counter("mm.interval_msgs_sent", &interval_msgs_sent_);
+  // Fleet-scale control plane (DESIGN §12): delta decode/encode health and
+  // the O(changed-VMs) decide counters. All flat when the features are off.
+  reg.add_counter("mm.stats_chain_breaks",
+                  [this] { return static_cast<double>(stats_chain_breaks()); });
+  reg.add_counter("mm.targets_full_sends", &downlink_full_sends_);
+  reg.add_counter("mm.incremental_decides", &incremental_decides_);
+  reg.add_counter("mm.decide_ns_total", &decide_ns_total_);
   reg.add_gauge("mm.sample_interval_s",
                 [this] { return to_seconds(current_interval()); });
 }
@@ -118,11 +134,35 @@ void MemoryManager::on_stats(const hyper::MemStats& stats) {
                  static_cast<unsigned long long>(last_sample_seq_));
       return;
     }
-    last_sample_seq_ = stats.seq;
+    // The materialized view (below) advances last_sample_seq_ only once the
+    // message actually applies: a delta on a broken chain must stay
+    // droppable without blocking its retransmitted predecessors.
   }
+  const bool materialize = config_.delta.enabled || config_.incremental;
+  if (!materialize) {
+    // Classic path, byte-identical to the full-vector control plane.
+    if (stats.seq != 0) last_sample_seq_ = stats.seq;
+    ++samples_seen_;
+    history_.record(stats);
+    process_sample(stats, nullptr);
+    return;
+  }
+  if (!stats_view_.apply(stats, dirty_scratch_)) {
+    // Broken delta chain: counted in the view, recovery is the TKM's next
+    // full snapshot. (Stale seqs were already dropped above.)
+    log::debug(kLogComp, "dropped delta memstats seq %llu: base %llu",
+               static_cast<unsigned long long>(stats.seq),
+               static_cast<unsigned long long>(stats.base_seq));
+    return;
+  }
+  if (stats.seq != 0) last_sample_seq_ = stats.seq;
   ++samples_seen_;
-  history_.record(stats);
+  history_.record(stats_view_.view());
+  process_sample(stats_view_.view(), &dirty_scratch_);
+}
 
+void MemoryManager::process_sample(const hyper::MemStats& stats,
+                                   const std::vector<std::size_t>* dirty) {
   const SimTime now = clock_ ? clock_() : stats.when;
   last_stats_when_ = stats.when;
   // Normalize staleness by the interval in effect when *this* sample was
@@ -150,7 +190,24 @@ void MemoryManager::on_stats(const hyper::MemStats& stats) {
     ctx.audit = &scratch_;
   }
 
-  hyper::MmOut out = policy_->compute(stats, ctx);
+  // O(changed-VMs) path: only with a dirty set, an incremental-capable
+  // policy, and no decision audit (audits need a verdict per VM anyway).
+  const bool use_inc = config_.incremental && dirty != nullptr &&
+                       audit_ == nullptr && policy_->supports_incremental();
+  hyper::MmOut out;
+  std::vector<hyper::MmTarget> changed;
+  const auto decide_start = std::chrono::steady_clock::now();
+  if (use_inc) {
+    changed = policy_->decide_incremental(stats, *dirty, ctx);
+  } else {
+    out = policy_->compute(stats, ctx);
+  }
+  decide_ns_total_ += static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - decide_start)
+          .count());
+  ++decide_count_;
+  if (use_inc) ++incremental_decides_;
 
   // Adaptive cadence: feed the controller this sample's pressure signal and
   // remember any interval change so it can ride the outgoing message (or a
@@ -182,8 +239,48 @@ void MemoryManager::on_stats(const hyper::MemStats& stats) {
     trace_->span(obs::kCatMm, mm_track_, "policy_decide", stats.when,
                  now - stats.when,
                  {{"seq", static_cast<double>(stats.seq)},
-                  {"targets", static_cast<double>(out.size())},
+                  {"targets", static_cast<double>(use_inc ? changed.size()
+                                                         : out.size())},
                   {"age_intervals", last_stats_age_}});
+  }
+
+  if (use_inc) {
+    // The policy returned exactly the targets that changed; empty means
+    // "identical vector", i.e. the suppression case, without ever
+    // comparing full vectors.
+    if (changed.empty()) {
+      if (!mat_out_.empty()) ++sends_suppressed_;
+      send_interval_update(interval_update);
+      return;
+    }
+    fold_materialized(changed);
+    ++targets_sent_;
+    if (!sender_) {
+      log::warn(kLogComp, "no sender attached; targets dropped");
+      return;
+    }
+    hyper::TargetsMsg msg;
+    msg.seq = ++next_send_seq_;
+    msg.new_interval = interval_update;
+    if (config_.delta.enabled) {
+      const bool full =
+          config_.delta.resync_every <= 1 ||
+          (downlink_sends_ % config_.delta.resync_every) == 0;
+      ++downlink_sends_;
+      if (full) {
+        msg.targets = mat_out_;
+        ++downlink_full_sends_;
+      } else {
+        msg.delta = true;
+        msg.base_seq = last_downlink_seq_;
+        msg.targets = std::move(changed);
+      }
+    } else {
+      msg.targets = mat_out_;
+    }
+    last_downlink_seq_ = msg.seq;
+    sender_(msg);
+    return;
   }
 
   obs::DecisionRecord record;
@@ -224,10 +321,33 @@ void MemoryManager::on_stats(const hyper::MemStats& stats) {
     audit_->append(std::move(record));
   }
   if (sender_) {
-    sender_(hyper::TargetsMsg{++next_send_seq_, std::move(out),
-                              interval_update});
+    if (targets_encoder_) {
+      hyper::TargetsMsg msg =
+          targets_encoder_->encode(++next_send_seq_, out, interval_update);
+      if (!msg.delta) ++downlink_full_sends_;
+      ++downlink_sends_;
+      last_downlink_seq_ = msg.seq;
+      sender_(msg);
+    } else {
+      sender_(hyper::TargetsMsg{++next_send_seq_, std::move(out),
+                                interval_update});
+    }
   } else {
     log::warn(kLogComp, "no sender attached; targets dropped");
+  }
+}
+
+void MemoryManager::fold_materialized(
+    const std::vector<hyper::MmTarget>& changed) {
+  for (const hyper::MmTarget& t : changed) {
+    auto it = std::lower_bound(
+        mat_out_.begin(), mat_out_.end(), t.vm_id,
+        [](const hyper::MmTarget& a, VmId id) { return a.vm_id < id; });
+    if (it != mat_out_.end() && it->vm_id == t.vm_id) {
+      it->mm_target = t.mm_target;
+    } else {
+      mat_out_.insert(it, t);
+    }
   }
 }
 
@@ -241,7 +361,13 @@ void MemoryManager::send_interval_update(SimTime interval) {
     return;
   }
   ++interval_msgs_sent_;
+  // Interval-only messages are always full-framed (no entries to delta),
+  // but they advance the downlink seq, so both delta framers must chain
+  // their next delta onto this seq — the hypervisor's last applied seq
+  // moves when this message lands.
   sender_(hyper::TargetsMsg{++next_send_seq_, {}, interval});
+  last_downlink_seq_ = next_send_seq_;
+  if (targets_encoder_) targets_encoder_->note_interval_send(next_send_seq_);
 }
 
 }  // namespace smartmem::mm

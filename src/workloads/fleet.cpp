@@ -1,0 +1,83 @@
+#include "workloads/fleet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartmem::workloads {
+
+const char* to_string(FleetMix mix) {
+  switch (mix) {
+    case FleetMix::kReadHeavy: return "read-heavy";
+    case FleetMix::kBalanced: return "balanced";
+    case FleetMix::kWriteHeavy: return "write-heavy";
+  }
+  return "?";
+}
+
+bool parse_fleet_mix(const std::string& text, FleetMix& out) {
+  if (text == "read-heavy") {
+    out = FleetMix::kReadHeavy;
+  } else if (text == "balanced") {
+    out = FleetMix::kBalanced;
+  } else if (text == "write-heavy") {
+    out = FleetMix::kWriteHeavy;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+double read_fraction(FleetMix mix) {
+  switch (mix) {
+    case FleetMix::kReadHeavy: return 0.95;
+    case FleetMix::kBalanced: return 0.50;
+    case FleetMix::kWriteHeavy: return 0.10;
+  }
+  return 0.5;
+}
+
+double fleet_intensity(double skew, std::size_t rank) {
+  return std::pow(1.0 / (1.0 + static_cast<double>(rank)), skew);
+}
+
+SimTime fleet_arrival(const FleetWorkloadConfig& cfg, std::size_t rank) {
+  if (cfg.tenants <= 1 || cfg.arrival_window <= 0) return 0;
+  return static_cast<SimTime>(static_cast<double>(cfg.arrival_window) *
+                              static_cast<double>(rank) /
+                              static_cast<double>(cfg.tenants));
+}
+
+WorkloadPtr make_fleet_tenant(const FleetWorkloadConfig& cfg,
+                              std::size_t rank) {
+  const double intensity = fleet_intensity(cfg.skew, rank);
+  const auto touches = std::max<PageCount>(
+      1, static_cast<PageCount>(std::llround(
+             static_cast<double>(cfg.touches_per_phase) * intensity)));
+  const auto reads = static_cast<PageCount>(
+      std::llround(static_cast<double>(touches) * read_fraction(cfg.mix)));
+  const PageCount writes = touches - reads;
+
+  std::vector<MemOp> ops;
+  ops.reserve(3 * cfg.phases + 3);
+  ops.push_back(MemOp::alloc(cfg.working_set));
+  ops.push_back(MemOp::marker("fleet-start"));
+  for (std::size_t p = 0; p < cfg.phases; ++p) {
+    // Writes first: they dirty pages and build the swap/tmem pressure the
+    // subsequent reads then hit (or miss) in tmem.
+    if (writes > 0) {
+      ops.push_back(MemOp::touch(0, 0, cfg.working_set, writes,
+                                 AccessPattern::kZipf, /*write=*/true,
+                                 cfg.per_touch_compute, cfg.zipf_s));
+    }
+    if (reads > 0) {
+      ops.push_back(MemOp::touch(0, 0, cfg.working_set, reads,
+                                 AccessPattern::kZipf, /*write=*/false,
+                                 cfg.per_touch_compute, cfg.zipf_s));
+    }
+    if (cfg.think_time > 0) ops.push_back(MemOp::sleep(cfg.think_time));
+  }
+  ops.push_back(MemOp::marker("fleet-done"));
+  return std::make_unique<ScriptWorkload>(std::move(ops), 1, "fleet");
+}
+
+}  // namespace smartmem::workloads

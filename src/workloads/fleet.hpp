@@ -1,0 +1,70 @@
+// Multi-tenant fleet load generator.
+//
+// A "fleet" is many tenants (one per VM, spread over many nodes) whose
+// per-tenant intensity follows a zipfian rank distribution: tenant rank 0
+// is the hottest, rank r generates 1/(1+r)^skew of its traffic. Each
+// tenant runs the same phase loop — a YCSB-style read/write touch mix over
+// a private working set, zipf-skewed within the set — expressed as a plain
+// op script on top of ScriptWorkload, so a tenant is a pure deterministic
+// iterator and the whole fleet reproduces from the run seed. Staggered
+// arrivals (tenants come up spread over an arrival window, hottest first)
+// keep the fleet from phase-locking every node's demand spike onto the
+// same sampling interval.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "workloads/script_workload.hpp"
+
+namespace smartmem::workloads {
+
+/// YCSB-style operation mixes, parameterized as each phase's read fraction.
+enum class FleetMix : std::uint8_t {
+  kReadHeavy,   // 95% reads / 5% writes (YCSB-B flavour)
+  kBalanced,    // 50/50 (YCSB-A flavour)
+  kWriteHeavy,  // 10% reads / 90% writes (ingest)
+};
+
+const char* to_string(FleetMix mix);
+bool parse_fleet_mix(const std::string& text, FleetMix& out);
+/// Fraction of each phase's touches that are reads.
+double read_fraction(FleetMix mix);
+
+struct FleetWorkloadConfig {
+  /// Fleet-wide tenant count (VMs summed over all nodes). Rank r of the
+  /// zipfian intensity curve is the tenant's global index.
+  std::size_t tenants = 1;
+  /// Zipf exponent of the per-tenant intensity (0 = uniform fleet).
+  double skew = 0.8;
+  FleetMix mix = FleetMix::kBalanced;
+  /// Pages in the tenant's single anonymous region. Sized above the VM's
+  /// usable RAM by the experiment layer so the phase loop swaps into tmem.
+  PageCount working_set = 0;
+  /// Touches per phase for the rank-0 tenant; rank r runs
+  /// intensity(r) * this, floored at 1.
+  PageCount touches_per_phase = 0;
+  std::size_t phases = 6;
+  /// Page skew *within* the working set (hot head).
+  double zipf_s = 0.9;
+  SimTime per_touch_compute = 2 * kMicrosecond;
+  /// Idle time between phases (think time).
+  SimTime think_time = 0;
+  /// Tenant arrivals are spread evenly over this window, hottest first.
+  SimTime arrival_window = 0;
+};
+
+/// Relative traffic intensity of tenant rank r: 1/(1+r)^skew, so rank 0
+/// is 1.0 and the curve flattens as skew -> 0.
+double fleet_intensity(double skew, std::size_t rank);
+
+/// Start delay of tenant `rank` under the staggered-arrival schedule.
+SimTime fleet_arrival(const FleetWorkloadConfig& cfg, std::size_t rank);
+
+/// Builds tenant `rank`'s op script: alloc working set, then `phases`
+/// rounds of write-touches followed by read-touches (mix-proportioned,
+/// zipf-skewed) and think time.
+WorkloadPtr make_fleet_tenant(const FleetWorkloadConfig& cfg,
+                              std::size_t rank);
+
+}  // namespace smartmem::workloads
