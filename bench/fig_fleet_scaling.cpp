@@ -30,6 +30,15 @@
 //   --fleet-incremental      O(changed-VMs) MM decide path
 //   --fleet-demand-weighted  demand-weighted lending credit split
 //   --fleet-no-lending       disable remote-tmem lending
+//   --profile                engine self-profile: per-shard busy/barrier-wait/
+//                            injection table + bottleneck attribution (stdout;
+//                            fleet_profile.csv with --csv). Wall-clock only —
+//                            fig_fleet_scaling.csv stays byte-identical.
+//   --trace-sample n         keep 1-in-n hot-path spans in the observed run
+//   --trace-out/--metrics-out/--audit-out f
+//                            one extra observed run (first cell geometry)
+//                            exporting the requested pillars; feed the
+//                            metrics file to obs_inspect.py fleet-report
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -65,6 +74,11 @@ struct Options {
   bool incremental = false;
   bool demand_weighted = false;
   bool lending = true;
+  bool profile = false;
+  std::uint64_t trace_sample = 1;
+  std::string trace_out;
+  std::string metrics_out;
+  std::string audit_out;
 };
 
 void usage(std::FILE* out) {
@@ -76,7 +90,8 @@ void usage(std::FILE* out) {
       "  [--fleet-mix read-heavy|balanced|write-heavy]\n"
       "  [--fleet-policy p] [--fleet-encoding delta|full|both]\n"
       "  [--fleet-resync n] [--fleet-incremental] [--fleet-demand-weighted]\n"
-      "  [--fleet-no-lending]\n");
+      "  [--fleet-no-lending] [--profile] [--trace-sample n]\n"
+      "  [--trace-out f] [--metrics-out f] [--audit-out f]\n");
 }
 
 [[noreturn]] void bad_value(const char* flag, const char* value) {
@@ -157,6 +172,16 @@ Options parse(int argc, char** argv) {
       o.demand_weighted = true;
     } else if (arg == "--fleet-no-lending") {
       o.lending = false;
+    } else if (arg == "--profile") {
+      o.profile = true;
+    } else if (arg == "--trace-sample") {
+      o.trace_sample = parse_u64("--trace-sample", next(i), 1, 1u << 20);
+    } else if (arg == "--trace-out") {
+      o.trace_out = next(i);
+    } else if (arg == "--metrics-out") {
+      o.metrics_out = next(i);
+    } else if (arg == "--audit-out") {
+      o.audit_out = next(i);
     } else if (arg == "--help" || arg == "-h") {
       usage(stdout);
       std::exit(0);
@@ -190,6 +215,7 @@ cluster::FleetRunResult run_cell(const Options& o, const Cell& cell,
   cfg.scale = o.scale;
   cfg.seed = seed;
   cfg.sim_threads = o.sim_threads;
+  cfg.profile = o.profile;
   return cluster::run_fleet_scenario(cfg);
 }
 
@@ -265,6 +291,51 @@ int main(int argc, char** argv) {
                 makespan.mean(), decide.mean(), wall_s.mean());
   }
 
+  if (o.profile) {
+    // Engine self-profile (wall-clock — stdout and fleet_profile.csv only;
+    // the outcome CSV above must stay byte-identical with --profile on).
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      const cluster::FleetRunResult& r = runs[c * o.reps];  // rep 0
+      if (r.profile.empty()) continue;
+      std::printf("\n--- profile: %zu nodes, %s (rep 0) ---\n",
+                  cells[c].nodes, cells[c].delta ? "delta" : "full");
+      std::printf("%-6s %10s %10s %8s %8s %10s %9s %9s %7s\n", "shard",
+                  "busy_ms", "wait_ms", "occ_mean", "occ_p95", "events",
+                  "inj_out", "inj_in", "crit_w");
+      // Busiest first; at 64 nodes the full table is noise, so cap at the
+      // top 10 — the CSV keeps every shard.
+      std::vector<const cluster::FleetRunResult::ShardProfileRow*> rows;
+      rows.reserve(r.profile.size());
+      for (const auto& row : r.profile) rows.push_back(&row);
+      std::sort(rows.begin(), rows.end(),
+                [](const auto* a, const auto* b) {
+                  return a->busy_ms > b->busy_ms;
+                });
+      const std::size_t shown = std::min<std::size_t>(rows.size(), 10);
+      for (std::size_t s = 0; s < shown; ++s) {
+        const auto& row = *rows[s];
+        std::printf("%-6s %10.2f %10.2f %8.2f %8.2f %10llu %9llu %9llu "
+                    "%7llu\n",
+                    row.label.c_str(), row.busy_ms, row.barrier_wait_ms,
+                    row.occupancy_mean, row.occupancy_p95,
+                    static_cast<unsigned long long>(row.events),
+                    static_cast<unsigned long long>(row.injections_out),
+                    static_cast<unsigned long long>(row.injections_in),
+                    static_cast<unsigned long long>(row.critical_windows));
+      }
+      if (shown < rows.size()) {
+        std::printf("  ... %zu more shards (see fleet_profile.csv)\n",
+                    rows.size() - shown);
+      }
+      std::printf("bottleneck: %s | windows %llu, idle-skip %.1fs sim, "
+                  "critical-path %.1fms, drain %.2fms, hook %.2fms\n",
+                  r.bottleneck.c_str(),
+                  static_cast<unsigned long long>(r.engine_windows),
+                  r.engine_idle_skip_s, r.engine_window_wall_ms,
+                  r.engine_drain_ms, r.engine_hook_ms);
+    }
+  }
+
   // Headline: the delta encoding's steady-state saving where both
   // encodings ran at the same geometry.
   for (std::size_t a = 0; a < cells.size(); ++a) {
@@ -325,6 +396,82 @@ int main(int argc, char** argv) {
       }
     }
     std::printf("\nwrote %s\n", path.c_str());
+
+    if (o.profile) {
+      // Separate artifact on purpose: everything in here is wall-clock, so
+      // it must never ride in the md5-checked outcome CSV.
+      const std::string ppath = o.csv_dir + "/fleet_profile.csv";
+      std::ofstream pcsv(ppath);
+      pcsv << "nodes,encoding,rep,shard,busy_ms,barrier_wait_ms,"
+              "occupancy_mean,occupancy_p95,events,injections_out,"
+              "injections_in,critical_windows,bottleneck,windows,"
+              "idle_skip_s,window_wall_ms,drain_ms,hook_ms\n";
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (std::size_t rep = 0; rep < o.reps; ++rep) {
+          const cluster::FleetRunResult& r = runs[c * o.reps + rep];
+          for (const auto& row : r.profile) {
+            char line[512];
+            std::snprintf(
+                line, sizeof line,
+                "%zu,%s,%zu,%s,%.3f,%.3f,%.4f,%.4f,%llu,%llu,%llu,%llu,"
+                "%s,%llu,%.3f,%.3f,%.3f,%.3f\n",
+                cells[c].nodes, cells[c].delta ? "delta" : "full", rep,
+                row.label.c_str(), row.busy_ms, row.barrier_wait_ms,
+                row.occupancy_mean, row.occupancy_p95,
+                static_cast<unsigned long long>(row.events),
+                static_cast<unsigned long long>(row.injections_out),
+                static_cast<unsigned long long>(row.injections_in),
+                static_cast<unsigned long long>(row.critical_windows),
+                r.bottleneck.c_str(),
+                static_cast<unsigned long long>(r.engine_windows),
+                r.engine_idle_skip_s, r.engine_window_wall_ms,
+                r.engine_drain_ms, r.engine_hook_ms);
+            pcsv << line;
+          }
+        }
+      }
+      std::printf("wrote %s\n", ppath.c_str());
+    }
+  }
+
+  if (!o.trace_out.empty() || !o.metrics_out.empty() || !o.audit_out.empty()) {
+    // One extra observed run at the first cell's geometry: the measured
+    // grid above stays observability-free so its wall columns mean what
+    // they say. The metrics export is what obs_inspect.py fleet-report
+    // reads; delta encoding on so the delta-health telemetry is live.
+    Cell cell = cells.front();
+    for (const Cell& c : cells) {
+      if (c.delta) { cell = c; break; }
+    }
+    cluster::FleetExperimentConfig cfg;
+    cfg.nodes = cell.nodes;
+    cfg.vms_per_node = o.vms;
+    cfg.skew = o.skew;
+    cfg.mix = o.mix;
+    cfg.global_policy = o.policy;
+    cfg.lending = o.lending;
+    cfg.lending_demand_weighted = o.demand_weighted;
+    cfg.delta = cell.delta;
+    cfg.resync_every = o.resync;
+    cfg.mm_incremental = o.incremental;
+    cfg.scale = o.scale;
+    cfg.seed = o.seed;
+    cfg.sim_threads = o.sim_threads;
+    cfg.profile = o.profile;
+    cfg.obs.trace_out = o.trace_out;
+    cfg.obs.metrics_out = o.metrics_out;
+    cfg.obs.audit_out = o.audit_out;
+    cfg.obs.trace_sample_every = o.trace_sample;
+    std::printf("\nobserved run: %zu nodes, %s encoding, trace-sample %llu\n",
+                cfg.nodes, cfg.delta ? "delta" : "full",
+                static_cast<unsigned long long>(o.trace_sample));
+    cluster::run_fleet_scenario(cfg);
+    if (!o.trace_out.empty())
+      std::printf("  trace:   %s\n", o.trace_out.c_str());
+    if (!o.metrics_out.empty())
+      std::printf("  metrics: %s\n", o.metrics_out.c_str());
+    if (!o.audit_out.empty())
+      std::printf("  audit:   %s\n", o.audit_out.c_str());
   }
   return 0;
 }

@@ -18,6 +18,7 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -464,44 +465,67 @@ DecideProbe mm_decide_probe() {
 /// Observability overhead: seeded smart-policy runs of the SAME scenario-1
 /// grid cell with all three obs pillars capturing in memory (no file I/O)
 /// vs. obs off. Both variants share one node config, so the delta is pure
-/// instrumentation cost. The probe interleaves off/on pairs (background
-/// drift biases both variants equally), computes one overhead ratio per
-/// pair, and reports the median with a ± spread so the <5% acceptance bar
-/// is judged against a stable number instead of a single noisy run.
+/// instrumentation cost. The on-config samples the two hot guest-path span
+/// families 1-in-8 (TraceConfig::sample_every) — the shipped default for
+/// heavy observed runs; everything else records unconditionally.
+///
+/// Noise discipline, sized for a shared 1-core CI box whose adjacent
+/// identical runs can differ by 25%: the probe halves the scenario scale
+/// (shorter runs -> more repetitions in the same wall budget), interleaves
+/// 20 off/on pairs so background drift biases both variants equally, and
+/// times each side twice per pair keeping the minimum (for a CPU-bound run
+/// the minimum is the least-perturbed observation — spikes only ever add
+/// time). It reports the median pair ratio; the ± spread is the standard
+/// error of that median (1.2533 * 1.4826 * MAD / sqrt(n)) — the
+/// uncertainty of the *reported number*, which tightens with sample count,
+/// rather than the raw pair range, which a single noisy neighbor widens
+/// forever. The <5% acceptance bar is judged against median and SE.
 struct ObsOverhead {
   double pct = 0.0;     // median over pairs
-  double spread = 0.0;  // ± half the (max - min) pair range, in pct points
+  double spread = 0.0;  // ± standard error of the median, in pct points
 };
 
 ObsOverhead obs_overhead(const ScalingOptions& o) {
-  const core::ScenarioSpec spec = core::scenario1(o.scale);
+  const double probe_scale = o.scale / 2.0;
+  const core::ScenarioSpec spec = core::scenario1(probe_scale);
   const mm::PolicySpec policy = mm::PolicySpec::smart(0.75);
-  const int pairs = 5;
+  const std::size_t pairs = 20;
 
   auto timed_run = [&](const core::NodeConfig* overrides) {
     const auto start = Clock::now();
     core::run_scenario(spec, policy, o.base_seed, overrides);
     return seconds_since(start);
   };
+  auto best_of_two = [&](const core::NodeConfig* overrides) {
+    return std::min(timed_run(overrides), timed_run(overrides));
+  };
 
-  core::NodeConfig off_cfg = core::scaled_node_defaults(o.scale);
-  core::NodeConfig on_cfg = core::scaled_node_defaults(o.scale);
+  core::NodeConfig off_cfg = core::scaled_node_defaults(probe_scale);
+  core::NodeConfig on_cfg = core::scaled_node_defaults(probe_scale);
   on_cfg.obs = obs::ObsConfig::capture_all();
+  // The shipped default for heavy observed runs: hot guest-path spans
+  // sampled 1-in-8, everything else recording unconditionally.
+  on_cfg.obs.trace_sample_every = 8;
   // One throwaway pair warms the allocator and page-cache state so the
   // first measured pair is not systematically slower.
   timed_run(&off_cfg);
   timed_run(&on_cfg);
   std::vector<double> pct;
-  for (int r = 0; r < pairs; ++r) {
-    const double off = timed_run(&off_cfg);
-    const double on = timed_run(&on_cfg);
+  for (std::size_t r = 0; r < pairs; ++r) {
+    const double off = best_of_two(&off_cfg);
+    const double on = best_of_two(&on_cfg);
     if (off > 0) pct.push_back(100.0 * (on - off) / off);
   }
   ObsOverhead out;
   if (pct.empty()) return out;
   std::sort(pct.begin(), pct.end());
   out.pct = pct[pct.size() / 2];
-  out.spread = (pct.back() - pct.front()) / 2.0;
+  std::vector<double> dev;
+  dev.reserve(pct.size());
+  for (const double p : pct) dev.push_back(std::fabs(p - out.pct));
+  std::sort(dev.begin(), dev.end());
+  const double mad = dev[dev.size() / 2];
+  out.spread = 1.2533 * 1.4826 * mad / std::sqrt(static_cast<double>(pct.size()));
   return out;
 }
 
@@ -555,7 +579,9 @@ int main(int argc, char** argv) {
 
   std::printf("[5/5] observability overhead (all pillars, in-memory)\n");
   const ObsOverhead obs = obs_overhead(opts);
-  std::printf("      %+.2f%% +/- %.2f%% vs. obs-off (median of 5 pairs)\n",
+  std::printf("      %+.2f%% +/- %.2f%% vs. obs-off "
+              "(median of 20 best-of-2 pairs +/- SE, "
+              "hot spans sampled 1-in-8)\n",
               obs.pct, obs.spread);
 
   std::ofstream out(opts.out);

@@ -74,6 +74,18 @@ void Cluster::wire_rack() {
     }
     rack_shard_ = engine_->add_shard(&sim_);
     engine_->set_barrier_hook([this](SimTime end) { on_barrier(end); });
+    if (config_.profile) {
+      // Label shards up front so reports and metrics name them; sizing to
+      // the final count here keeps the Registry's pointers into the
+      // per-shard storage stable (profiler state only ever grows).
+      profiler_ = std::make_unique<sim::EngineProfiler>();
+      profiler_->resize(n + 1);
+      for (std::size_t i = 0; i < n; ++i) {
+        profiler_->set_shard_label(i, "n" + std::to_string(i));
+      }
+      profiler_->set_shard_label(rack_shard_, "rack");
+      engine_->set_profiler(profiler_.get());
+    }
   }
 
   if (config_.lending) {
@@ -157,6 +169,7 @@ void Cluster::wire_rack() {
         obs::TraceConfig tcfg;
         tcfg.categories = config_.obs.trace_categories;
         tcfg.capacity = config_.obs.trace_capacity;
+        tcfg.sample_every = config_.obs.trace_sample_every;
         node_traces_.reserve(n);
         for (std::size_t i = 0; i < n; ++i) {
           node_traces_.push_back(std::make_unique<obs::TraceRecorder>(tcfg));
@@ -183,8 +196,9 @@ void Cluster::wire_rack() {
       }
     }
     if (registry != nullptr) {
-      gm_->register_metrics(*registry);
+      gm_->register_metrics(*registry, n);
       registry->add_counter("rack.rollups_suppressed", &rollups_suppressed_);
+      if (profiler_) profiler_->register_metrics(*registry);
       if (broker_) broker_->register_metrics(*registry);
       for (std::size_t i = 0; i < n; ++i) {
         const std::string prefix = "n" + std::to_string(i);
@@ -202,6 +216,53 @@ void Cluster::wire_rack() {
         });
         registry->add_gauge(prefix + ".lent", [&hyp] {
           return static_cast<double>(hyp.lent_pages());
+        });
+        // Per-node control-plane health rollup (read at barrier snapshots,
+        // when every shard is quiescent): resync split, wire bytes and
+        // robustness drops on the node's own VM hops, so one rack metrics
+        // export carries the whole fleet's endpoint health.
+        core::VirtualNode& vn = *nodes_[i];
+        registry->add_gauge(prefix + ".ctl.up_payload_bytes", [&vn] {
+          const guest::Tkm* tkm = vn.tkm();
+          return tkm ? static_cast<double>(tkm->uplink().stats().payload_bytes)
+                     : 0.0;
+        });
+        registry->add_gauge(prefix + ".ctl.down_payload_bytes", [&vn] {
+          const guest::Tkm* tkm = vn.tkm();
+          return tkm
+                     ? static_cast<double>(tkm->downlink().stats().payload_bytes)
+                     : 0.0;
+        });
+        registry->add_gauge(prefix + ".ctl.stats_full_sends", [&vn] {
+          const guest::Tkm* tkm = vn.tkm();
+          return tkm ? static_cast<double>(tkm->stats_full_sends()) : 0.0;
+        });
+        registry->add_gauge(prefix + ".ctl.stats_delta_sends", [&vn] {
+          const guest::Tkm* tkm = vn.tkm();
+          return tkm ? static_cast<double>(tkm->stats_delta_sends()) : 0.0;
+        });
+        registry->add_gauge(prefix + ".ctl.targets_full_sends", [&vn] {
+          const mm::MemoryManager* mgr = vn.manager();
+          return mgr ? static_cast<double>(mgr->targets_full_sends()) : 0.0;
+        });
+        registry->add_gauge(prefix + ".ctl.stats_chain_breaks", [&vn] {
+          const mm::MemoryManager* mgr = vn.manager();
+          return mgr ? static_cast<double>(mgr->stats_chain_breaks()) : 0.0;
+        });
+        registry->add_gauge(prefix + ".ctl.stale_samples_dropped", [&vn] {
+          const mm::MemoryManager* mgr = vn.manager();
+          return mgr ? static_cast<double>(mgr->stale_samples_dropped()) : 0.0;
+        });
+        registry->add_gauge(prefix + ".ctl.stats_age_intervals", [&vn] {
+          const mm::MemoryManager* mgr = vn.manager();
+          return mgr ? mgr->last_stats_age_intervals()
+                     : std::numeric_limits<double>::quiet_NaN();
+        });
+        registry->add_gauge(prefix + ".ctl.target_chain_breaks", [&hyp] {
+          return static_cast<double>(hyp.target_chain_breaks());
+        });
+        registry->add_gauge(prefix + ".ctl.stale_targets_dropped", [&hyp] {
+          return static_cast<double>(hyp.stale_targets_dropped());
         });
       }
       registry->snapshot(sim_.now());

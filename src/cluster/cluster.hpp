@@ -42,6 +42,7 @@
 #include "core/virtual_node.hpp"
 #include "obs/observer.hpp"
 #include "sim/parallel.hpp"
+#include "sim/profiler.hpp"
 #include "sim/simulator.hpp"
 
 namespace smartmem::cluster {
@@ -85,6 +86,14 @@ struct ClusterConfig {
   /// simulation output is identical for every value.
   std::size_t sim_threads = 1;
 
+  /// Self-profile the parallel engine: per-shard busy/barrier-wait/
+  /// injection accounting and critical-path attribution (sim/profiler.hpp).
+  /// Shards are labelled "n0".."nK" and "rack". Wall-clock derived — the
+  /// event schedule and every simulation outcome stay byte-identical; the
+  /// results surface via profiler() and, with a metrics registry attached,
+  /// as "engine."-prefixed gauges. Ignored in classic (non-sharded) mode.
+  bool profile = false;
+
   /// Rack-level observability (GlobalManager audit/trace, lending and
   /// inter-node channel metrics). Per-node observability stays per node.
   obs::ObsConfig obs;
@@ -124,6 +133,8 @@ class Cluster {
   LendingBroker* broker() { return broker_.get(); }
   obs::Observer* observer() { return observer_.get(); }
   sim::ParallelEngine* engine() { return engine_.get(); }
+  /// Engine self-profile; nullptr unless config.profile and sharded mode.
+  const sim::EngineProfiler* profiler() const { return profiler_.get(); }
   const ClusterConfig& config() const { return config_; }
   bool all_done() const;
 
@@ -153,6 +164,7 @@ class Cluster {
   std::vector<std::unique_ptr<comm::Channel<NodeStats>>> uplinks_;
   std::vector<std::unique_ptr<comm::Channel<NodeQuotaMsg>>> downlinks_;
   std::unique_ptr<sim::ParallelEngine> engine_;
+  std::unique_ptr<sim::EngineProfiler> profiler_;
   std::size_t rack_shard_ = 0;
   std::unique_ptr<GlobalManager> gm_;
   std::unique_ptr<LendingBroker> broker_;

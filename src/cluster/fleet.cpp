@@ -101,6 +101,7 @@ FleetRunResult run_fleet_scenario(const FleetExperimentConfig& cfg) {
   ccfg.delta.enabled = cfg.delta;
   ccfg.delta.resync_every = cfg.resync_every;
   ccfg.sim_threads = cfg.sim_threads;
+  ccfg.profile = cfg.profile;
   ccfg.obs = cfg.obs;
 
   Cluster cluster(std::move(ccfg));
@@ -154,6 +155,38 @@ FleetRunResult run_fleet_scenario(const FleetExperimentConfig& cfg) {
   if (const LendingBroker* broker = cluster.broker()) {
     out.borrow_placements = broker->borrow_placements();
     out.lending_failed_placements = broker->failed_placements();
+  }
+  if (const sim::EngineProfiler* prof = cluster.profiler()) {
+    // Copy the self-profile out before the cluster (and with it the
+    // profiler's storage) dies. Wall-clock territory from here on.
+    const sim::EngineProfiler::Report rep = prof->report();
+    out.engine_windows = rep.windows;
+    out.engine_idle_skip_s = to_seconds(rep.idle_skip);
+    out.engine_window_wall_ms =
+        static_cast<double>(rep.window_wall_ns) / 1e6;
+    out.engine_drain_ms = static_cast<double>(rep.drain_ns) / 1e6;
+    out.engine_hook_ms = static_cast<double>(rep.hook_ns) / 1e6;
+    if (const auto* b = rep.bottleneck_shard()) {
+      out.bottleneck = b->label;
+    }
+    out.profile.reserve(rep.shards.size());
+    for (const sim::EngineProfiler::ShardProfile* s : rep.shards) {
+      FleetRunResult::ShardProfileRow row;
+      row.label = s->label;
+      row.busy_ms = static_cast<double>(s->busy_ns) / 1e6;
+      row.barrier_wait_ms = static_cast<double>(s->barrier_wait_ns) / 1e6;
+      row.occupancy_mean =
+          rep.window_wall_ns > 0
+              ? static_cast<double>(s->busy_ns) /
+                    static_cast<double>(rep.window_wall_ns)
+              : 0.0;
+      row.occupancy_p95 = s->occupancy.quantile(0.95);
+      row.events = s->events;
+      row.injections_out = s->injections_out;
+      row.injections_in = s->injections_in;
+      row.critical_windows = s->critical_windows;
+      out.profile.push_back(std::move(row));
+    }
   }
   return out;
 }

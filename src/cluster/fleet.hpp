@@ -49,6 +49,12 @@ struct FleetExperimentConfig {
   /// Parallel-engine worker threads (never changes simulation output).
   std::size_t sim_threads = 1;
   double global_interval_x = 2.0;
+
+  /// Engine self-profiling (ClusterConfig::profile): per-shard busy/
+  /// barrier-wait/injection accounting and the bottleneck attribution in
+  /// FleetRunResult::profile. Wall-clock observation only — outcomes are
+  /// byte-identical with it on or off.
+  bool profile = false;
   obs::ObsConfig obs;
 };
 
@@ -80,6 +86,28 @@ struct FleetRunResult {
 
   std::uint64_t borrow_placements = 0;
   std::uint64_t lending_failed_placements = 0;
+
+  // Engine self-profile (cfg.profile, sharded multi-node runs only; empty
+  // otherwise). Wall-clock derived like mm_decide_ns — callers must keep
+  // every field here out of determinism-checked output.
+  struct ShardProfileRow {
+    std::string label;  // "n0".."nK", "rack"
+    double busy_ms = 0.0;
+    double barrier_wait_ms = 0.0;
+    double occupancy_mean = 0.0;  // busy / sum of window critical paths
+    double occupancy_p95 = 0.0;   // per-window distribution tail
+    std::uint64_t events = 0;
+    std::uint64_t injections_out = 0;
+    std::uint64_t injections_in = 0;
+    std::uint64_t critical_windows = 0;
+  };
+  std::vector<ShardProfileRow> profile;
+  std::string bottleneck;  // label of the critical-path attribution winner
+  std::uint64_t engine_windows = 0;
+  double engine_idle_skip_s = 0.0;
+  double engine_window_wall_ms = 0.0;  // sum of per-window critical paths
+  double engine_drain_ms = 0.0;        // serial coordinator: outbox drains
+  double engine_hook_ms = 0.0;         // serial coordinator: barrier hook
 };
 
 /// Builds, runs and tears down one fleet. Deterministic for a given config

@@ -1,10 +1,12 @@
 #include "cluster/global_manager.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 #include <utility>
 
 #include "common/logging.hpp"
+#include "common/strfmt.hpp"
 
 namespace smartmem::cluster {
 
@@ -96,6 +98,18 @@ void GlobalManager::maybe_adapt() {
 
 void GlobalManager::decide() {
   if (stats_vec_.empty()) return;
+
+  if (metrics_attached_) {
+    // Staleness the decision is about to act under, per node, in decision
+    // intervals — fed on every round (clean fast path included) so the
+    // exported distribution covers the whole run. Skipped entirely when no
+    // registry ever asked for it.
+    const double interval = static_cast<double>(config_.interval);
+    for (const NodeStats& ns : stats_vec_) {
+      rollup_age_hist_.add(static_cast<double>(sim_.now() - ns.when) /
+                           interval);
+    }
+  }
 
   // Clean-decide fast path (DESIGN §12): no roll-up payload changed since
   // the previous round, the global policies are pure functions of the rack
@@ -207,7 +221,9 @@ void GlobalManager::attach_obs(obs::TraceRecorder* trace,
   if (trace_ != nullptr) track_ = trace_->register_track("cluster", "gm");
 }
 
-void GlobalManager::register_metrics(obs::Registry& reg) const {
+void GlobalManager::register_metrics(obs::Registry& reg,
+                                     std::size_t node_count) const {
+  metrics_attached_ = true;
   reg.add_counter("gm.rollups_seen", &rollups_seen_);
   reg.add_counter("gm.stale_rollups_dropped", &stale_rollups_dropped_);
   reg.add_counter("gm.decisions", &decisions_);
@@ -222,6 +238,25 @@ void GlobalManager::register_metrics(obs::Registry& reg) const {
   });
   reg.add_gauge("gm.decision_interval_s",
                 [this] { return to_seconds(config_.interval); });
+  reg.add_histogram("gm.rollup_age_intervals", &rollup_age_hist_);
+  for (std::size_t i = 0; i < node_count; ++i) {
+    const NodeId id = static_cast<NodeId>(i);
+    reg.add_gauge(strfmt("gm.n%zu.rollup_age_intervals", i), [this, id] {
+      const auto it = index_.find(id);
+      if (it == index_.end()) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      return static_cast<double>(sim_.now() - stats_vec_[it->second].when) /
+             static_cast<double>(config_.interval);
+    });
+    reg.add_gauge(strfmt("gm.n%zu.rollup_seq", i), [this, id] {
+      const auto it = index_.find(id);
+      if (it == index_.end()) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      return static_cast<double>(stats_vec_[it->second].seq);
+    });
+  }
 }
 
 }  // namespace smartmem::cluster

@@ -76,7 +76,15 @@ class GlobalManager {
   void decide();
 
   void attach_obs(obs::TraceRecorder* trace, obs::AuditLog* audit);
-  void register_metrics(obs::Registry& reg) const;
+
+  /// Registers gm.* counters plus, for nodes 0..node_count-1, per-node
+  /// roll-up staleness gauges ("gm.n<i>.rollup_age_intervals" — age of the
+  /// latest applied roll-up in global decision intervals, NaN before the
+  /// first one — and "gm.n<i>.rollup_seq") and the rack-wide age
+  /// distribution fed at every decision round. This is the signal the
+  /// interval-controller fidelity item needs: drop counts say a roll-up
+  /// was lost, these say how stale each node's view actually is.
+  void register_metrics(obs::Registry& reg, std::size_t node_count = 0) const;
 
   const GlobalPolicy& policy() const { return *policy_; }
   std::uint64_t rollups_seen() const { return rollups_seen_; }
@@ -123,6 +131,12 @@ class GlobalManager {
   std::map<NodeId, PageCount> last_quota_sent_;  // delta downlink state
   std::uint64_t quota_rounds_ = 0;        // quota-sending decisions
   std::uint64_t next_send_seq_ = 0;
+
+  /// Per-node roll-up age at decision time, in decision intervals (fed for
+  /// every node on every decide(), clean fast path included; only while a
+  /// registry is attached — decide() is otherwise obs-free).
+  Histogram rollup_age_hist_{0.0, 4.0, 32};
+  mutable bool metrics_attached_ = false;
 
   std::uint64_t rollups_seen_ = 0;
   std::uint64_t stale_rollups_dropped_ = 0;

@@ -157,10 +157,13 @@ void VcpuRunner::run_batch() {
   const SimTime deadline = t + config_.batch_budget;
   auto release_core = [&](SimTime compute_end) {
     if (config_.cpu) config_.cpu->occupy(batch_start, compute_end);
-    if (trace_ != nullptr && compute_end > batch_start &&
-        trace_->enabled(obs::kCatGuest)) {
-      trace_->span(obs::kCatGuest, trace_track_, "vcpu_batch", batch_start,
-                   compute_end - batch_start);
+    // Hottest span family in the whole stack (one per executed batch):
+    // compile-gated, cached-category, 1-in-N sampled.
+    if constexpr (obs::kHotPathTraceCompiled) {
+      if (trace_guest_ && compute_end > batch_start) {
+        trace_->sampled_span(obs::kCatGuest, trace_track_, "vcpu_batch",
+                             batch_start, compute_end - batch_start);
+      }
     }
   };
 

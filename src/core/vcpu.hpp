@@ -61,11 +61,14 @@ class VcpuRunner {
 
   void set_marker_hook(MarkerHook hook) { marker_hook_ = std::move(hook); }
 
-  /// Attaches a trace recorder: every executed batch becomes a span on
-  /// `track` (category guest). nullptr detaches.
+  /// Attaches a trace recorder: executed batches become spans on `track`
+  /// (category guest, 1-in-N sampled per TraceConfig::sample_every).
+  /// nullptr detaches. The category test is resolved here, once — the
+  /// per-batch hot path checks a single cached bool.
   void set_trace(obs::TraceRecorder* trace, std::uint16_t track) {
     trace_ = trace;
     trace_track_ = track;
+    trace_guest_ = trace != nullptr && trace->enabled(obs::kCatGuest);
   }
 
   bool started() const { return started_; }
@@ -123,6 +126,7 @@ class VcpuRunner {
   MarkerHook marker_hook_;
   obs::TraceRecorder* trace_ = nullptr;
   std::uint16_t trace_track_ = 0;
+  bool trace_guest_ = false;  // trace_ set AND kCatGuest enabled
 };
 
 }  // namespace smartmem::core

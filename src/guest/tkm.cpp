@@ -122,6 +122,15 @@ void Tkm::attach_obs(obs::TraceRecorder* trace, obs::Registry* registry) {
     comm::register_channel_metrics(*registry, "comm.downlink.",
                                    &downlink_.stats());
     registry->add_counter("comm.target_retransmits", &target_retransmits_);
+    // Delta-encoding health on the uplink endpoint: the full/delta split is
+    // the resync frequency a fleet health report reads (flat counters when
+    // delta is off — every send is then a "full" snapshot).
+    registry->add_counter("comm.uplink.stats_full_sends", [this] {
+      return static_cast<double>(stats_full_sends());
+    });
+    registry->add_counter("comm.uplink.stats_delta_sends", [this] {
+      return static_cast<double>(stats_delta_sends());
+    });
   }
 }
 

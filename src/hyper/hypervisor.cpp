@@ -362,6 +362,14 @@ void Hypervisor::apply_targets(const TargetsMsg& msg) {
                  static_cast<unsigned long long>(last_target_seq_));
       return;
     }
+    if (metrics_attached_ && last_target_seq_ != 0) {
+      // Downlink seq gap of applied messages: 1 = lossless in-order feed,
+      // >1 = delta suppression or drops upstream. Distribution, not just a
+      // break counter, so a fleet report can tell routine suppression gaps
+      // from rare long stalls.
+      target_seq_gap_hist_.add(
+          static_cast<double>(msg.seq - last_target_seq_));
+    }
     last_target_seq_ = msg.seq;
   }
   // Adaptive control plane: an interval update rides the same sequenced
@@ -437,15 +445,19 @@ void Hypervisor::sample_tick() {
                       {{"used", static_cast<double>(store_.used_pages())},
                        {"free", static_cast<double>(stats.free_tmem)}});
     }
-    if (trace_->enabled(obs::kCatTmem)) {
-      // Per-VM interval span: the put/get/flush batch of this interval.
-      for (const auto& [id, data] : vms_) {
-        trace_->span(
-            obs::kCatTmem, vm_track(id), "tmem_interval", last_sample_tick_,
-            now - last_sample_tick_,
-            {{"puts", static_cast<double>(data.puts_total)},
-             {"gets", static_cast<double>(data.gets_total)},
-             {"used", static_cast<double>(store_.vm_pages(id))}});
+    // Per-VM interval spans, one per VM per tick — the second-hottest span
+    // family after vcpu_batch: compile-gated, cached-category, 1-in-N
+    // sampled (each VM's track samples independently).
+    if constexpr (obs::kHotPathTraceCompiled) {
+      if (trace_tmem_) {
+        for (const auto& [id, data] : vms_) {
+          trace_->sampled_span(
+              obs::kCatTmem, vm_track(id), "tmem_interval", last_sample_tick_,
+              now - last_sample_tick_,
+              {{"puts", static_cast<double>(data.puts_total)},
+               {"gets", static_cast<double>(data.gets_total)},
+               {"used", static_cast<double>(store_.vm_pages(id))}});
+        }
       }
     }
     last_sample_tick_ = now;
@@ -733,6 +745,9 @@ void Hypervisor::set_trace(obs::TraceRecorder* trace) {
   trace_ = trace;
   vm_tracks_.clear();
   last_sample_tick_ = sim_.now();
+  // Resolved once here: the per-tick hot loop below tests a cached bool
+  // instead of re-deriving the category mask every sample.
+  trace_tmem_ = trace != nullptr && trace->enabled(obs::kCatTmem);
   if (trace_ == nullptr) return;
   hyper_track_ = trace_->register_track("hyper", "virq");
   for (const auto& [id, data] : vms_) vm_track(id);
@@ -756,6 +771,8 @@ void Hypervisor::register_metrics(obs::Registry& reg) const {
                 [this] { return to_seconds(config_.sample_interval); });
   reg.add_counter("hyper.stale_targets_dropped", &stale_targets_dropped_);
   reg.add_counter("hyper.target_chain_breaks", &target_chain_breaks_);
+  metrics_attached_ = true;
+  reg.add_histogram("hyper.target_seq_gap", &target_seq_gap_hist_);
   reg.add_counter("hyper.quota_updates", &quota_updates_);
   reg.add_counter("hyper.stale_quotas_dropped", &stale_quotas_dropped_);
   reg.add_counter("hyper.remote_puts", &remote_puts_);

@@ -20,6 +20,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "hyper/memstats.hpp"
 #include "hyper/remote_tmem.hpp"
@@ -305,7 +306,13 @@ class Hypervisor {
   std::uint64_t last_target_seq_ = 0;
   std::uint64_t stale_targets_dropped_ = 0;
   std::uint64_t target_chain_breaks_ = 0;
+  /// Seq gap between consecutively *applied* target messages (1 = every
+  /// send arrived in order). Fed only while a registry is attached —
+  /// apply_targets stays obs-free otherwise.
+  Histogram target_seq_gap_hist_{0.5, 32.5, 32};
+  mutable bool metrics_attached_ = false;
   obs::TraceRecorder* trace_ = nullptr;
+  bool trace_tmem_ = false;  // trace_ set AND kCatTmem enabled
   std::uint16_t hyper_track_ = 0;
   std::map<VmId, std::uint16_t> vm_tracks_;
   SimTime last_sample_tick_ = 0;

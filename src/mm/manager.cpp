@@ -75,6 +75,8 @@ void MemoryManager::register_metrics(obs::Registry& reg) const {
   reg.add_counter("mm.interval_msgs_sent", &interval_msgs_sent_);
   // Fleet-scale control plane (DESIGN §12): delta decode/encode health and
   // the O(changed-VMs) decide counters. All flat when the features are off.
+  metrics_attached_ = true;
+  reg.add_histogram("mm.stats_age_intervals", &stats_age_hist_);
   reg.add_counter("mm.stats_chain_breaks",
                   [this] { return static_cast<double>(stats_chain_breaks()); });
   reg.add_counter("mm.targets_full_sends", &downlink_full_sends_);
@@ -175,6 +177,7 @@ void MemoryManager::process_sample(const hyper::MemStats& stats,
           ? static_cast<double>(now - stats.when) /
                 static_cast<double>(last_stats_interval_)
           : 0.0;
+  if (metrics_attached_) stats_age_hist_.add(last_stats_age_);
 
   PolicyContext ctx;
   // A rack-managed hypervisor reports its quota-capped capacity in each

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "comm/delta.hpp"
+#include "common/stats.hpp"
 #include "common/types.hpp"
 #include "hyper/delta.hpp"
 #include "hyper/memstats.hpp"
@@ -197,6 +198,12 @@ class MemoryManager {
   SimTime last_stats_when_ = -1;     // capture time of last delivered sample
   SimTime last_stats_interval_ = 0;  // interval in effect at that capture
   double last_stats_age_ = 0.0;
+  /// Applied-sample age at delivery, in capture intervals — one entry per
+  /// processed sample, so the exported distribution says how stale the
+  /// decisions actually ran, not just the latest reading. Fed only while a
+  /// registry is attached (process_sample is otherwise obs-free).
+  Histogram stats_age_hist_{0.0, 4.0, 32};
+  mutable bool metrics_attached_ = false;
   std::optional<IntervalController> interval_ctl_;
   PressureProbe pressure_probe_;
   std::uint64_t interval_msgs_sent_ = 0;

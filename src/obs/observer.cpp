@@ -7,6 +7,7 @@ Observer::Observer(ObsConfig config) : config_(std::move(config)) {
     TraceConfig tcfg;
     tcfg.categories = config_.trace_categories;
     tcfg.capacity = config_.trace_capacity;
+    tcfg.sample_every = config_.trace_sample_every;
     trace_ = std::make_unique<TraceRecorder>(tcfg);
   }
   if (config_.metrics_enabled()) {

@@ -103,6 +103,7 @@ std::uint16_t TraceRecorder::register_track(const std::string& process,
   auto [it, inserted] =
       pids_.emplace(process, static_cast<std::uint32_t>(pids_.size() + 1));
   tracks_.push_back(Track{process, thread, it->second});
+  sample_counts_.push_back(0);
   return static_cast<std::uint16_t>(tracks_.size() - 1);
 }
 
@@ -146,6 +147,23 @@ void TraceRecorder::span(std::uint32_t category, std::uint16_t track,
   push(category, 'X', track, name, ts, dur, args);
 }
 
+void TraceRecorder::sampled_span(std::uint32_t category, std::uint16_t track,
+                                 const char* name, SimTime ts, SimTime dur,
+                                 std::initializer_list<TraceArg> args) {
+  if (!enabled(category)) return;
+  // The counter advances only for spans the category gate let through, so
+  // "1-in-N" means 1-in-N of the spans that would otherwise record — and
+  // the kept set is a pure function of the track's event order, which the
+  // simulation schedule fixes independently of thread count.
+  if (config_.sample_every > 1) {
+    if ((sample_counts_[track]++ % config_.sample_every) != 0) {
+      ++sampled_out_;
+      return;
+    }
+  }
+  push(category, 'X', track, name, ts, dur, args);
+}
+
 void TraceRecorder::instant(std::uint32_t category, std::uint16_t track,
                             const char* name, SimTime ts,
                             std::initializer_list<TraceArg> args) {
@@ -186,6 +204,7 @@ void TraceRecorder::merge_from(const TraceRecorder& other) {
     ++events_recorded_;
   }
   dropped_ += other.dropped_;
+  sampled_out_ += other.sampled_out_;
 }
 
 std::string TraceRecorder::to_json() const {

@@ -52,7 +52,24 @@ struct TraceConfig {
   std::uint32_t categories = kCatAll;
   /// Ring capacity in events; the oldest events are dropped when full.
   std::size_t capacity = 1u << 17;
+  /// Deterministic 1-in-N sampling for sampled_span() call sites (the hot
+  /// guest-path span families): each track keeps its own event counter and
+  /// records the spans whose counter is a multiple of N. Tracks are
+  /// single-writer and their event order is part of the simulation's
+  /// deterministic schedule, so the sampled *set* is identical for any
+  /// thread count — not just the same size. 1 (or 0) keeps every span.
+  std::uint64_t sample_every = 1;
 };
+
+/// Compile-time gate for the hot guest-path span call sites (vcpu_batch,
+/// tmem_interval): building with -DSMARTMEM_NO_HOTPATH_TRACE folds them out
+/// entirely — the branch, the argument marshalling, everything — for
+/// overhead-floor builds. All other instrumentation is unaffected.
+#if defined(SMARTMEM_NO_HOTPATH_TRACE)
+inline constexpr bool kHotPathTraceCompiled = false;
+#else
+inline constexpr bool kHotPathTraceCompiled = true;
+#endif
 
 /// One argument attached to an event. Keys are static strings; values are
 /// doubles (counters stay exact up to 2^53).
@@ -84,6 +101,14 @@ class TraceRecorder {
   void span(std::uint32_t category, std::uint16_t track, const char* name,
             SimTime ts, SimTime dur, std::initializer_list<TraceArg> args = {});
 
+  /// span() behind the deterministic 1-in-N sampler (see
+  /// TraceConfig::sample_every). Only the hot guest-path families call this;
+  /// everything else records unconditionally. Spans suppressed here are
+  /// counted in sampled_out(), not in dropped().
+  void sampled_span(std::uint32_t category, std::uint16_t track,
+                    const char* name, SimTime ts, SimTime dur,
+                    std::initializer_list<TraceArg> args = {});
+
   /// Instant event at `ts`.
   void instant(std::uint32_t category, std::uint16_t track, const char* name,
                SimTime ts, std::initializer_list<TraceArg> args = {});
@@ -95,6 +120,8 @@ class TraceRecorder {
   std::size_t recorded() const { return events_recorded_; }
   std::size_t size() const { return size_; }
   std::uint64_t dropped() const { return dropped_; }
+  /// Spans suppressed by the 1-in-N sampler (0 with sampling off).
+  std::uint64_t sampled_out() const { return sampled_out_; }
   std::size_t track_count() const { return tracks_.size(); }
 
   /// Appends every track and buffered event of `other` into this recorder
@@ -144,7 +171,10 @@ class TraceRecorder {
   std::size_t size_ = 0;
   std::size_t events_recorded_ = 0;
   std::uint64_t dropped_ = 0;
+  std::uint64_t sampled_out_ = 0;
   std::vector<Track> tracks_;
+  /// Per-track sampled_span() counters (single writer per track).
+  std::vector<std::uint64_t> sample_counts_;
   std::unordered_map<std::string, std::uint32_t> pids_;
   std::unordered_map<std::string, const char*> interned_;
   std::deque<std::string> interned_storage_;

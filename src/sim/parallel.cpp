@@ -2,10 +2,24 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "sim/profiler.hpp"
+
 namespace smartmem::sim {
+
+namespace {
+
+std::uint64_t wall_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
 
 ParallelEngine::ParallelEngine(Config config) : config_(config) {
   if (config_.lookahead <= 0) {
@@ -48,6 +62,27 @@ void ParallelEngine::set_barrier_hook(std::function<void(SimTime)> hook) {
   hook_ = std::move(hook);
 }
 
+void ParallelEngine::set_profiler(EngineProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler_ != nullptr) profiler_->resize(shards_.size());
+}
+
+void ParallelEngine::run_shard_window(std::size_t i, SimTime end) {
+  Simulator* sim = shards_[i].sim;
+  if (profiler_ == nullptr) {
+    sim->run_window(end);
+    return;
+  }
+  // Slot discipline: shard i's window slot is written only by the one
+  // worker advancing shard i this window (same rule as the outboxes), so
+  // the profiler needs no locks.
+  const std::uint64_t t0 = wall_ns();
+  const std::uint64_t ev0 = sim->executed_events();
+  sim->run_window(end);
+  profiler_->record_shard_window(i, wall_ns() - t0,
+                                 sim->executed_events() - ev0);
+}
+
 void ParallelEngine::worker_loop(std::size_t worker) {
   std::uint64_t seen_epoch = 0;
   while (true) {
@@ -64,7 +99,7 @@ void ParallelEngine::worker_loop(std::size_t worker) {
     // independent inside a window, so the assignment affects wall-clock
     // only, never the produced schedule.
     for (std::size_t i = worker; i < shards_.size(); i += config_.threads) {
-      shards_[i].sim->run_window(end);
+      run_shard_window(i, end);
     }
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -76,7 +111,7 @@ void ParallelEngine::worker_loop(std::size_t worker) {
 
 void ParallelEngine::run_window_parallel(SimTime end) {
   if (config_.threads <= 1 || shards_.size() <= 1) {
-    for (Shard& s : shards_) s.sim->run_window(end);
+    for (std::size_t i = 0; i < shards_.size(); ++i) run_shard_window(i, end);
     return;
   }
   if (workers_.empty()) {
@@ -116,7 +151,11 @@ void ParallelEngine::drain_outboxes(SimTime end) {
   std::vector<Entry> all;
   for (std::size_t src = 0; src < shards_.size(); ++src) {
     for (std::size_t dst = 0; dst < shards_.size(); ++dst) {
-      for (Staged& st : shards_[src].outbox[dst]) {
+      std::vector<Staged>& box = shards_[src].outbox[dst];
+      if (profiler_ != nullptr && !box.empty()) {
+        profiler_->record_injections(src, dst, box.size());
+      }
+      for (Staged& st : box) {
         all.push_back(Entry{st.when, src, st.seq, dst, &st.action});
       }
     }
@@ -161,17 +200,30 @@ SimTime ParallelEngine::run(const std::function<bool()>& stop_when,
       break;
     }
     const SimTime end = std::min(m + config_.lookahead, deadline);
+    if (profiler_ != nullptr) {
+      profiler_->resize(shards_.size());
+      profiler_->begin_window(m, global);
+    }
     run_window_parallel(end);
     global = end;
     ++windows_;
-    drain_outboxes(end);
+    if (profiler_ != nullptr) {
+      const std::uint64_t t0 = wall_ns();
+      drain_outboxes(end);
+      profiler_->add_drain_ns(wall_ns() - t0);
+    } else {
+      drain_outboxes(end);
+    }
     if (hook_) {
+      const std::uint64_t t0 = profiler_ != nullptr ? wall_ns() : 0;
       hook_(end);
       // The hook may itself stage deliveries (it runs in coordinator context
       // where post() is legal). Inject them now: if one of them is the only
       // remaining work, the earliest-event scan above must be able to see it.
       drain_outboxes(end);
+      if (profiler_ != nullptr) profiler_->add_hook_ns(wall_ns() - t0);
     }
+    if (profiler_ != nullptr) profiler_->end_window();
     if (stop_when && stop_when()) break;
   }
   return global;

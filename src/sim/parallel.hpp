@@ -41,6 +41,8 @@
 
 namespace smartmem::sim {
 
+class EngineProfiler;
+
 class ParallelEngine {
  public:
   struct Config {
@@ -76,6 +78,14 @@ class ParallelEngine {
   /// safe here; keep it cheap — it is the serial fraction of the run.
   void set_barrier_hook(std::function<void(SimTime)> hook);
 
+  /// Attaches a self-profiler (per-shard busy/barrier-wait/injection and
+  /// per-window idle-skip accounting — see sim/profiler.hpp). nullptr
+  /// detaches; without one every hot-path hook is a single pointer test.
+  /// The profiler observes wall clocks and counts only — it never alters
+  /// the event schedule, so profiled runs stay byte-identical. Attach
+  /// before run(); the profiler must outlive the engine's last run() call.
+  void set_profiler(EngineProfiler* profiler);
+
   /// Advances every shard in conservative windows until `stop_when` returns
   /// true (evaluated at each barrier), no events remain anywhere, or the
   /// next window would start past `deadline`. Returns the global time (the
@@ -104,9 +114,14 @@ class ParallelEngine {
   void drain_outboxes(SimTime end);
   void worker_loop(std::size_t worker);
 
+  /// Advances shard `i` to `end`, timing it into the profiler when one is
+  /// attached (called from workers and the inline path alike).
+  void run_shard_window(std::size_t i, SimTime end);
+
   Config config_;
   std::vector<Shard> shards_;
   std::function<void(SimTime)> hook_;
+  EngineProfiler* profiler_ = nullptr;
   std::uint64_t windows_ = 0;
   std::uint64_t posted_ = 0;
 

@@ -6,6 +6,7 @@ Usage:
   obs_inspect.py trace   <trace.json>    [--check]
   obs_inspect.py metrics <metrics.jsonl> [--check] [--grep SUBSTR]
   obs_inspect.py audit   <audit.jsonl>   [--check] [--vm N]
+  obs_inspect.py fleet-report <metrics.jsonl> [--check]
 
 Each subcommand parses one pillar's export, prints a human summary, and
 exits non-zero when the file is malformed — `--check` suppresses the
@@ -18,6 +19,14 @@ summary so CI can use it as a pure validator.
            final values.
   audit    Policy decision audit log, JSONL (one DecisionRecord per line).
            Summarizes verdicts, triggering conditions and send outcomes.
+  fleet-report
+           One-page control-plane health report from a *rack* metrics
+           export (fig_fleet_scaling --metrics-out): per-hop wire bytes and
+           drops, delta-encoding health (resync frequency, clean decides,
+           suppression), broken-chain and stale-seq drops, applied roll-up
+           staleness quantiles, and — when the run was profiled
+           (--profile) — the engine's per-shard occupancy and bottleneck
+           attribution. `--fleet-report FILE` is accepted as an alias.
 """
 
 import argparse
@@ -98,23 +107,34 @@ def cmd_trace(args):
         print(f"  {name:<28s} {n}")
 
 
-def cmd_metrics(args):
-    if args.file.endswith(".csv"):
+def load_metrics(path):
+    """Load Registry snapshots (JSONL or .csv export) as a list of
+    {"t_s": float, "metrics": {name: float|None}} rows."""
+    def num(v):
+        if v in ("", "null", "nan"):
+            return None
+        return float(v)
+
+    if path.endswith(".csv"):
         try:
-            with open(args.file, encoding="utf-8", newline="") as fh:
+            with open(path, encoding="utf-8", newline="") as fh:
                 table = list(csv.DictReader(fh))
         except (OSError, csv.Error) as exc:
-            fail(f"{args.file}: {exc}")
+            fail(f"{path}: {exc}")
         if not table:
-            fail(f"{args.file}: empty metrics CSV")
-        rows = [{"t_s": float(r.pop("t_s", "nan")),
-                 "metrics": {k: (float(v) if v != "" else None)
-                             for k, v in r.items()}} for r in table]
-    else:
-        rows = load_jsonl(args.file)
-        for r in rows:
-            if "t_s" not in r or "metrics" not in r:
-                fail(f"{args.file}: snapshot missing t_s/metrics: {r}")
+            fail(f"{path}: empty metrics CSV")
+        return [{"t_s": float(r.pop("t_s", "nan")),
+                 "metrics": {k: num(v) for k, v in r.items()}}
+                for r in table]
+    rows = load_jsonl(path)
+    for r in rows:
+        if "t_s" not in r or "metrics" not in r:
+            fail(f"{path}: snapshot missing t_s/metrics: {r}")
+    return rows
+
+
+def cmd_metrics(args):
+    rows = load_metrics(args.file)
     if args.check:
         if not rows:
             fail(f"{args.file}: no snapshots")
@@ -169,7 +189,159 @@ def cmd_audit(args):
         print(f"  {cond:<28s} {n}")
 
 
+def cmd_fleet_report(args):
+    rows = load_metrics(args.file)
+    if not rows:
+        fail(f"{args.file}: no snapshots")
+    last = rows[-1]["metrics"]
+
+    def g(name, default=None):
+        v = last.get(name)
+        return default if v is None else v
+
+    nodes = set()
+    for name in last:
+        for prefix in ("n", "gm.n"):
+            if name.startswith(prefix):
+                digits = name[len(prefix):].split(".", 1)[0]
+                if digits.isdigit():
+                    nodes.add(int(digits))
+    nodes = sorted(nodes)
+
+    if args.check:
+        if not nodes:
+            fail(f"{args.file}: no per-node rack metrics (n<i>.*) — "
+                 "not a fleet/rack export?")
+        for key in ("gm.decisions", "gm.rollups_seen",
+                    "rack.rollups_suppressed"):
+            if key not in last:
+                fail(f"{args.file}: missing required metric '{key}'")
+        for i in nodes:
+            for key in (f"n{i}.gm_up.sent", f"n{i}.gm_down.sent",
+                        f"n{i}.ctl.stats_full_sends"):
+                if key not in last:
+                    fail(f"{args.file}: missing required metric '{key}'")
+        return
+
+    def fmt(v, spec="g"):
+        return "-" if v is None else f"{v:{spec}}"
+
+    print(f"fleet health report — {args.file}")
+    print(f"  {len(rows)} snapshots, t = {rows[0]['t_s']:.3f}s .. "
+          f"{rows[-1]['t_s']:.3f}s (sim), {len(nodes)} nodes")
+
+    print("\nrack hops (node <-> global manager), final totals:")
+    print(f"  {'node':<6s} {'up msgs':>8s} {'up bytes':>10s} "
+          f"{'down msgs':>9s} {'down bytes':>10s} {'drops':>6s} "
+          f"{'lat p95 us':>10s}")
+    for i in nodes:
+        drops = sum(g(f"n{i}.{hop}.{kind}", 0.0)
+                    for hop in ("gm_up", "gm_down")
+                    for kind in ("dropped_loss", "dropped_down",
+                                 "dropped_queue"))
+        lat = max((g(f"n{i}.{hop}.latency_us.p95") or 0.0)
+                  for hop in ("gm_up", "gm_down"))
+        print(f"  n{i:<5d} {fmt(g(f'n{i}.gm_up.sent'), '8.0f')} "
+              f"{fmt(g(f'n{i}.gm_up.payload_bytes'), '10.0f')} "
+              f"{fmt(g(f'n{i}.gm_down.sent'), '9.0f')} "
+              f"{fmt(g(f'n{i}.gm_down.payload_bytes'), '10.0f')} "
+              f"{drops:6.0f} {lat:10.1f}")
+
+    decisions = g("gm.decisions", 0.0)
+    clean = g("gm.clean_decides", 0.0)
+    print("\ndelta-encoding health:")
+    print(f"  gm decides: {decisions:.0f} total, {clean:.0f} clean "
+          f"(no roll-up change: "
+          f"{100.0 * clean / decisions if decisions else 0.0:.1f}%)")
+    print(f"  quota sends skipped (unchanged): "
+          f"{g('gm.quota_sends_skipped', 0.0):.0f} / "
+          f"{g('gm.quotas_sent', 0.0) + g('gm.quota_sends_skipped', 0.0):.0f}"
+          f", node roll-ups suppressed (unchanged): "
+          f"{g('rack.rollups_suppressed', 0.0):.0f}")
+    print(f"  {'node':<6s} {'stats full':>10s} {'stats delta':>11s} "
+          f"{'resync %':>8s} {'tgt full':>8s}")
+    for i in nodes:
+        full = g(f"n{i}.ctl.stats_full_sends", 0.0)
+        delta = g(f"n{i}.ctl.stats_delta_sends", 0.0)
+        total = full + delta
+        print(f"  n{i:<5d} {full:10.0f} {delta:11.0f} "
+              f"{100.0 * full / total if total else 0.0:8.1f} "
+              f"{g(f'n{i}.ctl.targets_full_sends', 0.0):8.0f}")
+
+    breaks = {i: g(f"n{i}.ctl.stats_chain_breaks", 0.0)
+              + g(f"n{i}.ctl.target_chain_breaks", 0.0) for i in nodes}
+    stale = {i: g(f"n{i}.ctl.stale_samples_dropped", 0.0)
+             + g(f"n{i}.ctl.stale_targets_dropped", 0.0) for i in nodes}
+    gm_stale = g("gm.stale_rollups_dropped", 0.0)
+    print("\nrobustness (broken delta chains and stale-seq drops):")
+    print(f"  chain breaks: {sum(breaks.values()):.0f} across "
+          f"{sum(1 for v in breaks.values() if v)} nodes, "
+          f"stale drops: {sum(stale.values()):.0f} node-side + "
+          f"{gm_stale:.0f} gm-side")
+    for i in nodes:
+        if breaks[i] or stale[i]:
+            print(f"  n{i}: {breaks[i]:.0f} chain breaks, "
+                  f"{stale[i]:.0f} stale drops")
+
+    print("\napplied-seq staleness (sampling intervals):")
+    print(f"  gm roll-up age: p50 {fmt(g('gm.rollup_age_intervals.p50'), '.2f')}"
+          f", p95 {fmt(g('gm.rollup_age_intervals.p95'), '.2f')}"
+          f", p99 {fmt(g('gm.rollup_age_intervals.p99'), '.2f')} "
+          f"({g('gm.rollup_age_intervals.count', 0.0):.0f} applied)")
+    worst_gm = max(((g(f"gm.n{i}.rollup_age_intervals"), i) for i in nodes),
+                   key=lambda t: -1.0 if t[0] is None else t[0],
+                   default=(None, None))
+    if worst_gm[0] is not None:
+        print(f"  stalest node roll-up at gm: n{worst_gm[1]} "
+              f"({worst_gm[0]:.2f} intervals old)")
+    mm_ages = [(g(f"n{i}.ctl.stats_age_intervals"), i) for i in nodes]
+    mm_ages = [t for t in mm_ages if t[0] is not None]
+    if mm_ages:
+        worst_mm = max(mm_ages)
+        print(f"  node MM guest-stats age: mean "
+              f"{sum(t[0] for t in mm_ages) / len(mm_ages):.2f}, "
+              f"worst n{worst_mm[1]} ({worst_mm[0]:.2f})")
+
+    if g("engine.windows") is None:
+        print("\nengine self-profile: not present "
+              "(run with --profile to collect it)")
+        return
+    print("\nengine self-profile (wall clock, conservative windows):")
+    print(f"  {g('engine.windows', 0.0):.0f} windows, "
+          f"{g('engine.idle_skip_s', 0.0):.1f}s sim skipped while idle, "
+          f"critical path {g('engine.window_wall_ms', 0.0):.1f}ms, "
+          f"drain {g('engine.drain_ms', 0.0):.2f}ms, "
+          f"hook {g('engine.hook_ms', 0.0):.2f}ms")
+    shards = sorted({name.split(".")[1] for name in last
+                     if name.startswith("engine.")
+                     and name.endswith(".busy_ms")})
+    rows_ = [(g(f"engine.{s}.busy_ms", 0.0),
+              g(f"engine.{s}.critical_windows", 0.0), s) for s in shards]
+    bottleneck = max(rows_, key=lambda t: (t[1], t[0]), default=None)
+    print(f"  {'shard':<6s} {'busy ms':>9s} {'barrier ms':>10s} "
+          f"{'occ p95':>8s} {'events':>9s} {'inj out':>8s} "
+          f"{'critical':>8s}")
+    for busy, crit, s in sorted(rows_, reverse=True)[:args.top]:
+        mark = "  <- bottleneck" if bottleneck and s == bottleneck[2] else ""
+        print(f"  {s:<6s} {busy:9.1f} "
+              f"{g(f'engine.{s}.barrier_wait_ms', 0.0):10.1f} "
+              f"{fmt(g(f'engine.{s}.occupancy.p95'), '8.2f')} "
+              f"{g(f'engine.{s}.events', 0.0):9.0f} "
+              f"{g(f'engine.{s}.injections_out', 0.0):8.0f} "
+              f"{crit:8.0f}{mark}")
+    if len(rows_) > args.top:
+        print(f"  ... {len(rows_) - args.top} more shards")
+    if bottleneck:
+        print(f"  bottleneck: {bottleneck[2]} "
+              f"(critical in {bottleneck[1]:.0f} of "
+              f"{g('engine.windows', 0.0):.0f} windows)")
+
+
 def main():
+    # Accept `--fleet-report FILE` as the ISSUE-facing spelling of the
+    # `fleet-report FILE` subcommand.
+    sys.argv = ["fleet-report" if a == "--fleet-report" else a
+                for a in sys.argv]
     parser = argparse.ArgumentParser(
         description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="cmd", required=True)
@@ -193,6 +365,14 @@ def main():
     p.add_argument("--check", action="store_true")
     p.add_argument("--vm", type=int, help="restrict verdicts to one VM id")
     p.set_defaults(fn=cmd_audit)
+
+    p = sub.add_parser("fleet-report",
+                       help="one-page rack/fleet control-plane health report")
+    p.add_argument("file")
+    p.add_argument("--check", action="store_true")
+    p.add_argument("--top", type=int, default=10,
+                   help="shards to list in the engine section (default 10)")
+    p.set_defaults(fn=cmd_fleet_report)
 
     args = parser.parse_args()
     args.fn(args)
