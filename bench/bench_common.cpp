@@ -32,6 +32,14 @@ void print_usage(std::FILE* out) {
                "  --stale-threshold <f> sample age (intervals) counting as "
                "stale (default 1.5)\n"
                "  --adaptive-interval   MM-driven dynamic sampling interval\n"
+               "  --compressed-bytes <n>    compressed-tier byte budget "
+               "(0 = off)\n"
+               "  --compress-min-ratio <f>  per-VM mean ratio lower bound "
+               "(default 1.5)\n"
+               "  --compress-max-ratio <f>  per-VM mean ratio upper bound "
+               "(default 4.0)\n"
+               "  --compressed-evict <m>    drop|demote (default demote)\n"
+               "  --capacity-units <u>      pages|bytes control-plane units\n"
                "  --trace-out <file>    write a Perfetto trace from one extra "
                "observed run\n"
                "  --metrics-out <file>  write metrics snapshots (JSONL; .csv "
@@ -50,6 +58,20 @@ bool comm_overridden(const Options& opts) {
 
 bool adaptive_overridden(const Options& opts) {
   return opts.stale_mode != mm::StaleMode::kOff || opts.adaptive_interval;
+}
+
+bool compression_overridden(const Options& opts) {
+  return opts.compressed_bytes != 0 || opts.compress_min_ratio != 1.5 ||
+         opts.compress_max_ratio != 4.0 || !opts.compressed_evict_demote ||
+         opts.capacity_units != CapacityUnits::kPages;
+}
+
+void apply_compression_options(core::NodeConfig& cfg, const Options& opts) {
+  cfg.compressed_pool_bytes = opts.compressed_bytes;
+  cfg.compressibility.min_ratio = opts.compress_min_ratio;
+  cfg.compressibility.max_ratio = opts.compress_max_ratio;
+  cfg.compressed_evict_demote = opts.compressed_evict_demote;
+  cfg.capacity_units = opts.capacity_units;
 }
 
 void apply_adaptive_options(core::NodeConfig& cfg, const Options& opts) {
@@ -100,6 +122,7 @@ void run_observed(const std::string& figure_id,
   core::NodeConfig cfg = core::scaled_node_defaults(opts.scale);
   if (comm_overridden(opts)) apply_comm_options(cfg, opts);
   if (adaptive_overridden(opts)) apply_adaptive_options(cfg, opts);
+  if (compression_overridden(opts)) apply_compression_options(cfg, opts);
   cfg.obs.trace_out = opts.trace_out;
   cfg.obs.metrics_out = opts.metrics_out;
   cfg.obs.audit_out = opts.audit_out;
@@ -212,6 +235,36 @@ Options parse_options(int argc, char** argv) {
       }
     } else if (arg == "--adaptive-interval") {
       opts.adaptive_interval = true;
+    } else if (arg == "--compressed-bytes") {
+      opts.compressed_bytes = parse_u64(arg, next());
+    } else if (arg == "--compress-min-ratio") {
+      opts.compress_min_ratio = parse_double(arg, next());
+      if (opts.compress_min_ratio < 1.0) {
+        usage_error("--compress-min-ratio must be >= 1");
+      }
+    } else if (arg == "--compress-max-ratio") {
+      opts.compress_max_ratio = parse_double(arg, next());
+      if (opts.compress_max_ratio < 1.0) {
+        usage_error("--compress-max-ratio must be >= 1");
+      }
+    } else if (arg == "--compressed-evict") {
+      const std::string mode = next();
+      if (mode == "drop") {
+        opts.compressed_evict_demote = false;
+      } else if (mode == "demote") {
+        opts.compressed_evict_demote = true;
+      } else {
+        usage_error("--compressed-evict must be drop or demote");
+      }
+    } else if (arg == "--capacity-units") {
+      const std::string units = next();
+      if (units == "pages") {
+        opts.capacity_units = CapacityUnits::kPages;
+      } else if (units == "bytes") {
+        opts.capacity_units = CapacityUnits::kBytes;
+      } else {
+        usage_error("--capacity-units must be pages or bytes");
+      }
     } else if (arg == "--trace-out") {
       opts.trace_out = next();
     } else if (arg == "--metrics-out") {
@@ -262,10 +315,12 @@ std::vector<core::ExperimentResult> run_runtime_figure(
   const std::vector<mm::PolicySpec> specs =
       apply_stale_options(policies, opts);
   core::NodeConfig comm_cfg;
-  if (comm_overridden(opts) || adaptive_overridden(opts)) {
+  if (comm_overridden(opts) || adaptive_overridden(opts) ||
+      compression_overridden(opts)) {
     comm_cfg = core::scaled_node_defaults(opts.scale);
     apply_comm_options(comm_cfg, opts);
     apply_adaptive_options(comm_cfg, opts);
+    apply_compression_options(comm_cfg, opts);
     cfg.overrides = &comm_cfg;
     if (comm_overridden(opts)) {
       std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n",
@@ -277,6 +332,15 @@ std::vector<core::ExperimentResult> run_runtime_figure(
                   "adaptive-interval %s\n",
                   mm::to_string(opts.stale_mode), opts.stale_threshold,
                   opts.adaptive_interval ? "on" : "off");
+    }
+    if (compression_overridden(opts)) {
+      std::printf("compressed tier: %llu bytes, ratios [%g, %g], evict %s, "
+                  "units %s\n",
+                  static_cast<unsigned long long>(opts.compressed_bytes),
+                  opts.compress_min_ratio, opts.compress_max_ratio,
+                  opts.compressed_evict_demote ? "demote" : "drop",
+                  opts.capacity_units == CapacityUnits::kBytes ? "bytes"
+                                                               : "pages");
     }
     std::printf("\n");
   }
@@ -318,10 +382,12 @@ void run_usage_figure(const std::string& figure_id, const std::string& title,
   core::NodeConfig comm_cfg;
   const core::NodeConfig* overrides = nullptr;
   const std::vector<mm::PolicySpec> specs = apply_stale_options(panels, opts);
-  if (comm_overridden(opts) || adaptive_overridden(opts)) {
+  if (comm_overridden(opts) || adaptive_overridden(opts) ||
+      compression_overridden(opts)) {
     comm_cfg = core::scaled_node_defaults(opts.scale);
     apply_comm_options(comm_cfg, opts);
     apply_adaptive_options(comm_cfg, opts);
+    apply_compression_options(comm_cfg, opts);
     overrides = &comm_cfg;
     if (comm_overridden(opts)) {
       std::printf("comm: latency x%g, loss %g, queue %zu (%s)\n\n",

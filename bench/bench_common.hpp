@@ -25,6 +25,13 @@
 //   --stale-threshold <f>  sample age (in intervals) counting as stale
 //   --adaptive-interval    let the MM stretch/shrink the sampling interval
 //
+// Compressed tier (src/tier, off by default — byte-identical when off):
+//   --compressed-bytes <n>     byte budget of the zswap-style pool (0 = off)
+//   --compress-min-ratio <f>   lower bound of per-VM mean ratios
+//   --compress-max-ratio <f>   upper bound of per-VM mean ratios
+//   --compressed-evict <m>     drop | demote (default demote)
+//   --capacity-units <u>       pages | bytes control-plane units
+//
 // Observability (src/obs) outputs. The measured figure grid always runs
 // with observability off (byte-identical output); when any --*-out flag is
 // given, ONE extra dedicated run executes after the grid with the requested
@@ -67,6 +74,14 @@ struct Options {
   mm::StaleMode stale_mode = mm::StaleMode::kOff;
   double stale_threshold = 1.5;
   bool adaptive_interval = false;
+  // Compressed-tier (src/tier) knobs; at these defaults the node config is
+  // left untouched, keeping every figure byte-identical to the pre-tier
+  // output. --compressed-bytes enables the pool.
+  std::uint64_t compressed_bytes = 0;
+  double compress_min_ratio = 1.5;
+  double compress_max_ratio = 4.0;
+  bool compressed_evict_demote = true;
+  CapacityUnits capacity_units = CapacityUnits::kPages;
   // --trace-out / --metrics-out / --audit-out / --trace-cats; empty paths
   // leave observability off entirely.
   std::string trace_out;
@@ -83,6 +98,12 @@ void apply_comm_options(core::NodeConfig& cfg, const Options& opts);
 
 /// True when --stale-mode or --adaptive-interval deviates from its default.
 bool adaptive_overridden(const Options& opts);
+
+/// True when any compressed-tier flag deviates from its default.
+bool compression_overridden(const Options& opts);
+
+/// Applies the --compressed-*/--capacity-units flags onto cfg.
+void apply_compression_options(core::NodeConfig& cfg, const Options& opts);
 
 /// Applies --adaptive-interval onto cfg (bounds already scaled by
 /// scaled_node_defaults).

@@ -165,6 +165,58 @@ double store_events_per_sec() {
   return static_cast<double>(kOps) / elapsed;
 }
 
+/// Store per-VM accounting probe: ns per slow-reclaim call
+/// (evict_ephemeral_from_vm) on a store holding 64 VMs x 1024 ephemeral
+/// pages each. The pre-index implementation walked the global LRU
+/// filtering by owner — O(store size) per call even when nothing was
+/// evictable; the per-VM intrusive list threaded through the entries makes
+/// each call O(pages actually evicted). Evicted pages are re-put between
+/// rounds (untimed) so every measured sweep does real work.
+double store_account_ns() {
+  tmem::StoreConfig scfg;
+  scfg.total_pages = 1u << 17;
+  tmem::TmemStore store(scfg);
+  constexpr VmId kVms = 64;
+  constexpr std::uint32_t kPagesPerVm = 1024;
+  std::vector<tmem::PoolId> pools;
+  pools.reserve(kVms);
+  for (VmId vm = 1; vm <= kVms; ++vm) {
+    pools.push_back(store.create_pool(vm, tmem::PoolType::kEphemeral));
+  }
+  auto fill = [&] {
+    for (VmId vm = 1; vm <= kVms; ++vm) {
+      for (std::uint32_t i = 0; i < kPagesPerVm; ++i) {
+        store.put(tmem::TmemKey{pools[vm - 1], 0, i},
+                  (static_cast<std::uint64_t>(vm) << 32) | i | 1);
+      }
+    }
+  };
+  fill();
+
+  constexpr int kRounds = 64;
+  constexpr PageCount kQuota = 8;
+  std::uint64_t ns = 0;
+  std::uint64_t calls = 0;
+  std::uint64_t evicted = 0;
+  for (int r = 0; r < kRounds; ++r) {
+    const auto start = Clock::now();
+    for (VmId vm = 1; vm <= kVms; ++vm) {
+      evicted += store.evict_ephemeral_from_vm(vm, kQuota);
+      ++calls;
+    }
+    ns += static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start)
+            .count());
+    fill();  // untimed: restore the evicted pages for the next sweep
+  }
+  if (evicted != calls * kQuota) {
+    std::fprintf(stderr, "store account probe evicted an unexpected count\n");
+    std::exit(1);
+  }
+  return static_cast<double>(ns) / static_cast<double>(calls);
+}
+
 /// Simulator dispatch: schedule/fire chains with a periodic sampler and a
 /// share of cancellations, mirroring the vCPU/disk/VIRQ event mix.
 double sim_events_per_sec() {
@@ -546,12 +598,12 @@ int main(int argc, char** argv) {
                   ? ""
                   : "  [speedup UNRELIABLE: fewer cores than jobs]");
 
-  std::printf("[1/4] figure grid, serial (4 policies x %zu reps, scale %g)\n",
+  std::printf("[1/5] figure grid, serial (4 policies x %zu reps, scale %g)\n",
               opts.repetitions, opts.scale);
   const double serial_s = time_grid(opts, 1);
   std::printf("      %.3f s\n", serial_s);
 
-  std::printf("[2/4] figure grid, %zu jobs\n", opts.jobs);
+  std::printf("[2/5] figure grid, %zu jobs\n", opts.jobs);
   const double parallel_s = time_grid(opts, opts.jobs);
   const double speedup = parallel_s > 0 ? serial_s / parallel_s : 0.0;
   std::printf("      %.3f s  (speedup %.2fx)\n", parallel_s, speedup);
@@ -559,6 +611,9 @@ int main(int argc, char** argv) {
   std::printf("[3/5] hot paths\n");
   const double store_eps = store_events_per_sec();
   std::printf("      tmem store: %.3g ops/s\n", store_eps);
+  const double account_ns = store_account_ns();
+  std::printf("      store per-VM reclaim: %.0f ns/call (64 VMs, quota 8)\n",
+              account_ns);
   const double sim_eps = sim_events_per_sec();
   std::printf("      simulator:  %.3g events/s\n", sim_eps);
   const double chan_mps = channel_msgs_per_sec();
@@ -605,6 +660,7 @@ int main(int argc, char** argv) {
                 "  \"speedup_j%zu\": %.3f,\n"
                 "  \"speedup_reliable\": %s,\n"
                 "  \"events_per_sec\": %.1f,\n"
+                "  \"store_account_ns\": %.1f,\n"
                 "  \"sim_events_per_sec\": %.1f,\n"
                 "  \"comm_msgs_per_sec\": %.1f,\n"
                 "  \"cluster_rebalance_per_sec\": %.1f,\n"
@@ -617,8 +673,8 @@ int main(int argc, char** argv) {
                 "}\n",
                 hw, opts.scale, opts.repetitions, serial_s, parallel_s,
                 opts.jobs, opts.jobs, speedup,
-                speedup_reliable ? "true" : "false", store_eps, sim_eps,
-                chan_mps, rebalance_ps, cb.full_bpi, cb.delta_bpi,
+                speedup_reliable ? "true" : "false", store_eps, account_ns,
+                sim_eps, chan_mps, rebalance_ps, cb.full_bpi, cb.delta_bpi,
                 dp.classic_ns, dp.incremental_ns, obs.pct, obs.spread);
   out << buf;
   std::printf("\nwrote %s\n", opts.out.c_str());

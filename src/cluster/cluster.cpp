@@ -217,6 +217,45 @@ void Cluster::wire_rack() {
         registry->add_gauge(prefix + ".lent", [&hyp] {
           return static_cast<double>(hyp.lent_pages());
         });
+        // Per-tier occupancy and hit attribution for the fleet health
+        // report (obs_inspect.py --fleet-report). DRAM always exists; NVM
+        // and compressed gauges appear only on nodes that have those
+        // tiers, so the default export's column set is unchanged.
+        const tmem::TmemStore& st = hyp.store();
+        registry->add_gauge(prefix + ".tier.dram.used_pages", [&st] {
+          return static_cast<double>(st.used_pages());
+        });
+        registry->add_gauge(prefix + ".tier.dram.total_pages", [&st] {
+          return static_cast<double>(st.total_pages());
+        });
+        registry->add_counter(prefix + ".tier.dram.gets_hit",
+                              &st.stats().gets_hit_dram);
+        if (st.nvm_total_pages() > 0) {
+          registry->add_gauge(prefix + ".tier.nvm.used_pages", [&st] {
+            return static_cast<double>(st.nvm_used_pages());
+          });
+          registry->add_gauge(prefix + ".tier.nvm.total_pages", [&st] {
+            return static_cast<double>(st.nvm_total_pages());
+          });
+          registry->add_counter(prefix + ".tier.nvm.gets_hit",
+                                &st.stats().gets_hit_nvm);
+        }
+        if (st.compressed_enabled()) {
+          const tier::CompressedPool& cp = st.compressed_pool();
+          registry->add_gauge(prefix + ".tier.compressed.bytes_used", [&cp] {
+            return static_cast<double>(cp.bytes_used());
+          });
+          registry->add_gauge(prefix + ".tier.compressed.capacity_bytes",
+                              [&cp] {
+                                return static_cast<double>(
+                                    cp.capacity_bytes());
+                              });
+          registry->add_gauge(prefix + ".tier.compressed.pages", [&cp] {
+            return static_cast<double>(cp.pages());
+          });
+          registry->add_counter(prefix + ".tier.compressed.gets_hit",
+                                &st.stats().gets_hit_compressed);
+        }
         // Per-node control-plane health rollup (read at barrier snapshots,
         // when every shard is quiescent): resync split, wire bytes and
         // robustness drops on the node's own VM hops, so one rack metrics

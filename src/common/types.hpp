@@ -47,6 +47,15 @@ using PageContent = std::uint64_t;
 inline constexpr PageCount kUnlimitedTarget =
     std::numeric_limits<PageCount>::max();
 
+/// Units the capacity-management control plane reasons in. kPages is the
+/// paper-faithful default (Algorithm 4 counts tmem pages). kBytes makes the
+/// hypervisor report totals/free/per-VM usage — and interpret MM targets —
+/// as *effective bytes*, so the elastic capacity of the compressed tier
+/// (where a page costs ceil(kPageSize/ratio) bytes) is visible to policies.
+/// The policies themselves are unit-agnostic: Algorithm 4 / Eq. 2 use only
+/// ratios of usage to totals.
+enum class CapacityUnits : std::uint8_t { kPages, kBytes };
+
 /// Converts simulated nanoseconds to (fractional) seconds for reporting.
 constexpr double to_seconds(SimTime t) {
   return static_cast<double>(t) / static_cast<double>(kSecond);

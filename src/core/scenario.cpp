@@ -243,6 +243,13 @@ NodeConfig node_config_for(const ScenarioSpec& scenario,
   // the default reliable fixed-latency channels the Rng is never consulted,
   // so this cannot perturb deterministic baseline runs.
   cfg.comm.seed ^= seed * 0x9e3779b97f4a7c15ULL + 0xc2b2ae3d27d4eb4fULL;
+  // Compressibility draws must also be a pure function of the run seed; an
+  // explicit model seed (tests, targeted ablations) wins. With the pool off
+  // the model is never consulted.
+  if (cfg.compressed_pool_bytes > 0 && cfg.compressibility.seed == 0) {
+    cfg.compressibility.seed =
+        seed * 0x9e3779b97f4a7c15ULL + 0x243f6a8885a308d3ULL;
+  }
   return cfg;
 }
 

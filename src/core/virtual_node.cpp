@@ -49,6 +49,12 @@ VirtualNode::VirtualNode(NodeConfig config, sim::Simulator* external)
   hcfg.slow_reclaim_enabled = config_.slow_reclaim;
   hcfg.slow_reclaim_pages_per_tick = config_.slow_reclaim_pages_per_tick;
   hcfg.zero_page_dedup = config_.zero_page_dedup;
+  hcfg.compressed.capacity_bytes = config_.compressed_pool_bytes;
+  hcfg.compressed.model = config_.compressibility;
+  hcfg.compressed_evict = config_.compressed_evict_demote
+                              ? tmem::CompressedEvictMode::kDemote
+                              : tmem::CompressedEvictMode::kDrop;
+  hcfg.capacity_units = config_.capacity_units;
   // Managed policies need a grounded starting target; greedy (and no-tmem)
   // reproduce Xen's unlimited default.
   hcfg.default_target_mode = config_.policy.needs_manager()
@@ -66,9 +72,16 @@ VirtualNode::VirtualNode(NodeConfig config, sim::Simulator* external)
     mcfg.adaptive = config_.adaptive_interval;
     mcfg.delta = config_.comm.delta;
     mcfg.incremental = config_.mm_incremental;
+    // Fallback total for samples that carry none, in the node's capacity
+    // units (the hypervisor's snapshots always carry the live value).
+    const PageCount mm_total =
+        config_.capacity_units == CapacityUnits::kBytes
+            ? (config_.tmem_pages + config_.nvm_tmem_pages) * kPageSize +
+                  config_.compressed_pool_bytes
+            : config_.tmem_pages + config_.nvm_tmem_pages +
+                  config_.compressed_pool_bytes / kPageSize;
     manager_ = std::make_unique<mm::MemoryManager>(
-        mm::make_policy(config_.policy),
-        config_.tmem_pages + config_.nvm_tmem_pages, mcfg);
+        mm::make_policy(config_.policy), mm_total, mcfg);
     manager_->set_clock([this] { return sim_.now(); });
     tkm_ = std::make_unique<guest::Tkm>(sim_, *hyp_, config_.comm);
     manager_->set_sender(

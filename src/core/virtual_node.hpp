@@ -25,6 +25,7 @@
 #include "sim/cpu.hpp"
 #include "sim/disk.hpp"
 #include "sim/simulator.hpp"
+#include "tier/compressibility.hpp"
 #include "workloads/workload.hpp"
 
 namespace smartmem::core {
@@ -36,6 +37,25 @@ struct NodeConfig {
   /// Ex-Tmem extension: NVM pages extending tmem capacity (0 = off). The
   /// combined DRAM+NVM capacity is what the policies manage.
   PageCount nvm_tmem_pages = 0;
+
+  /// Compressed tier (src/tier): byte budget of the zswap-style pool
+  /// (0 = off, the default). Pages spill DRAM -> compressed -> NVM.
+  std::uint64_t compressed_pool_bytes = 0;
+
+  /// Compressibility model parameters. seed 0 = derive from the run seed
+  /// (the scenario runner's node_config_for); an explicit seed is kept.
+  tier::CompressibilityConfig compressibility;
+
+  /// Eviction under put pressure: demote victims down the tier chain
+  /// (default) or drop them (the pre-tier behaviour). Ignored while the
+  /// compressed pool is off.
+  bool compressed_evict_demote = true;
+
+  /// Control-plane capacity units (--capacity-units). kPages is the
+  /// paper-faithful default and keeps all figure CSVs byte-identical;
+  /// kBytes lets the policies manage the effective bytes the compressed
+  /// tier makes elastic.
+  CapacityUnits capacity_units = CapacityUnits::kPages;
 
   /// Which capacity-management policy runs (greedy / static / reconf /
   /// smart / swap-rate / no-tmem).

@@ -33,6 +33,14 @@ struct CostModel {
   SimTime tmem_put_nvm = 18 * kMicrosecond;
   SimTime tmem_get_nvm = 14 * kMicrosecond;
 
+  /// Compressed tier (zswap-style, src/tier): the hypercall plus LZ4-class
+  /// compression of 4 KiB on put (~1-2 GB/s) and the cheaper decompression
+  /// on get. Sits between DRAM and NVM in the latency chain; the
+  /// compression ablation sweeps the put cost to find where compressing
+  /// stops paying for itself.
+  SimTime tmem_put_compressed = 9 * kMicrosecond;
+  SimTime tmem_get_compressed = 8 * kMicrosecond;
+
   /// Remote-tmem lending (cluster extension): the page lives in a donor
   /// node's pool, so the hypercall pays an inter-node round-trip on top of
   /// the copy. Calibrated to same-rack RDMA-class magnitudes (SMART's

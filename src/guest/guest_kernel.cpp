@@ -254,8 +254,10 @@ void GuestKernel::swap_out_anon(SimTime& t, mem::AddressSpace::Id asid,
         hyp_.frontswap_put(config_.vm, kSwapObject, *slot, pte.content, &tier);
     if (status == hyper::OpStatus::kSuccess) {
       t += tier == tmem::Tier::kRemote ? config_.costs.tmem_put_remote
-           : tier == tmem::Tier::kNvm      ? config_.costs.tmem_put_nvm
-                                           : config_.costs.tmem_put;
+           : tier == tmem::Tier::kNvm  ? config_.costs.tmem_put_nvm
+           : tier == tmem::Tier::kCompressed
+               ? config_.costs.tmem_put_compressed
+               : config_.costs.tmem_put;
       in_tmem = true;
       ++stats_.swapouts_tmem;
     } else {
@@ -329,8 +331,10 @@ void GuestKernel::drop_file_page(SimTime& t, std::uint64_t file_id,
         config_.vm, file_id, index, file_content(file_id, index), &tier);
     if (status == hyper::OpStatus::kSuccess) {
       t += tier == tmem::Tier::kRemote ? config_.costs.tmem_put_remote
-           : tier == tmem::Tier::kNvm      ? config_.costs.tmem_put_nvm
-                                           : config_.costs.tmem_put;
+           : tier == tmem::Tier::kNvm  ? config_.costs.tmem_put_nvm
+           : tier == tmem::Tier::kCompressed
+               ? config_.costs.tmem_put_compressed
+               : config_.costs.tmem_put;
     } else {
       t += config_.costs.tmem_put_failed;
     }
@@ -378,8 +382,10 @@ TouchResult GuestKernel::touch(mem::AddressSpace::Id asid, Vpn vpn, bool write,
         const auto payload =
             hyp_.frontswap_get(config_.vm, kSwapObject, slot, &tier);
         t += tier == tmem::Tier::kRemote ? config_.costs.tmem_get_remote
-             : tier == tmem::Tier::kNvm      ? config_.costs.tmem_get_nvm
-                                             : config_.costs.tmem_get;
+             : tier == tmem::Tier::kNvm  ? config_.costs.tmem_get_nvm
+             : tier == tmem::Tier::kCompressed
+                 ? config_.costs.tmem_get_compressed
+                 : config_.costs.tmem_get;
         assert(payload.has_value() &&
                "frontswap bitmap says tmem but the hypervisor lost the page");
         assert(*payload == pte.content && "tmem returned wrong page data");
@@ -479,8 +485,10 @@ FileReadResult GuestKernel::file_read(std::uint64_t file_id,
       assert(*payload == file_content(file_id, index) &&
              "cleancache returned wrong page data");
       t += tier == tmem::Tier::kRemote ? config_.costs.tmem_get_remote
-           : tier == tmem::Tier::kNvm      ? config_.costs.tmem_get_nvm
-                                           : config_.costs.tmem_get;
+           : tier == tmem::Tier::kNvm  ? config_.costs.tmem_get_nvm
+           : tier == tmem::Tier::kCompressed
+               ? config_.costs.tmem_get_compressed
+               : config_.costs.tmem_get;
       ++stats_.cleancache_hits;
       outcome = FileReadOutcome::kCleancacheHit;
     } else {

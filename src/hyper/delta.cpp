@@ -38,6 +38,7 @@ MemStats StatsDeltaEncoder::encode(const MemStats& full) {
     out.total_tmem = full.total_tmem;
     out.free_tmem = full.free_tmem;
     out.vm_count = full.vm_count;
+    out.extended = full.extended;
     out.delta = true;
     out.base_seq = last_seq_;
     for (std::size_t i = 0; i < full.vm.size(); ++i) {
@@ -70,6 +71,7 @@ bool StatsDeltaView::apply(const MemStats& msg,
     view_.total_tmem = msg.total_tmem;
     view_.free_tmem = msg.free_tmem;
     view_.vm_count = msg.vm_count;
+    view_.extended = msg.extended;
     for (const VmMemStats& e : msg.vm) {
       auto it = std::lower_bound(
           view_.vm.begin(), view_.vm.end(), e.vm_id,

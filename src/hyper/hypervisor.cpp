@@ -20,7 +20,8 @@ Hypervisor::Hypervisor(sim::Simulator& sim, HypervisorConfig config)
     : sim_(sim),
       config_(config),
       store_(tmem::StoreConfig{config.total_tmem_pages, config.nvm_tmem_pages,
-                               config.zero_page_dedup}) {}
+                               config.zero_page_dedup, config.compressed,
+                               config.compressed_evict}) {}
 
 void Hypervisor::register_vm(VmId vm) {
   if (vms_.contains(vm)) {
@@ -63,7 +64,16 @@ const VmData* Hypervisor::find_vm(VmId vm) const {
 
 void Hypervisor::apply_equal_share_targets() {
   if (vms_.empty()) return;
-  const PageCount share = total_tmem() / vms_.size();
+  // Physical capacity in control-plane units: the compressed tier's byte
+  // budget joins the divisible pie (as page-equivalents in kPages mode).
+  const std::uint64_t comp = store_.compressed_enabled()
+                                 ? store_.compressed_pool().capacity_bytes()
+                                 : 0;
+  const std::uint64_t total =
+      config_.capacity_units == CapacityUnits::kBytes
+          ? total_tmem() * kPageSize + comp
+          : total_tmem() + comp / kPageSize;
+  const PageCount share = total / vms_.size();
   for (auto& [id, data] : vms_) data.mm_target = share;
 }
 
@@ -94,9 +104,7 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, tmem::PoolType type,
   ++data->puts_total;          // line 15: counted whether or not it succeeds
   ++data->cumul_puts_total;
 
-  const PageCount borrowed =
-      remote_ != nullptr ? remote_->borrowed_pages(vm) : 0;
-  const PageCount used = store_.vm_pages(vm) + borrowed;
+  const std::uint64_t used = vm_capacity_used(vm);
   if (used >= data->mm_target) {  // line 5
     ++data->cumul_puts_failed;
     if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
@@ -151,7 +159,7 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, tmem::PoolType type,
     return OpStatus::kNoCapacity;
   }
 
-  if (store_.combined_free_pages() == 0 &&
+  if (store_.combined_free_pages() == 0 && !store_.compressed_fits(key) &&
       store_.ephemeral_pages() == 0) {  // line 7
     // Physically full. A node whose quota still has headroom (the global
     // policy granted it more than it owns) may borrow a donor's frame at
@@ -404,15 +412,12 @@ MemStats Hypervisor::snapshot() const {
   // A rack-managed node reports its *effective* capacity: the quota-capped
   // total and the headroom beneath it, so the per-VM policy (Eq. 2) always
   // renormalizes under the node's rack-assigned share. The unmanaged path
-  // is byte-identical to the original single-node report.
-  stats.total_tmem = effective_total_tmem();
-  if (node_quota_ == kUnlimitedTarget && remote_ == nullptr) {
-    stats.free_tmem = store_.combined_free_pages();
-  } else {
-    const PageCount eff = effective_total_tmem();
-    const PageCount used = own_used_total();
-    stats.free_tmem = used >= eff ? 0 : eff - used;
-  }
+  // is byte-identical to the original single-node report; the capacity
+  // helpers fold in the compressed tier and honour capacity_units.
+  stats.total_tmem = capacity_total();
+  stats.free_tmem = capacity_free();
+  stats.extended = store_.compressed_enabled() ||
+                   config_.capacity_units == CapacityUnits::kBytes;
   stats.vm_count = vm_count();
   stats.vm.reserve(vms_.size());
   for (const auto& [id, data] : vms_) {
@@ -421,9 +426,14 @@ MemStats Hypervisor::snapshot() const {
     v.puts_total = data.puts_total;
     v.puts_succ = data.puts_succ;
     v.cumul_puts_failed = data.cumul_puts_failed;
-    v.tmem_used = store_.vm_pages(id) +
-                  (remote_ != nullptr ? remote_->borrowed_pages(id) : 0);
+    v.tmem_used = vm_capacity_used(id);
     v.mm_target = data.mm_target;
+    if (stats.extended) {
+      const PageCount borrowed =
+          remote_ != nullptr ? remote_->borrowed_pages(id) : 0;
+      v.tmem_used_bytes = store_.vm_bytes(id) + borrowed * kPageSize;
+      v.comp_ratio = store_.compressed_pool().observed_ratio(id);
+    }
     stats.vm.push_back(v);
   }
   return stats;
@@ -476,12 +486,18 @@ void Hypervisor::sample_tick() {
 }
 
 void Hypervisor::slow_reclaim() {
+  const bool byte_units = config_.capacity_units == CapacityUnits::kBytes;
   for (auto& [id, data] : vms_) {
-    const PageCount used = store_.vm_pages(id);
+    const std::uint64_t used =
+        byte_units ? store_.vm_bytes(id) : store_.vm_pages(id);
     if (data.mm_target == kUnlimitedTarget || used <= data.mm_target) continue;
-    const PageCount excess = used - data.mm_target;
+    const std::uint64_t excess = used - data.mm_target;
+    // In byte mode the eviction engine still works page-at-a-time: round the
+    // byte excess down to whole pages but always make progress.
+    const PageCount excess_pages =
+        byte_units ? std::max<PageCount>(1, excess / kPageSize) : excess;
     const PageCount quota =
-        std::min(excess, config_.slow_reclaim_pages_per_tick);
+        std::min(excess_pages, config_.slow_reclaim_pages_per_tick);
     const PageCount reclaimed = store_.evict_ephemeral_from_vm(id, quota);
     data.pages_reclaimed += reclaimed;
     if (reclaimed > 0) {
@@ -574,8 +590,12 @@ void Hypervisor::apply_node_quota(std::uint64_t seq, PageCount quota) {
 }
 
 PageCount Hypervisor::own_used_pages() const {
-  const PageCount used =
-      store_.combined_total_pages() - store_.combined_free_pages();
+  // Compressed pages freed their DRAM frame but still pin node memory in
+  // the pool's byte budget; the rack quota counts each as a full page — a
+  // conservative ceiling that never lets a node hide usage by compressing.
+  const PageCount used = store_.combined_total_pages() -
+                         store_.combined_free_pages() +
+                         store_.compressed_pages();
   return used > lent_pages_ ? used - lent_pages_ : 0;
 }
 
@@ -598,6 +618,48 @@ PageCount Hypervisor::lendable_pages() const {
   return free > reserve ? free - reserve : 0;
 }
 
+std::uint64_t Hypervisor::capacity_total() const {
+  const PageCount pages = effective_total_tmem();
+  const std::uint64_t comp = store_.compressed_enabled()
+                                 ? store_.compressed_pool().capacity_bytes()
+                                 : 0;
+  if (config_.capacity_units == CapacityUnits::kBytes) {
+    return pages * kPageSize + comp;
+  }
+  return pages + comp / kPageSize;
+}
+
+std::uint64_t Hypervisor::capacity_free() const {
+  if (node_quota_ != kUnlimitedTarget || remote_ != nullptr) {
+    // Rack-managed node: headroom under the effective (quota-capped)
+    // capacity. own_used_total() is page-granular, so byte mode counts a
+    // borrowed or compressed page at kPageSize — conservative.
+    const std::uint64_t total = capacity_total();
+    const std::uint64_t used =
+        config_.capacity_units == CapacityUnits::kBytes
+            ? own_used_total() * kPageSize
+            : own_used_total();
+    return used >= total ? 0 : total - used;
+  }
+  if (config_.capacity_units == CapacityUnits::kBytes) {
+    return store_.combined_free_bytes();
+  }
+  std::uint64_t free = store_.combined_free_pages();
+  if (store_.compressed_enabled()) {
+    free += store_.compressed_pool().free_bytes() / kPageSize;
+  }
+  return free;
+}
+
+std::uint64_t Hypervisor::vm_capacity_used(VmId vm) const {
+  const PageCount borrowed =
+      remote_ != nullptr ? remote_->borrowed_pages(vm) : 0;
+  if (config_.capacity_units == CapacityUnits::kBytes) {
+    return store_.vm_bytes(vm) + borrowed * kPageSize;
+  }
+  return store_.vm_pages(vm) + borrowed;
+}
+
 PageCount Hypervisor::effective_total_tmem() const {
   if (node_quota_ == kUnlimitedTarget) return total_tmem();
   // Without lending the quota can only cap the physical pool; with a broker
@@ -616,9 +678,12 @@ tmem::PoolId Hypervisor::lender_pool(std::uint32_t borrower_node, VmId vm,
   // type: the donor must never evict the only copy behind the broker's
   // owner index. Victim-cache semantics for ephemeral-typed borrows are
   // re-imposed by the broker (flush after hit). The pseudo owner id keeps
-  // the pool outside memstats, targets and slow reclaim.
+  // the pool outside memstats, targets and slow reclaim. Lent pages are
+  // never compressed: the borrower priced them at full-page remote latency
+  // and the donor must be able to hand each back as a whole frame.
   const tmem::PoolId pool = store_.create_pool(kLenderVmBase + borrower_node,
-                                               tmem::PoolType::kPersistent);
+                                               tmem::PoolType::kPersistent,
+                                               /*compressible=*/false);
   lender_pools_.emplace(key, pool);
   return pool;
 }
@@ -673,7 +738,10 @@ PageCount Hypervisor::host_remote_flush_object(std::uint32_t borrower_node,
 PageCount Hypervisor::host_lease(PageCount want) {
   if (want == 0) return 0;
   if (!lease_pool_) {
-    lease_pool_ = store_.create_pool(kLeaseVmId, tmem::PoolType::kPersistent);
+    // Leases reserve whole frames for other nodes — compressing them would
+    // hand out credit the donor cannot honour frame-for-frame.
+    lease_pool_ = store_.create_pool(kLeaseVmId, tmem::PoolType::kPersistent,
+                                     /*compressible=*/false);
   }
   PageCount got = 0;
   // lendable_pages() shrinks by one per leased frame (free falls, own usage

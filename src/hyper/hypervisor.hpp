@@ -71,6 +71,18 @@ struct HypervisorConfig {
 
   /// Optional Xen tmem feature, exercised by the dedup ablation bench.
   bool zero_page_dedup = false;
+
+  /// Compressed tier (src/tier): byte budget + compressibility model.
+  /// capacity_bytes 0 disables (the default), keeping every figure
+  /// byte-identical to the pre-tier system.
+  tier::CompressedPoolConfig compressed;
+  tmem::CompressedEvictMode compressed_evict =
+      tmem::CompressedEvictMode::kDemote;
+
+  /// Units the control plane reasons in (totals, free, per-VM usage,
+  /// targets). kPages is the paper-faithful default; kBytes lets policies
+  /// manage the *effective bytes* the compressed tier makes elastic.
+  CapacityUnits capacity_units = CapacityUnits::kPages;
 };
 
 class Hypervisor {
@@ -208,6 +220,20 @@ class Hypervisor {
   PageCount total_tmem() const {
     return config_.total_tmem_pages + config_.nvm_tmem_pages;
   }
+
+  // ---- Capacity-unit helpers (compressed tier / byte mode) ----------------
+  // In kPages mode the compressed tier's byte budget counts as
+  // capacity_bytes/kPageSize page-equivalents (a conservative floor: the
+  // pool holds at least that many pages); in kBytes mode every quantity is
+  // effective bytes. With compression off and kPages these reduce exactly
+  // to the classic page accessors.
+
+  /// Node capacity the control plane manages, in capacity_units.
+  std::uint64_t capacity_total() const;
+  /// Headroom under capacity_total(), in capacity_units.
+  std::uint64_t capacity_free() const;
+  /// A VM's footprint (incl. borrowed pages), in capacity_units.
+  std::uint64_t vm_capacity_used(VmId vm) const;
 
   // ---- Cluster accounting ---------------------------------------------------
 

@@ -1,0 +1,87 @@
+// Deterministic per-workload compressibility model for the compressed tier.
+//
+// Real zswap stores each page at whatever size the compressor achieves; what
+// matters for capacity planning is the *distribution* of ratios a workload
+// produces (text and zeroed heap compress 4-8x, encrypted or already-packed
+// data barely 1x). The simulator does not carry real 4 KiB payloads, so the
+// model synthesizes a per-page compressed size as a pure hash of
+// (seed, vm, pool kind, object, index):
+//
+//   * per-(vm, kind) mean ratio — each VM's frontswap and cleancache streams
+//     get a stable characteristic ratio drawn from [min_ratio, max_ratio],
+//     so VMs differ the way real tenants do;
+//   * per-page jitter around that mean, so a pool is not uniform.
+//
+// Being a pure hash (no shared RNG stream) the model is order-independent:
+// the same key compresses to the same size no matter which thread, shard or
+// interleaving asks, which is what keeps multi-threaded runs bit-identical.
+//
+// The model also tracks an EWMA of the ratios actually observed per VM at
+// put time. That is the signal a byte-aware Memory Manager reads: "VM 3's
+// pages compress 3.1x, so a page of budget is cheap for it".
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hpp"
+#include "tmem/key.hpp"
+
+namespace smartmem::tier {
+
+struct CompressibilityConfig {
+  /// Seed mixed into every hash. 0 asks the scenario runner to derive one
+  /// from the run seed (node_config_for), so repetitions see different —
+  /// but reproducible — workload compressibility; tests and targeted
+  /// ablations set an explicit value.
+  std::uint64_t seed = 0;
+  /// Per-(vm, kind) mean ratios are drawn uniformly from this range.
+  double min_ratio = 1.5;
+  double max_ratio = 4.0;
+  /// Per-page jitter: the page ratio is mean * (1 +/- jitter), clamped to
+  /// [1.0, 8.0] (a page never grows, and >8x is unrealistic for 4 KiB).
+  double jitter = 0.25;
+  /// EWMA smoothing factor for the per-VM observed ratio.
+  double ewma_alpha = 0.05;
+};
+
+class CompressibilityModel {
+ public:
+  explicit CompressibilityModel(CompressibilityConfig config)
+      : config_(config) {}
+
+  /// Characteristic mean ratio of (vm, kind) — a pure function of the seed.
+  double mean_ratio(VmId vm, tmem::PoolType kind) const;
+
+  /// Compressed size in bytes of the page at (vm, kind, object, index).
+  /// Pure function of the seed: order- and thread-independent. Always in
+  /// [kPageSize/8, kPageSize].
+  std::uint32_t compressed_bytes(VmId vm, tmem::PoolType kind,
+                                 std::uint64_t object,
+                                 std::uint32_t index) const;
+
+  /// Folds one observed page ratio into the VM's EWMA. Called by the store
+  /// on every compressed-tier placement; per-node events are totally
+  /// ordered, so the EWMA stays deterministic.
+  void observe(VmId vm, double ratio);
+
+  /// EWMA of ratios observed for `vm`; 0.0 until the first observation.
+  /// The byte-aware control plane ships this in MemStats.
+  double observed_ratio(VmId vm) const;
+
+  std::uint64_t observations() const { return observations_; }
+  const CompressibilityConfig& config() const { return config_; }
+
+ private:
+  CompressibilityConfig config_;
+  struct Ewma {
+    double value = 0.0;
+    bool primed = false;
+  };
+  // Keyed by VM id; mutated only from the (single-threaded) node event
+  // loop. std::map keeps any iteration deterministic.
+  std::uint64_t observations_ = 0;
+  std::map<VmId, Ewma> observed_;
+};
+
+}  // namespace smartmem::tier

@@ -73,8 +73,13 @@ struct TmemKeyEq {
 /// cheaper per byte than DRAM and still orders of magnitude faster than the
 /// virtual disk. kRemote marks a page served from a donor node's pool over
 /// the inter-node fabric (the cluster lending extension): slower again than
-/// NVM, but still well below the virtual disk.
-enum class Tier : std::uint8_t { kDram, kNvm, kRemote };
+/// NVM, but still well below the virtual disk. kCompressed is the
+/// zswap-style tier (src/tier): pages kept in DRAM but compressed, charged
+/// against a *byte* budget instead of a page count and paying a
+/// compress/decompress CPU cost per access. The logical latency chain is
+/// DRAM -> compressed -> NVM -> remote; kCompressed is declared last only
+/// so the pre-existing enumerator values stay stable.
+enum class Tier : std::uint8_t { kDram, kNvm, kRemote, kCompressed };
 
 /// Simulated page contents. The model does not copy real 4 KiB payloads; an
 /// opaque 64-bit token stands in for the data so that tests can verify that

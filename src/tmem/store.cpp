@@ -10,27 +10,15 @@ namespace smartmem::tmem {
 TmemStore::TmemStore(StoreConfig config)
     : config_(config),
       free_pages_(config.total_pages),
-      nvm_free_(config.nvm_pages) {}
+      nvm_free_(config.nvm_pages),
+      comp_pool_(config.compressed) {}
 
-std::optional<Tier> TmemStore::take_frame() {
-  if (free_pages_ > 0) {
-    --free_pages_;
-    stats_.peak_used = std::max(stats_.peak_used, used_pages());
-    return Tier::kDram;
-  }
-  if (nvm_free_ > 0) {
-    --nvm_free_;
-    stats_.nvm_peak_used = std::max(stats_.nvm_peak_used, nvm_used_pages());
-    return Tier::kNvm;
-  }
-  return std::nullopt;
-}
-
-PoolId TmemStore::create_pool(VmId owner, PoolType type) {
+PoolId TmemStore::create_pool(VmId owner, PoolType type, bool compressible) {
   const PoolId id = next_pool_++;
   PoolInfo info;
   info.owner = owner;
   info.type = type;
+  info.compressible = compressible;
   info.alive = true;
   pools_.emplace(id, std::move(info));
   return id;
@@ -78,8 +66,19 @@ PageCount TmemStore::pool_pages(PoolId pool) const {
 }
 
 PageCount TmemStore::vm_pages(VmId vm) const {
-  auto it = vm_pages_.find(vm);
-  return it == vm_pages_.end() ? 0 : it->second;
+  auto it = vm_accounts_.find(vm);
+  return it == vm_accounts_.end() ? 0 : it->second.pages;
+}
+
+std::uint64_t TmemStore::vm_bytes(VmId vm) const {
+  auto it = vm_accounts_.find(vm);
+  return it == vm_accounts_.end() ? 0 : it->second.bytes;
+}
+
+std::uint64_t TmemStore::effective_bytes(const Entry& e) const {
+  if (e.deduped) return 0;
+  if (e.tier == Tier::kCompressed) return e.comp_bytes;
+  return kPageSize;
 }
 
 void TmemStore::lru_push_back(Entry* e) {
@@ -92,6 +91,16 @@ void TmemStore::lru_push_back(Entry* e) {
   }
   lru_tail_ = e;
   ++ephemeral_count_;
+
+  VmAccount& acct = vm_accounts_[e->owner];
+  e->vm_prev = acct.eph_tail;
+  e->vm_next = nullptr;
+  if (acct.eph_tail) {
+    acct.eph_tail->vm_next = e;
+  } else {
+    acct.eph_head = e;
+  }
+  acct.eph_tail = e;
 }
 
 void TmemStore::lru_unlink(Entry* e) {
@@ -109,6 +118,35 @@ void TmemStore::lru_unlink(Entry* e) {
   e->lru_next = nullptr;
   assert(ephemeral_count_ > 0);
   --ephemeral_count_;
+
+  VmAccount& acct = vm_accounts_[e->owner];
+  if (e->vm_prev) {
+    e->vm_prev->vm_next = e->vm_next;
+  } else {
+    acct.eph_head = e->vm_next;
+  }
+  if (e->vm_next) {
+    e->vm_next->vm_prev = e->vm_prev;
+  } else {
+    acct.eph_tail = e->vm_prev;
+  }
+  e->vm_prev = nullptr;
+  e->vm_next = nullptr;
+}
+
+void TmemStore::release_tier(const Entry& e) {
+  if (!consumes_frame(e)) return;
+  switch (e.tier) {
+    case Tier::kCompressed:
+      comp_pool_.remove(e.comp_bytes);
+      break;
+    case Tier::kNvm:
+      ++nvm_free_;
+      break;
+    default:
+      ++free_pages_;
+      break;
+  }
 }
 
 void TmemStore::erase_entry(EntryMap::iterator it) {
@@ -118,13 +156,7 @@ void TmemStore::erase_entry(EntryMap::iterator it) {
   if (entry.type == PoolType::kEphemeral) {
     lru_unlink(&entry);
   }
-  if (consumes_frame(entry)) {
-    if (entry.tier == Tier::kNvm) {
-      ++nvm_free_;
-    } else {
-      ++free_pages_;
-    }
-  }
+  release_tier(entry);
 
   auto pit = pools_.find(key.pool);
   assert(pit != pools_.end());
@@ -135,14 +167,61 @@ void TmemStore::erase_entry(EntryMap::iterator it) {
   oit->second.erase(key.index);
   if (oit->second.empty()) pool.objects.erase(oit);
 
-  auto vit = vm_pages_.find(entry.owner);
-  assert(vit != vm_pages_.end() && vit->second > 0);
-  --vit->second;
+  auto vit = vm_accounts_.find(entry.owner);
+  assert(vit != vm_accounts_.end() && vit->second.pages > 0);
+  --vit->second.pages;
+  vit->second.bytes -= effective_bytes(entry);
 
   entries_.erase(it);
 }
 
-bool TmemStore::evict_one_ephemeral() {
+bool TmemStore::try_demote(Entry& e) {
+  if (e.deduped || e.tier == Tier::kNvm || e.tier == Tier::kRemote) {
+    return false;
+  }
+  VmAccount& acct = vm_accounts_[e.owner];
+  if (e.tier == Tier::kDram) {
+    // Compress first (the next tier down); fall through to NVM.
+    if (e.compressible) {
+      const std::uint32_t cost = comp_pool_.page_bytes(
+          e.owner, e.type, e.key->object, e.key->index);
+      if (comp_pool_.fits(cost)) {
+        ++free_pages_;
+        comp_pool_.add(e.owner, cost);
+        acct.bytes -= kPageSize;
+        acct.bytes += cost;
+        e.tier = Tier::kCompressed;
+        e.comp_bytes = cost;
+        ++stats_.demotions_to_compressed;
+        return true;
+      }
+    }
+    if (nvm_free_ > 0) {
+      ++free_pages_;
+      --nvm_free_;
+      stats_.nvm_peak_used = std::max(stats_.nvm_peak_used, nvm_used_pages());
+      e.tier = Tier::kNvm;
+      ++stats_.demotions_to_nvm;
+      return true;
+    }
+    return false;
+  }
+  // Compressed victim: decompress into NVM if a frame is free.
+  if (nvm_free_ > 0) {
+    comp_pool_.remove(e.comp_bytes);
+    acct.bytes -= e.comp_bytes;
+    acct.bytes += kPageSize;
+    e.comp_bytes = 0;
+    --nvm_free_;
+    stats_.nvm_peak_used = std::max(stats_.nvm_peak_used, nvm_used_pages());
+    e.tier = Tier::kNvm;
+    ++stats_.demotions_to_nvm;
+    return true;
+  }
+  return false;
+}
+
+bool TmemStore::drop_one_ephemeral() {
   if (!lru_head_) return false;
   Entry* victim = lru_head_;
   // The cached hash avoids re-mixing the key on every eviction probe.
@@ -153,6 +232,55 @@ bool TmemStore::evict_one_ephemeral() {
   return true;
 }
 
+bool TmemStore::evict_one_ephemeral() {
+  if (!lru_head_) return false;
+  // Demote-down-the-chain only applies while the compressed tier exists;
+  // with it off this is exactly the pre-tier drop path.
+  if (comp_pool_.enabled() &&
+      config_.compressed_evict == CompressedEvictMode::kDemote) {
+    if (try_demote(*lru_head_)) return true;
+  }
+  return drop_one_ephemeral();
+}
+
+bool TmemStore::can_place(bool comp_eligible, std::uint32_t comp_cost) const {
+  return free_pages_ > 0 || (comp_eligible && comp_pool_.fits(comp_cost)) ||
+         nvm_free_ > 0;
+}
+
+void TmemStore::place_entry(Entry& entry, const TmemKey& key,
+                            bool comp_eligible, std::uint32_t comp_cost) {
+  (void)key;
+  if (free_pages_ > 0) {
+    --free_pages_;
+    stats_.peak_used = std::max(stats_.peak_used, used_pages());
+    entry.tier = Tier::kDram;
+    return;
+  }
+  if (comp_eligible && comp_pool_.fits(comp_cost)) {
+    comp_pool_.add(entry.owner, comp_cost);
+    entry.tier = Tier::kCompressed;
+    entry.comp_bytes = comp_cost;
+    ++stats_.compressed_stored;
+    return;
+  }
+  assert(nvm_free_ > 0);
+  --nvm_free_;
+  stats_.nvm_peak_used = std::max(stats_.nvm_peak_used, nvm_used_pages());
+  entry.tier = Tier::kNvm;
+}
+
+bool TmemStore::compressed_fits(const TmemKey& key) const {
+  if (!comp_pool_.enabled()) return false;
+  auto pit = pools_.find(key.pool);
+  if (pit == pools_.end() || !pit->second.alive ||
+      !pit->second.compressible) {
+    return false;
+  }
+  return comp_pool_.fits(comp_pool_.page_bytes(
+      pit->second.owner, pit->second.type, key.object, key.index));
+}
+
 PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
                          Tier* tier) {
   auto pit = pools_.find(key.pool);
@@ -161,6 +289,12 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
     return PutResult::kNoMemory;
   }
   PoolInfo& pool = pit->second;
+
+  const bool comp_eligible = comp_pool_.enabled() && pool.compressible;
+  const std::uint32_t comp_cost =
+      comp_eligible
+          ? comp_pool_.page_bytes(pool.owner, pool.type, key.object, key.index)
+          : 0;
 
   const std::size_t hash = TmemKeyHash{}(key);
   const HashedTmemKey hashed{key, hash};
@@ -173,8 +307,8 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
     const bool now_dedup = config_.zero_page_dedup && payload == 0;
     if (was_deduped && !now_dedup) {
       // Evicted victims may themselves be deduped (frameless), so keep
-      // evicting until a physical frame is actually free.
-      while (combined_free_pages() == 0) {
+      // evicting until capacity is actually available somewhere.
+      while (!can_place(comp_eligible, comp_cost)) {
         if (!evict_one_ephemeral()) {
           ++stats_.puts_failed;
           return PutResult::kNoMemory;
@@ -185,15 +319,14 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
       if (eit == entries_.end()) {
         return put(key, payload, tier);  // fall back to fresh insert
       }
-      const auto got = take_frame();
-      assert(got.has_value());
-      eit->second.tier = *got;
+      eit->second.deduped = false;  // before the byte charge below
+      place_entry(eit->second, key, comp_eligible, comp_cost);
+      vm_accounts_[eit->second.owner].bytes +=
+          effective_bytes(eit->second);
     } else if (!was_deduped && now_dedup) {
-      if (entry.tier == Tier::kNvm) {
-        ++nvm_free_;
-      } else {
-        ++free_pages_;
-      }
+      vm_accounts_[entry.owner].bytes -= effective_bytes(entry);
+      release_tier(entry);
+      entry.comp_bytes = 0;
       ++stats_.zero_pages_deduped;
     }
     eit->second.deduped = now_dedup;
@@ -207,19 +340,18 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
   entry.payload = payload;
   entry.owner = pool.owner;
   entry.type = pool.type;
+  entry.compressible = pool.compressible;
   entry.deduped = config_.zero_page_dedup && payload == 0;
   entry.key_hash = hash;
 
   if (consumes_frame(entry)) {
-    while (combined_free_pages() == 0) {
+    while (!can_place(comp_eligible, comp_cost)) {
       if (!evict_one_ephemeral()) {
         ++stats_.puts_failed;
         return PutResult::kNoMemory;
       }
     }
-    const auto got = take_frame();
-    assert(got.has_value());
-    entry.tier = *got;
+    place_entry(entry, key, comp_eligible, comp_cost);
   } else {
     ++stats_.zero_pages_deduped;
   }
@@ -228,12 +360,14 @@ PutResult TmemStore::put(const TmemKey& key, PagePayload payload,
   assert(inserted);
   Entry& stored = eit->second;
   stored.key = &eit->first;
+  ++pool.pages;
+  pool.objects[key.object].insert(key.index);
+  VmAccount& acct = vm_accounts_[pool.owner];
+  ++acct.pages;
+  acct.bytes += effective_bytes(stored);
   if (stored.type == PoolType::kEphemeral) {
     lru_push_back(&stored);
   }
-  ++pool.pages;
-  pool.objects[key.object].insert(key.index);
-  ++vm_pages_[pool.owner];
   ++stats_.puts_stored;
   if (tier) *tier = stored.tier;
   return PutResult::kStored;
@@ -247,6 +381,17 @@ std::optional<PagePayload> TmemStore::get(const TmemKey& key, Tier* tier) {
   }
   const PagePayload payload = it->second.payload;
   if (tier) *tier = it->second.tier;
+  switch (it->second.tier) {
+    case Tier::kCompressed:
+      ++stats_.gets_hit_compressed;
+      break;
+    case Tier::kNvm:
+      ++stats_.gets_hit_nvm;
+      break;
+    default:
+      ++stats_.gets_hit_dram;
+      break;
+  }
   if (it->second.type == PoolType::kEphemeral) {
     // Victim-cache semantics: the page moves back into the guest.
     erase_entry(it);
@@ -257,6 +402,12 @@ std::optional<PagePayload> TmemStore::get(const TmemKey& key, Tier* tier) {
 
 bool TmemStore::contains(const TmemKey& key) const {
   return entries_.contains(key);
+}
+
+std::optional<Tier> TmemStore::tier_of(const TmemKey& key) const {
+  auto it = entries_.find(HashedTmemKey{key, TmemKeyHash{}(key)});
+  if (it == entries_.end()) return std::nullopt;
+  return it->second.tier;
 }
 
 bool TmemStore::flush_page(const TmemKey& key) {
@@ -287,17 +438,20 @@ PageCount TmemStore::flush_object(PoolId pool, std::uint64_t object) {
 }
 
 PageCount TmemStore::evict_ephemeral_from_vm(VmId vm, PageCount max_pages) {
+  auto ait = vm_accounts_.find(vm);
+  if (ait == vm_accounts_.end()) return 0;
   PageCount evicted = 0;
-  Entry* cursor = lru_head_;
+  // O(evicted): the per-VM list holds exactly this VM's ephemeral pages in
+  // insertion order, so reclaim never scans other VMs' entries (the global
+  // LRU walk this replaces was O(all ephemeral pages) per reclaim tick).
+  Entry* cursor = ait->second.eph_head;
   while (cursor && evicted < max_pages) {
-    Entry* next = cursor->lru_next;  // grab before erase unlinks the node
-    if (cursor->owner == vm) {
-      auto eit = entries_.find(HashedTmemKey{*cursor->key, cursor->key_hash});
-      assert(eit != entries_.end() && &eit->second == cursor);
-      erase_entry(eit);
-      ++evicted;
-      ++stats_.ephemeral_evictions;
-    }
+    Entry* next = cursor->vm_next;  // grab before erase unlinks the node
+    auto eit = entries_.find(HashedTmemKey{*cursor->key, cursor->key_hash});
+    assert(eit != entries_.end() && &eit->second == cursor);
+    erase_entry(eit);
+    ++evicted;
+    ++stats_.ephemeral_evictions;
     cursor = next;
   }
   return evicted;
@@ -321,6 +475,20 @@ void TmemStore::register_metrics(obs::Registry& reg,
   if (config_.nvm_pages > 0) {
     reg.add_gauge(prefix + "nvm_used_pages",
                   [this] { return static_cast<double>(nvm_used_pages()); });
+  }
+  // Tier metrics only exist when the compressed tier does, so the metric
+  // column set (and every exported CSV/JSONL) is unchanged by default.
+  if (comp_pool_.enabled()) {
+    comp_pool_.register_metrics(reg, "tier.compressed.");
+    reg.add_counter("tier.compressed.stored", &stats_.compressed_stored);
+    reg.add_counter("tier.compressed.demotions_in",
+                    &stats_.demotions_to_compressed);
+    reg.add_counter("tier.compressed.demotions_out",
+                    &stats_.demotions_to_nvm);
+    reg.add_counter("tier.dram.gets_hit", &stats_.gets_hit_dram);
+    reg.add_counter("tier.compressed.gets_hit",
+                    &stats_.gets_hit_compressed);
+    reg.add_counter("tier.nvm.gets_hit", &stats_.gets_hit_nvm);
   }
 }
 

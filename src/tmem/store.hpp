@@ -5,6 +5,11 @@
 // whether a put is allowed to consume a page is decided one layer up by the
 // Hypervisor (Algorithm 1 of the paper); the store only answers "is there a
 // physical page available, possibly after evicting ephemeral data".
+//
+// Tier chain: new pages fill DRAM first, then the zswap-style compressed
+// tier (byte-budgeted, see src/tier), then NVM (Ex-Tmem). The compressed
+// tier is off by default; with it off the store is byte-identical to the
+// pre-tier system.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "tier/compressed_pool.hpp"
 #include "tmem/key.hpp"
 
 namespace smartmem::obs {
@@ -22,6 +28,15 @@ class Registry;
 }
 
 namespace smartmem::tmem {
+
+/// What happens to a compressed-capable ephemeral victim when the store
+/// needs room (zswap's writeback question):
+///  * kDrop: discard it — the pre-tier behaviour, cheapest, loses the page.
+///  * kDemote: move it one tier down the chain instead (DRAM victims
+///    compress; compressed victims decompress into NVM); only when the
+///    lower tier has room, else drop. Slow-reclaim and node-quota eviction
+///    always drop — their whole point is shrinking the footprint.
+enum class CompressedEvictMode : std::uint8_t { kDrop, kDemote };
 
 struct StoreConfig {
   /// Capacity of the pooled idle/fallow memory, in pages (DRAM tier).
@@ -33,6 +48,10 @@ struct StoreConfig {
   /// deduplicated and consume no physical frame. Off by default to match the
   /// paper's configuration; the ablation bench turns it on.
   bool zero_page_dedup = false;
+  /// Compressed tier (src/tier): byte budget + compressibility model.
+  /// capacity_bytes 0 disables (the default).
+  tier::CompressedPoolConfig compressed;
+  CompressedEvictMode compressed_evict = CompressedEvictMode::kDemote;
 };
 
 struct StoreStats {
@@ -47,6 +66,14 @@ struct StoreStats {
   std::uint64_t zero_pages_deduped = 0;
   PageCount peak_used = 0;      // high-water mark, DRAM tier
   PageCount nvm_peak_used = 0;  // high-water mark, NVM tier
+  // ---- Compressed-tier counters (all zero when the tier is off) ----
+  std::uint64_t compressed_stored = 0;      // placements into the tier
+  std::uint64_t demotions_to_compressed = 0;  // DRAM victim compressed
+  std::uint64_t demotions_to_nvm = 0;         // victim decompressed into NVM
+  // ---- Per-tier get hits (gets_hit = sum + remote hits counted upstream) --
+  std::uint64_t gets_hit_dram = 0;
+  std::uint64_t gets_hit_compressed = 0;
+  std::uint64_t gets_hit_nvm = 0;
 };
 
 enum class PutResult : std::uint8_t {
@@ -62,7 +89,10 @@ class TmemStore {
   // ---- Pool management -----------------------------------------------
 
   /// Creates a pool owned by `owner`. Pool ids are never reused.
-  PoolId create_pool(VmId owner, PoolType type);
+  /// `compressible` = false keeps every page of the pool out of the
+  /// compressed tier — the cluster layer marks donor-side lender/lease
+  /// pools this way so borrowed pages never double-compress.
+  PoolId create_pool(VmId owner, PoolType type, bool compressible = true);
 
   /// Flushes every page of the pool and forgets it.
   void destroy_pool(PoolId pool);
@@ -77,12 +107,17 @@ class TmemStore {
   /// Pages currently held across all pools of a VM.
   PageCount vm_pages(VmId vm) const;
 
+  /// Effective bytes held across all pools of a VM: compressed pages count
+  /// at their compressed size, uncompressed pages at kPageSize, deduped
+  /// zero pages at 0. The byte-aware control plane manages this number.
+  std::uint64_t vm_bytes(VmId vm) const;
+
   // ---- Page operations -------------------------------------------------
 
   /// Stores `payload` under `key`. May evict ephemeral pages to find room
   /// (never evicts persistent ones). Fails with kNoMemory when the node is
   /// genuinely full of persistent data. If `tier` is non-null it receives
-  /// the tier the page landed in (DRAM first, NVM spill-over).
+  /// the tier the page landed in (DRAM, then compressed, then NVM).
   PutResult put(const TmemKey& key, PagePayload payload, Tier* tier = nullptr);
 
   /// Looks up `key`. On a hit in an ephemeral pool the page is removed
@@ -93,6 +128,9 @@ class TmemStore {
   /// Non-destructive lookup (for tests/inspection).
   bool contains(const TmemKey& key) const;
 
+  /// Tier currently holding `key` (for tests/inspection).
+  std::optional<Tier> tier_of(const TmemKey& key) const;
+
   /// Drops one page. Returns true if the key existed.
   bool flush_page(const TmemKey& key);
 
@@ -101,14 +139,16 @@ class TmemStore {
 
   /// Evicts up to `max_pages` ephemeral pages belonging to `vm` (oldest
   /// first). Used by the hypervisor's slow background reclaim of over-target
-  /// VMs. Returns the number of pages actually evicted.
+  /// VMs. Always drops (never demotes): reclaim must shrink the VM's
+  /// footprint. Returns the number of pages actually evicted. O(evicted):
+  /// walks the VM's own insertion-ordered list, not the global LRU.
   PageCount evict_ephemeral_from_vm(VmId vm, PageCount max_pages);
 
   /// Frees one frame by dropping the globally least-recently-inserted
   /// ephemeral page, whichever VM owns it. The hypervisor's node-quota
   /// enforcement recycles capacity this way so a quota-capped node's
-  /// footprint stays flat. Returns false when nothing is evictable.
-  bool evict_oldest_ephemeral() { return evict_one_ephemeral(); }
+  /// footprint stays flat (always drops, never demotes).
+  bool evict_oldest_ephemeral() { return drop_one_ephemeral(); }
 
   // ---- Accounting -------------------------------------------------------
 
@@ -118,18 +158,43 @@ class TmemStore {
   PageCount nvm_total_pages() const { return config_.nvm_pages; }
   PageCount nvm_free_pages() const { return nvm_free_; }
   PageCount nvm_used_pages() const { return config_.nvm_pages - nvm_free_; }
-  /// Combined capacity/free across both tiers (what policies reason about).
+  /// Combined capacity/free across the page-granular tiers (what
+  /// page-denominated policies reason about). Excludes the compressed
+  /// tier, whose page capacity is elastic — see compressed_pages().
   PageCount combined_total_pages() const {
     return config_.total_pages + config_.nvm_pages;
   }
   PageCount combined_free_pages() const { return free_pages_ + nvm_free_; }
   PageCount ephemeral_pages() const { return ephemeral_count_; }
 
+  // ---- Compressed tier -----------------------------------------------
+
+  bool compressed_enabled() const { return comp_pool_.enabled(); }
+  /// Pages currently resident in the compressed tier.
+  PageCount compressed_pages() const { return comp_pool_.pages(); }
+  /// True when the page at `key` could be admitted to the compressed tier
+  /// right now without any eviction (pool compressible + bytes fit).
+  bool compressed_fits(const TmemKey& key) const;
+  const tier::CompressedPool& compressed_pool() const { return comp_pool_; }
+
+  /// Byte-space capacity across all tiers: page-granular tiers count at
+  /// kPageSize per page, the compressed tier contributes its byte budget.
+  std::uint64_t combined_total_bytes() const {
+    return combined_total_pages() * kPageSize + comp_pool_.capacity_bytes();
+  }
+  std::uint64_t combined_free_bytes() const {
+    return combined_free_pages() * kPageSize +
+           (comp_pool_.enabled() ? comp_pool_.free_bytes() : 0);
+  }
+
   const StoreStats& stats() const { return stats_; }
 
   /// Registers the store's counters and capacity gauges into `reg`, names
-  /// prefixed with `prefix` (e.g. "tmem."). The registry reads the live
-  /// counters at snapshot time; the store must outlive it.
+  /// prefixed with `prefix` (e.g. "tmem."). Compressed-tier gauges appear
+  /// under "tier.compressed." / "tier.<t>.gets_hit" only when the tier is
+  /// enabled, so the metric column set is unchanged by default. The
+  /// registry reads the live counters at snapshot time; the store must
+  /// outlive it.
   void register_metrics(obs::Registry& reg, const std::string& prefix) const;
 
  private:
@@ -139,26 +204,44 @@ class TmemStore {
   // Compared to the former std::list<TmemKey>, linking costs no allocation
   // and unlinking needs no second hash lookup; `key`/`key_hash` let the
   // eviction path probe the entry table without re-mixing the key.
+  // A second intrusive list (vm_prev/vm_next) threads the same ephemeral
+  // entries per owner VM, so per-VM reclaim walks exactly the pages it may
+  // evict instead of scanning the global list (ROADMAP fleet follow-up (a)).
   struct Entry {
     PagePayload payload = 0;
     VmId owner = kInvalidVm;
     PoolType type = PoolType::kEphemeral;
     Tier tier = Tier::kDram;
-    bool deduped = false;  // zero page, consumes no frame
+    bool deduped = false;      // zero page, consumes no frame
+    bool compressible = true;  // copied from the pool at insert
+    std::uint32_t comp_bytes = 0;  // bytes charged while tier == kCompressed
     std::size_t key_hash = 0;      // cached TmemKeyHash of the map key
     const TmemKey* key = nullptr;  // the map node's key (stable address)
-    Entry* lru_prev = nullptr;     // intrusive LRU links (ephemeral only)
+    Entry* lru_prev = nullptr;     // intrusive global LRU (ephemeral only)
     Entry* lru_next = nullptr;
+    Entry* vm_prev = nullptr;      // intrusive per-VM list (ephemeral only)
+    Entry* vm_next = nullptr;
   };
 
   struct PoolInfo {
     VmId owner = kInvalidVm;
     PoolType type = PoolType::kEphemeral;
+    bool compressible = true;
     PageCount pages = 0;
     bool alive = false;
     // Keys grouped by object for O(object-size) flush_object and O(1)
     // removal of a single page from its object on flush_page/eviction.
     std::unordered_map<std::uint64_t, std::unordered_set<std::uint32_t>> objects;
+  };
+
+  /// Indexed per-VM accounting: page/byte tallies plus the head/tail of the
+  /// VM's own ephemeral insertion-order list. One hash probe per put/erase
+  /// instead of a per-reclaim scan of the global LRU.
+  struct VmAccount {
+    PageCount pages = 0;
+    std::uint64_t bytes = 0;       // effective bytes (see vm_bytes())
+    Entry* eph_head = nullptr;     // oldest ephemeral entry of this VM
+    Entry* eph_tail = nullptr;
   };
 
   using EntryMap =
@@ -167,28 +250,54 @@ class TmemStore {
   /// Removes an entry (updating all accounting); `it` must be valid.
   void erase_entry(EntryMap::iterator it);
 
-  /// Appends `e` (must be ephemeral) to the MRU end of the intrusive list.
+  /// Appends `e` (must be ephemeral) to the MRU end of both intrusive lists.
   void lru_push_back(Entry* e);
 
-  /// Unlinks `e` from the intrusive list.
+  /// Unlinks `e` from both intrusive lists.
   void lru_unlink(Entry* e);
 
-  /// Frees one page by dropping the least-recently-inserted ephemeral page.
+  /// Effective bytes the entry occupies (0 deduped, comp_bytes compressed,
+  /// kPageSize otherwise).
+  std::uint64_t effective_bytes(const Entry& e) const;
+
+  /// Releases the frame/bytes the entry holds back to its tier.
+  void release_tier(const Entry& e);
+
+  /// Capacity-pressure eviction: drop — or, in kDemote mode, move down the
+  /// tier chain — the globally oldest ephemeral page. Every call frees
+  /// capacity in the victim's current tier or removes an ephemeral entry,
+  /// so eviction loops terminate. Returns false when nothing is evictable.
   bool evict_one_ephemeral();
+
+  /// Unconditionally drops the globally oldest ephemeral page.
+  bool drop_one_ephemeral();
+
+  /// Moves `e` one tier down the chain if the lower tier has room *right
+  /// now* (no recursive eviction). The entry keeps its LRU position — its
+  /// age does not change, so a re-picked victim keeps moving strictly down
+  /// and is finally dropped. Returns false when nothing below has room.
+  bool try_demote(Entry& e);
 
   bool consumes_frame(const Entry& e) const { return !e.deduped; }
 
-  /// Takes one free frame for a new entry, DRAM first. Returns the tier or
-  /// nullopt when both tiers are exhausted.
-  std::optional<Tier> take_frame();
+  /// True when a page of `cost` compressed bytes from a compressible pool —
+  /// or any page at all — could be placed without eviction.
+  bool can_place(bool comp_eligible, std::uint32_t comp_cost) const;
+
+  /// Takes capacity for a new entry along the chain (DRAM, compressed,
+  /// NVM), setting entry.tier/comp_bytes and charging the compressed pool.
+  /// can_place() must be true.
+  void place_entry(Entry& entry, const TmemKey& key, bool comp_eligible,
+                   std::uint32_t comp_cost);
 
   StoreConfig config_;
   PageCount free_pages_;
   PageCount nvm_free_;
+  tier::CompressedPool comp_pool_;
   PoolId next_pool_ = 0;
   std::unordered_map<PoolId, PoolInfo> pools_;
   EntryMap entries_;
-  std::unordered_map<VmId, PageCount> vm_pages_;
+  std::unordered_map<VmId, VmAccount> vm_accounts_;
   Entry* lru_head_ = nullptr;  // oldest ephemeral entry
   Entry* lru_tail_ = nullptr;  // newest ephemeral entry
   PageCount ephemeral_count_ = 0;

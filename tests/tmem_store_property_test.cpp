@@ -21,6 +21,9 @@ struct StoreParams {
   PageCount capacity;
   bool dedup;
   std::uint64_t seed;
+  /// Compressed-tier byte budget; 0 keeps the tier off (the default chain).
+  std::uint64_t comp_bytes = 0;
+  CompressedEvictMode evict = CompressedEvictMode::kDemote;
 };
 
 class StorePropertyTest : public ::testing::TestWithParam<StoreParams> {};
@@ -30,6 +33,9 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
   StoreConfig store_cfg;
   store_cfg.total_pages = params.capacity;
   store_cfg.zero_page_dedup = params.dedup;
+  store_cfg.compressed.capacity_bytes = params.comp_bytes;
+  store_cfg.compressed.model.seed = params.seed * 977 + 1;
+  store_cfg.compressed_evict = params.evict;
   TmemStore store(store_cfg);
   Rng rng(params.seed);
 
@@ -68,6 +74,17 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
         ASSERT_TRUE(store.contains(key));
       }
     }
+    // 4. compressed-tier ledger: never over budget, page count consistent
+    //    with the store's view, and the per-VM effective-byte tallies sum
+    //    to exactly the bytes the three tiers hold (deduped pages are 0).
+    ASSERT_LE(store.compressed_pool().bytes_used(),
+              store.compressed_pool().capacity_bytes());
+    ASSERT_EQ(store.compressed_pages(), store.compressed_pool().pages());
+    std::uint64_t total_bytes = 0;
+    for (VmId vm = 1; vm <= 3; ++vm) total_bytes += store.vm_bytes(vm);
+    ASSERT_EQ(total_bytes,
+              (store.used_pages() + store.nvm_used_pages()) * kPageSize +
+                  store.compressed_pool().bytes_used());
   };
 
   for (int step = 0; step < 20000; ++step) {
@@ -143,6 +160,7 @@ TEST_P(StorePropertyTest, InvariantsHoldUnderRandomOps) {
   // Teardown: destroying every pool must return the store to pristine state.
   for (PoolId p : pools) store.destroy_pool(p);
   EXPECT_EQ(store.free_pages(), params.capacity);
+  EXPECT_EQ(store.compressed_pool().bytes_used(), 0u);
   for (VmId vm = 1; vm <= 3; ++vm) EXPECT_EQ(store.vm_pages(vm), 0u);
 }
 
@@ -154,7 +172,14 @@ INSTANTIATE_TEST_SUITE_P(
                       StoreParams{256, true, 4},
                       StoreParams{64, false, 5},
                       StoreParams{1, false, 6},     // single page
-                      StoreParams{4096, false, 7}));
+                      StoreParams{4096, false, 7},
+                      // Compressed tier on: demote chain, drop mode, dedup
+                      // interaction, and a tiny pool with heavy churn.
+                      StoreParams{16, false, 8, 8 * kPageSize},
+                      StoreParams{16, false, 9, 8 * kPageSize,
+                                  CompressedEvictMode::kDrop},
+                      StoreParams{64, true, 10, 16 * kPageSize},
+                      StoreParams{4, false, 11, 2 * kPageSize}));
 
 }  // namespace
 }  // namespace smartmem::tmem

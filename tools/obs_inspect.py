@@ -22,7 +22,9 @@ summary so CI can use it as a pure validator.
   fleet-report
            One-page control-plane health report from a *rack* metrics
            export (fig_fleet_scaling --metrics-out): per-hop wire bytes and
-           drops, delta-encoding health (resync frequency, clean decides,
+           drops, per-tier occupancy and get-hit attribution (DRAM /
+           compressed / NVM; "-" for tiers a node does not have),
+           delta-encoding health (resync frequency, clean decides,
            suppression), broken-chain and stale-seq drops, applied roll-up
            staleness quantiles, and — when the run was profiled
            (--profile) — the engine's per-shard occupancy and bottleneck
@@ -246,6 +248,36 @@ def cmd_fleet_report(args):
               f"{fmt(g(f'n{i}.gm_down.sent'), '9.0f')} "
               f"{fmt(g(f'n{i}.gm_down.payload_bytes'), '10.0f')} "
               f"{drops:6.0f} {lat:10.1f}")
+
+    tier_nodes = [i for i in nodes
+                  if g(f"n{i}.tier.dram.total_pages") is not None]
+    if tier_nodes:
+        def occ_pct(used, total):
+            if used is None or not total:
+                return "-"
+            return f"{100.0 * used / total:.1f}"
+
+        print("\nper-tier occupancy and hit attribution (final):")
+        print(f"  {'node':<6s} {'dram occ%':>9s} {'comp occ%':>9s} "
+              f"{'nvm occ%':>8s} {'hit dram%':>9s} {'hit comp%':>9s} "
+              f"{'hit nvm%':>8s}")
+        for i in tier_nodes:
+            dram = occ_pct(g(f"n{i}.tier.dram.used_pages"),
+                           g(f"n{i}.tier.dram.total_pages"))
+            comp = occ_pct(g(f"n{i}.tier.compressed.bytes_used"),
+                           g(f"n{i}.tier.compressed.capacity_bytes"))
+            nvm = occ_pct(g(f"n{i}.tier.nvm.used_pages"),
+                          g(f"n{i}.tier.nvm.total_pages"))
+            hits = {t: g(f"n{i}.tier.{t}.gets_hit")
+                    for t in ("dram", "compressed", "nvm")}
+            total_hits = sum(v for v in hits.values() if v is not None)
+            rates = {t: "-" if hits[t] is None
+                     else f"{100.0 * hits[t] / total_hits:.1f}"
+                     if total_hits else "0.0"
+                     for t in hits}
+            print(f"  n{i:<5d} {dram:>9s} {comp:>9s} {nvm:>8s} "
+                  f"{rates['dram']:>9s} {rates['compressed']:>9s} "
+                  f"{rates['nvm']:>8s}")
 
     decisions = g("gm.decisions", 0.0)
     clean = g("gm.clean_decides", 0.0)
