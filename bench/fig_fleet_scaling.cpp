@@ -30,6 +30,20 @@
 //   --fleet-incremental      O(changed-VMs) MM decide path
 //   --fleet-demand-weighted  demand-weighted lending credit split
 //   --fleet-no-lending       disable remote-tmem lending
+//   --fleet-lending-heavy    hot-node/cold-donor geometry (node 0 spills at
+//                            1.6x usable RAM, others fit at 0.55x) so the
+//                            borrow path actually runs
+//   --fleet-async-lending    borrows as fabric round trips (DESIGN §15)
+//   --fleet-lend-cache n     borrower-side cache capacity in pages (0 = off)
+//   --fleet-lend-rtt-x f     multiply the lending-hop wire latencies
+//   --fleet-lend-loss p      per-message loss probability on both lend hops
+//   --fleet-lend-reorder p   per-message reorder probability on both hops
+//   --fleet-lend-outage-from-s s / --fleet-lend-outage-dur-s d
+//                            outage window on both lend hops
+//                            (async lending runs also write fleet_lending.csv
+//                            with --csv: deterministic columns only, no
+//                            sim_threads column, md5-comparable across
+//                            --sim-threads)
 //   --profile                engine self-profile: per-shard busy/barrier-wait/
 //                            injection table + bottleneck attribution (stdout;
 //                            fleet_profile.csv with --csv). Wall-clock only —
@@ -74,6 +88,14 @@ struct Options {
   bool incremental = false;
   bool demand_weighted = false;
   bool lending = true;
+  bool lending_heavy = false;
+  bool async_lending = false;
+  std::uint64_t lend_cache = 0;
+  double lend_rtt_x = 1.0;
+  double lend_loss = 0.0;
+  double lend_reorder = 0.0;
+  double lend_outage_from_s = -1.0;
+  double lend_outage_dur_s = 0.0;
   bool profile = false;
   std::uint64_t trace_sample = 1;
   std::string trace_out;
@@ -90,7 +112,10 @@ void usage(std::FILE* out) {
       "  [--fleet-mix read-heavy|balanced|write-heavy]\n"
       "  [--fleet-policy p] [--fleet-encoding delta|full|both]\n"
       "  [--fleet-resync n] [--fleet-incremental] [--fleet-demand-weighted]\n"
-      "  [--fleet-no-lending] [--profile] [--trace-sample n]\n"
+      "  [--fleet-no-lending] [--fleet-lending-heavy] [--fleet-async-lending]\n"
+      "  [--fleet-lend-cache n] [--fleet-lend-rtt-x f] [--fleet-lend-loss p]\n"
+      "  [--fleet-lend-reorder p] [--fleet-lend-outage-from-s s]\n"
+      "  [--fleet-lend-outage-dur-s d] [--profile] [--trace-sample n]\n"
       "  [--trace-out f] [--metrics-out f] [--audit-out f]\n");
 }
 
@@ -172,6 +197,24 @@ Options parse(int argc, char** argv) {
       o.demand_weighted = true;
     } else if (arg == "--fleet-no-lending") {
       o.lending = false;
+    } else if (arg == "--fleet-lending-heavy") {
+      o.lending_heavy = true;
+    } else if (arg == "--fleet-async-lending") {
+      o.async_lending = true;
+    } else if (arg == "--fleet-lend-cache") {
+      o.lend_cache = parse_u64("--fleet-lend-cache", next(i), 0, 1u << 24);
+    } else if (arg == "--fleet-lend-rtt-x") {
+      o.lend_rtt_x = parse_f64("--fleet-lend-rtt-x", next(i), 0.01, 1000.0);
+    } else if (arg == "--fleet-lend-loss") {
+      o.lend_loss = parse_f64("--fleet-lend-loss", next(i), 0.0, 1.0);
+    } else if (arg == "--fleet-lend-reorder") {
+      o.lend_reorder = parse_f64("--fleet-lend-reorder", next(i), 0.0, 1.0);
+    } else if (arg == "--fleet-lend-outage-from-s") {
+      o.lend_outage_from_s =
+          parse_f64("--fleet-lend-outage-from-s", next(i), 0.0, 1e6);
+    } else if (arg == "--fleet-lend-outage-dur-s") {
+      o.lend_outage_dur_s =
+          parse_f64("--fleet-lend-outage-dur-s", next(i), 0.0, 1e6);
     } else if (arg == "--profile") {
       o.profile = true;
     } else if (arg == "--trace-sample") {
@@ -199,6 +242,29 @@ struct Cell {
   bool delta = false;
 };
 
+/// Applies the lending knobs shared by the measured grid and the observed
+/// run. The async block only fires under --fleet-async-lending, so default
+/// runs keep the historic config byte-for-byte.
+void apply_lending(const Options& o, cluster::FleetExperimentConfig& cfg) {
+  cfg.lending = o.lending;
+  cfg.lending_demand_weighted = o.demand_weighted;
+  cfg.lending_heavy = o.lending_heavy;
+  if (o.async_lending) {
+    cfg.lending_async.enabled = true;
+    cfg.lending_async.cache_pages = o.lend_cache;
+    cfg.lend_rtt_x = o.lend_rtt_x;
+    cfg.lend_fault.loss_rate = o.lend_loss;
+    cfg.lend_fault.reorder_rate = o.lend_reorder;
+    if (o.lend_outage_from_s >= 0.0) {
+      cfg.lend_fault.down_from = static_cast<SimTime>(
+          o.lend_outage_from_s * static_cast<double>(kSecond));
+      cfg.lend_fault.down_until = static_cast<SimTime>(
+          (o.lend_outage_from_s + o.lend_outage_dur_s) *
+          static_cast<double>(kSecond));
+    }
+  }
+}
+
 cluster::FleetRunResult run_cell(const Options& o, const Cell& cell,
                                  std::uint64_t seed) {
   cluster::FleetExperimentConfig cfg;
@@ -207,8 +273,7 @@ cluster::FleetRunResult run_cell(const Options& o, const Cell& cell,
   cfg.skew = o.skew;
   cfg.mix = o.mix;
   cfg.global_policy = o.policy;
-  cfg.lending = o.lending;
-  cfg.lending_demand_weighted = o.demand_weighted;
+  apply_lending(o, cfg);
   cfg.delta = cell.delta;
   cfg.resync_every = o.resync;
   cfg.mm_incremental = o.incremental;
@@ -336,6 +401,43 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (o.async_lending) {
+    // Lending summary (all simulation-visible, so deterministic): one line
+    // per cell so the smoke job can grep borrow_placements straight off
+    // stdout as well as out of fleet_lending.csv.
+    std::printf("\n%-6s %-5s %9s %9s %9s %8s %8s %8s %8s %9s %9s\n", "nodes",
+                "enc", "borrows", "fab_reqs", "retries", "giveups", "c_hits",
+                "c_miss", "c_inval", "put_rtt", "get_rtt");
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      std::uint64_t borrows = 0, reqs = 0, retries = 0, giveups = 0;
+      std::uint64_t chits = 0, cmiss = 0, cinval = 0;
+      RunningStats put_rtt, get_rtt;
+      for (std::size_t rep = 0; rep < o.reps; ++rep) {
+        const cluster::FleetRunResult& r = runs[c * o.reps + rep];
+        borrows += r.borrow_placements;
+        reqs += r.fabric_requests;
+        retries += r.fabric_retries;
+        giveups += r.fabric_give_ups;
+        chits += r.cache_hits;
+        cmiss += r.cache_misses;
+        cinval += r.cache_invalidations;
+        put_rtt.add(r.put_rtt_mean_us);
+        get_rtt.add(r.get_rtt_mean_us);
+      }
+      std::printf(
+          "%-6zu %-5s %9llu %9llu %9llu %8llu %8llu %8llu %8llu %8.1fu %8.1fu\n",
+          cells[c].nodes, cells[c].delta ? "delta" : "full",
+          static_cast<unsigned long long>(borrows),
+          static_cast<unsigned long long>(reqs),
+          static_cast<unsigned long long>(retries),
+          static_cast<unsigned long long>(giveups),
+          static_cast<unsigned long long>(chits),
+          static_cast<unsigned long long>(cmiss),
+          static_cast<unsigned long long>(cinval), put_rtt.mean(),
+          get_rtt.mean());
+    }
+  }
+
   // Headline: the delta encoding's steady-state saving where both
   // encodings ran at the same geometry.
   for (std::size_t a = 0; a < cells.size(); ++a) {
@@ -397,6 +499,51 @@ int main(int argc, char** argv) {
     }
     std::printf("\nwrote %s\n", path.c_str());
 
+    if (o.async_lending) {
+      // Separate artifact so the md5-checked fig_fleet_scaling.csv layout
+      // never changes on the default path. Deliberately no sim_threads
+      // column and no wall-clock fields: the whole file md5-compares across
+      // --sim-threads values (the CI lending smoke job does exactly that).
+      const std::string lpath = o.csv_dir + "/fleet_lending.csv";
+      std::ofstream lcsv(lpath);
+      lcsv << "nodes,encoding,rep,borrow_placements,failed_placements,"
+              "borrow_hits,borrow_misses,recalls,failed_replacements,"
+              "fabric_requests,fabric_retries,fabric_timeouts,"
+              "fabric_give_ups,fabric_congestion_drops,fabric_get_fallbacks,"
+              "cache_hits,cache_misses,cache_invalidations,"
+              "put_rtt_mean_us,get_rtt_mean_us,get_rtt_count\n";
+      for (std::size_t c = 0; c < cells.size(); ++c) {
+        for (std::size_t rep = 0; rep < o.reps; ++rep) {
+          const cluster::FleetRunResult& r = runs[c * o.reps + rep];
+          char line[512];
+          std::snprintf(
+              line, sizeof line,
+              "%zu,%s,%zu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,%llu,"
+              "%llu,%llu,%llu,%llu,%llu,%llu,%.3f,%.3f,%llu\n",
+              cells[c].nodes, cells[c].delta ? "delta" : "full", rep,
+              static_cast<unsigned long long>(r.borrow_placements),
+              static_cast<unsigned long long>(r.lending_failed_placements),
+              static_cast<unsigned long long>(r.borrow_hits),
+              static_cast<unsigned long long>(r.borrow_misses),
+              static_cast<unsigned long long>(r.lending_recalls),
+              static_cast<unsigned long long>(r.lending_failed_replacements),
+              static_cast<unsigned long long>(r.fabric_requests),
+              static_cast<unsigned long long>(r.fabric_retries),
+              static_cast<unsigned long long>(r.fabric_timeouts),
+              static_cast<unsigned long long>(r.fabric_give_ups),
+              static_cast<unsigned long long>(r.fabric_congestion_drops),
+              static_cast<unsigned long long>(r.fabric_get_fallbacks),
+              static_cast<unsigned long long>(r.cache_hits),
+              static_cast<unsigned long long>(r.cache_misses),
+              static_cast<unsigned long long>(r.cache_invalidations),
+              r.put_rtt_mean_us, r.get_rtt_mean_us,
+              static_cast<unsigned long long>(r.get_rtt_count));
+          lcsv << line;
+        }
+      }
+      std::printf("wrote %s\n", lpath.c_str());
+    }
+
     if (o.profile) {
       // Separate artifact on purpose: everything in here is wall-clock, so
       // it must never ride in the md5-checked outcome CSV.
@@ -449,8 +596,7 @@ int main(int argc, char** argv) {
     cfg.skew = o.skew;
     cfg.mix = o.mix;
     cfg.global_policy = o.policy;
-    cfg.lending = o.lending;
-    cfg.lending_demand_weighted = o.demand_weighted;
+    apply_lending(o, cfg);
     cfg.delta = cell.delta;
     cfg.resync_every = o.resync;
     cfg.mm_incremental = o.incremental;

@@ -96,9 +96,13 @@ void Cluster::wire_rack() {
         std::move(hyps),
         sharded_ ? LendingMode::kSharded : LendingMode::kImmediate,
         config_.lending_demand_weighted);
+    broker_->enable_async(config_.lending_async, config_.topology);
     for (std::size_t i = 0; i < n; ++i) {
       nodes_[i]->hypervisor().set_remote_tmem(
           broker_->port(static_cast<NodeId>(i)));
+      // Each borrower partition's in-flight timers live on that node's own
+      // event stream (the shared simulator in classic mode).
+      broker_->attach_sim(static_cast<NodeId>(i), &nodes_[i]->simulator());
     }
   }
 
@@ -200,6 +204,9 @@ void Cluster::wire_rack() {
       registry->add_counter("rack.rollups_suppressed", &rollups_suppressed_);
       if (profiler_) profiler_->register_metrics(*registry);
       if (broker_) broker_->register_metrics(*registry);
+      if (broker_ && broker_->fabric() != nullptr) {
+        broker_->fabric()->register_metrics(*registry);
+      }
       for (std::size_t i = 0; i < n; ++i) {
         const std::string prefix = "n" + std::to_string(i);
         comm::register_channel_metrics(*registry, prefix + ".gm_up.",
@@ -463,6 +470,9 @@ void Cluster::teardown() {
   finished_ = true;
   metrics_sampler_.cancel();
   if (gm_) gm_->stop();
+  // Outstanding borrow round trips die with the cluster: cancel their
+  // in-flight completion timers exactly as Tkm::stop() cancels deliveries.
+  if (broker_) broker_->stop();
   for (auto& ch : uplinks_) ch->close();
   for (auto& ch : downlinks_) ch->close();
   for (auto& node : nodes_) node->finish();

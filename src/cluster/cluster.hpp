@@ -74,6 +74,13 @@ struct ClusterConfig {
   /// the even split is the byte-identical historic behaviour.
   bool lending_demand_weighted = false;
 
+  /// Asynchronous lending data plane (cluster/lend_fabric.hpp): borrows run
+  /// as request/response round trips over the topology's lending hops, with
+  /// faults, timeouts, retries, congestion and an optional borrower-side
+  /// cache. Disabled by default — the synchronous plane is the
+  /// byte-identical historic behaviour.
+  AsyncLendingConfig lending_async;
+
   /// Fleet-scale control plane (DESIGN §12) on the *rack* hops: suppress
   /// NodeStats roll-ups whose payload is unchanged (with a full resend
   /// every resync_every samples per node), let the GlobalManager skip

@@ -36,6 +36,11 @@ core::ScenarioSpec fleet_node_scenario(const FleetExperimentConfig& cfg,
                             workloads::to_string(cfg.mix));
   spec.tmem_pages =
       scaled_mib(16.0 * static_cast<double>(cfg.vms_per_node), cfg.scale);
+  // Lending-heavy cold nodes carry deliberately small tmem: the donor pool
+  // is then scarce against the two hot borrowers' combined appetite, so
+  // credit runs out in some windows and the split policy (even vs
+  // demand-weighted) decides who eats the shortfall.
+  if (cfg.lending_heavy && node >= 2) spec.tmem_pages /= 4;
   // Arrivals are scheduled explicitly per tenant; no extra jitter on top.
   spec.start_jitter_max = 0;
   spec.scale = cfg.scale;
@@ -46,11 +51,21 @@ core::ScenarioSpec fleet_node_scenario(const FleetExperimentConfig& cfg,
     vm.name = strfmt("VM%zu", v + 1);
     vm.ram_pages = scaled_mib(96, cfg.scale);
     vm.start_delay = workloads::fleet_arrival(fw, rank);
-    vm.make_workload = [fw, rank,
+    // Lending-heavy geometry splits the fleet into two hot nodes whose
+    // tenants spill far past RAM + tmem (quota demand above physical) and
+    // cold nodes whose tenants fit in RAM outright (zero tmem demand, so
+    // their quota shrinks and their frames become lendable). Two borrowers
+    // with unequal spill, not one, so the credit-split policy (even vs
+    // demand-weighted) has an actual allocation decision to make.
+    const double ws_x = !cfg.lending_heavy ? 1.25
+                        : node == 0        ? 1.6
+                        : node == 1        ? 1.4
+                                           : 0.9;
+    vm.make_workload = [fw, rank, ws_x,
                         ram = vm.ram_pages]() -> workloads::WorkloadPtr {
       workloads::FleetWorkloadConfig tenant = fw;
       tenant.working_set =
-          static_cast<PageCount>(static_cast<double>(usable(ram)) * 1.25);
+          static_cast<PageCount>(static_cast<double>(usable(ram)) * ws_x);
       tenant.touches_per_phase = 3 * tenant.working_set;
       return workloads::make_fleet_tenant(tenant, rank);
     };
@@ -98,6 +113,18 @@ FleetRunResult run_fleet_scenario(const FleetExperimentConfig& cfg) {
       cfg.global_interval_x * static_cast<double>(base.sample_interval));
   ccfg.lending = cfg.lending;
   ccfg.lending_demand_weighted = cfg.lending_demand_weighted;
+  ccfg.lending_async = cfg.lending_async;
+  if (cfg.lending_async.enabled) {
+    // The lending hops deliberately do NOT scale with cfg.scale (the
+    // historic remote-tier cost constant does not either); lend_rtt_x is
+    // the explicit wire-speed axis for the ablation.
+    if (cfg.lend_rtt_x != 1.0) {
+      ccfg.topology.internode_lend_req.scale_times(cfg.lend_rtt_x);
+      ccfg.topology.internode_lend_resp.scale_times(cfg.lend_rtt_x);
+    }
+    ccfg.topology.internode_lend_req.faults = cfg.lend_fault;
+    ccfg.topology.internode_lend_resp.faults = cfg.lend_fault;
+  }
   ccfg.delta.enabled = cfg.delta;
   ccfg.delta.resync_every = cfg.resync_every;
   ccfg.sim_threads = cfg.sim_threads;
@@ -117,6 +144,7 @@ FleetRunResult run_fleet_scenario(const FleetExperimentConfig& cfg) {
     deadline = std::max(deadline, spec.deadline);
   }
 
+  if (cfg.deadline_cap > 0) deadline = std::min(deadline, cfg.deadline_cap);
   const SimTime end = cluster.run(deadline);
 
   FleetRunResult out;
@@ -155,6 +183,31 @@ FleetRunResult run_fleet_scenario(const FleetExperimentConfig& cfg) {
   if (const LendingBroker* broker = cluster.broker()) {
     out.borrow_placements = broker->borrow_placements();
     out.lending_failed_placements = broker->failed_placements();
+    out.borrow_hits = broker->borrow_hits();
+    out.borrow_misses = broker->borrow_misses();
+    out.lending_recalls = broker->recalls();
+    out.lending_failed_replacements = broker->failed_replacements();
+    if (const LendFabric* fab = broker->fabric()) {
+      const LendFabricStats t = fab->totals();
+      out.fabric_requests = t.requests;
+      out.fabric_retries = t.retries;
+      out.fabric_timeouts = t.timeouts;
+      out.fabric_give_ups = t.give_ups;
+      out.fabric_congestion_drops = t.congestion_drops;
+      out.fabric_get_fallbacks = t.get_fallbacks;
+      out.fabric_cancelled_timers = t.cancelled_timers;
+      out.put_rtt_mean_us =
+          t.put_rtt_us.count() > 0 ? t.put_rtt_us.mean() : 0.0;
+      out.get_rtt_mean_us =
+          t.get_rtt_us.count() > 0 ? t.get_rtt_us.mean() : 0.0;
+      out.get_rtt_count = t.get_rtt_us.count();
+      for (std::size_t b = 0; b < cfg.nodes; ++b) {
+        const BorrowCache& c = fab->cache(static_cast<NodeId>(b));
+        out.cache_hits += c.hits();
+        out.cache_misses += c.misses();
+        out.cache_invalidations += c.invalidations();
+      }
+    }
   }
   if (const sim::EngineProfiler* prof = cluster.profiler()) {
     // Copy the self-profile out before the cluster (and with it the

@@ -37,12 +37,38 @@ struct FleetExperimentConfig {
   bool lending = true;
   bool lending_demand_weighted = false;
 
+  /// Lending-heavy geometry: node 0's tenants oversubscribe hard
+  /// (working set = 1.6x usable RAM) while every other node's tenants fit
+  /// in RAM (0.55x). The global policy then grants node 0 a quota above its
+  /// physical tmem while the cold nodes' shrunken quotas free their frames
+  /// for lending — so the run actually exercises the borrow path. The
+  /// default geometry (every node spilling) never lends: no node's quota
+  /// can exceed its physical capacity.
+  bool lending_heavy = false;
+
+  /// Asynchronous lending data plane (ClusterConfig::lending_async):
+  /// borrows become fabric round trips with faults/timeouts/retries and an
+  /// optional borrower-side cache (cache_pages).
+  AsyncLendingConfig lending_async;
+
+  /// Multiplies the lending-hop wire latencies (async plane only; 1.0 =
+  /// the RDMA-class 40us/direction default).
+  double lend_rtt_x = 1.0;
+
+  /// Fault surface installed on both lending hops (async plane only).
+  comm::FaultSpec lend_fault;
+
   /// Delta-encode the control plane (per-VM hops and rack hops) with this
   /// resync cadence. Off = classic full-vector messages.
   bool delta = false;
   std::uint64_t resync_every = 16;
   /// O(changed-VMs) MM decision loop (independent of `delta`).
   bool mm_incremental = false;
+
+  /// Truncates the run at this simulated time when positive (tests: force
+  /// a teardown while lending exchanges are still mid-flight). 0 = run to
+  /// the scenario deadline.
+  SimTime deadline_cap = 0;
 
   double scale = 0.25;
   std::uint64_t seed = 42;
@@ -86,6 +112,29 @@ struct FleetRunResult {
 
   std::uint64_t borrow_placements = 0;
   std::uint64_t lending_failed_placements = 0;
+  std::uint64_t borrow_hits = 0;
+  std::uint64_t borrow_misses = 0;
+  std::uint64_t lending_recalls = 0;
+  std::uint64_t lending_failed_replacements = 0;
+
+  // Async lending fabric (all zero when the synchronous plane ran).
+  std::uint64_t fabric_requests = 0;
+  std::uint64_t fabric_retries = 0;
+  std::uint64_t fabric_timeouts = 0;
+  std::uint64_t fabric_give_ups = 0;
+  std::uint64_t fabric_congestion_drops = 0;
+  std::uint64_t fabric_get_fallbacks = 0;
+  /// In-flight borrow timers cancelled by teardown (Cluster::run's
+  /// broker->stop(), the Tkm::stop() mirror).
+  std::uint64_t fabric_cancelled_timers = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_invalidations = 0;
+  /// Mean modeled RTT of successful borrowed puts / of borrowed gets
+  /// (cache hits count as 0 us — this is the metric the cache improves).
+  double put_rtt_mean_us = 0.0;
+  double get_rtt_mean_us = 0.0;
+  std::uint64_t get_rtt_count = 0;
 
   // Engine self-profile (cfg.profile, sharded multi-node runs only; empty
   // otherwise). Wall-clock derived like mm_decide_ns — callers must keep

@@ -51,12 +51,27 @@ LendingBroker::LendingBroker(std::vector<hyper::Hypervisor*> nodes,
   }
   state_.resize(hyps_.size());
   for (NodeId i = 0; i < state_.size(); ++i) {
+    state_[i].self = i;
     state_[i].port = std::make_unique<Port>(*this, i);
     if (mode_ == LendingMode::kSharded) {
       state_[i].credit.assign(hyps_.size(), 0);
       state_[i].pending_release.assign(hyps_.size(), 0);
     }
   }
+}
+
+void LendingBroker::enable_async(const AsyncLendingConfig& cfg,
+                                 const comm::ClusterTopology& topo) {
+  if (!cfg.enabled) return;
+  fabric_ = std::make_unique<LendFabric>(topo, cfg, hyps_.size());
+}
+
+void LendingBroker::attach_sim(NodeId node, sim::Simulator* sim) {
+  if (fabric_ != nullptr) fabric_->attach_sim(node, sim);
+}
+
+void LendingBroker::stop() {
+  if (fabric_ != nullptr) fabric_->stop();
 }
 
 hyper::RemoteTmem* LendingBroker::port(NodeId node) {
@@ -100,6 +115,10 @@ void LendingBroker::trace_instant(NodeState& st, const char* name,
 void LendingBroker::drop_entry(NodeState& st, const RemoteKey& key) {
   auto it = st.index.find(key);
   if (it == st.index.end()) return;
+  // Single choke point for cache coherence: whenever a borrowed entry dies
+  // (flush, release, recall, ephemeral-hit consume, index repair) the
+  // borrower-side cached copy dies with it.
+  if (fabric_ != nullptr) fabric_->cache(st.self).erase(key);
   st.index.erase(it);
   st.borrowed_total -= 1;
   auto pv = st.borrowed_per_vm.find(key.vm);
@@ -119,37 +138,85 @@ bool LendingBroker::do_put(NodeId node, VmId vm, tmem::PoolType type,
                            const tmem::PagePayload& payload) {
   NodeState& st = state_[node];
   const RemoteKey key{vm, type, object, index};
+  st.last_elapsed = 0;
 
   // Replacement of a key the broker already holds stays on its donor (the
   // donor-side put swaps the payload without consuming a new frame).
   auto it = st.index.find(key);
   if (it != st.index.end()) {
+    const NodeId donor = it->second;
+    if (fabric_ != nullptr) {
+      comm::LendRequest req{0, comm::LendOp::kPut, node, vm,
+                            type,  object,          index, true};
+      const LendFabric::Outcome out =
+          fabric_->round_trip(node, donor, req, /*resp_carries_page=*/false);
+      st.last_elapsed = out.elapsed;
+      if (!out.ok) {
+        // The replacement never reached the donor and the guest is about to
+        // fall back to disk — drop the entry (and the stale donor frame)
+        // so owns() never vouches for a payload the guest stopped trusting.
+        ++st.failed_replacements;
+        fabric_->send_invalidate(node, donor, comm::LendOp::kFlush);
+        if (mode_ == LendingMode::kSharded) {
+          release_frame(st, key, donor);
+        } else {
+          hyps_[donor]->host_remote_flush(node, vm, type, object, index);
+        }
+        drop_entry(st, key);
+        return false;
+      }
+      fabric_->record_put_rtt(node, out.elapsed);
+      fabric_->cache(node).insert(key, payload);
+    }
     if (mode_ == LendingMode::kSharded) {
       st.shadow[key] = payload;
       return true;
     }
-    return hyps_[it->second]->host_remote_put(node, vm, type, object, index,
-                                              payload);
+    return hyps_[donor]->host_remote_put(node, vm, type, object, index,
+                                         payload);
   }
 
   // Fresh placement: deterministic rotation over the other nodes, first
   // donor with capacity wins (lendable frames in immediate mode, remaining
   // window credit in sharded mode). The cursor advances past a chosen donor
-  // so successive placements spread instead of piling on node 0.
+  // so successive placements spread instead of piling on node 0. With the
+  // async data plane the capacity probe only *selects* the donor; the
+  // request/response exchange then decides whether the placement lands —
+  // and a transport give-up degrades to a local failed put rather than
+  // hammering the next donor with a guest already waiting on its timeout.
   const NodeId n = static_cast<NodeId>(hyps_.size());
   for (NodeId j = 0; j < n; ++j) {
     const NodeId donor = (node + 1 + st.rotation + j) % n;
     if (donor == node) continue;
     if (mode_ == LendingMode::kSharded) {
       if (st.credit[donor] == 0) continue;
+    } else if (hyps_[donor]->lendable_pages() == 0) {
+      continue;
+    }
+    if (fabric_ != nullptr) {
+      comm::LendRequest req{0, comm::LendOp::kPut, node, vm,
+                            type,  object,          index, true};
+      const LendFabric::Outcome out =
+          fabric_->round_trip(node, donor, req, /*resp_carries_page=*/false);
+      st.last_elapsed += out.elapsed;
+      if (!out.ok) {
+        ++st.failed_placements;
+        ++st.failed_placements_total;
+        return false;
+      }
+    }
+    if (mode_ == LendingMode::kSharded) {
       st.credit[donor] -= 1;
       st.shadow.emplace(key, payload);
-    } else {
-      if (hyps_[donor]->lendable_pages() == 0) continue;
-      if (!hyps_[donor]->host_remote_put(node, vm, type, object, index,
-                                         payload)) {
-        continue;
-      }
+    } else if (!hyps_[donor]->host_remote_put(node, vm, type, object, index,
+                                              payload)) {
+      // The donor's answer was "no capacity" (the probe raced a local
+      // grow-back). The exchange itself succeeded; rotation continues.
+      continue;
+    }
+    if (fabric_ != nullptr) {
+      fabric_->record_put_rtt(node, st.last_elapsed);
+      fabric_->cache(node).insert(key, payload);
     }
     st.index.emplace(key, donor);
     st.borrowed_total += 1;
@@ -177,12 +244,53 @@ std::optional<tmem::PagePayload> LendingBroker::do_get(NodeId node, VmId vm,
                                                        std::uint32_t index) {
   NodeState& st = state_[node];
   const RemoteKey key{vm, type, object, index};
+  st.last_elapsed = 0;
   auto it = st.index.find(key);
   if (it == st.index.end()) {
+    // The owner index is borrower-local knowledge — a miss costs no wire.
     ++st.misses;
     return std::nullopt;
   }
   const NodeId donor = it->second;
+
+  // Borrower-side cache: a hit serves the page at the access point and
+  // skips the inter-node round trip entirely.
+  if (fabric_ != nullptr && fabric_->cache(node).enabled()) {
+    if (const auto cached = fabric_->cache(node).lookup(key)) {
+      ++st.hits;
+      fabric_->record_get_rtt(node, 0);
+      if (type == tmem::PoolType::kEphemeral) {
+        // Exclusivity survives the cache: the donor copy is consumed via a
+        // fire-and-forget invalidate (drop_entry also erases the cache).
+        fabric_->send_invalidate(node, donor, comm::LendOp::kFlush);
+        if (mode_ == LendingMode::kSharded) {
+          release_frame(st, key, donor);
+        } else {
+          hyps_[donor]->host_remote_flush(node, vm, type, object, index);
+        }
+        drop_entry(st, key);
+      }
+      trace_instant(st, "borrow_cache_hit", node, donor);
+      return cached;
+    }
+  }
+
+  if (fabric_ != nullptr) {
+    comm::LendRequest req{0,    comm::LendOp::kGet, node,  vm,
+                          type, object,             index, false};
+    const LendFabric::Outcome out =
+        fabric_->round_trip(node, donor, req, /*resp_carries_page=*/true);
+    st.last_elapsed = out.elapsed;
+    if (out.ok) {
+      fabric_->record_get_rtt(node, out.elapsed);
+    } else {
+      // A persistent get holds the only copy of guest data — it must not
+      // fail. The broker rescues it synchronously (the reliable
+      // control-plane path), charging the accumulated timeout cost.
+      fabric_->count_get_fallback(node);
+    }
+  }
+
   std::optional<tmem::PagePayload> payload;
   if (mode_ == LendingMode::kSharded) {
     auto sh = st.shadow.find(key);
@@ -197,6 +305,11 @@ std::optional<tmem::PagePayload> LendingBroker::do_get(NodeId node, VmId vm,
     return std::nullopt;
   }
   ++st.hits;
+  if (fabric_ != nullptr && type == tmem::PoolType::kPersistent) {
+    // Hot borrowed pages earn a seat at the access point; ephemeral pages
+    // are consumed on their first (and only) hit below.
+    fabric_->cache(node).insert(key, *payload);
+  }
   if (type == tmem::PoolType::kEphemeral) {
     // Victim-cache semantics survive the rack hop: an ephemeral hit
     // consumes the page.
@@ -217,6 +330,12 @@ bool LendingBroker::do_flush(NodeId node, VmId vm, tmem::PoolType type,
   const RemoteKey key{vm, type, object, index};
   auto it = st.index.find(key);
   if (it == st.index.end()) return false;
+  // A guest flush does not wait on the donor: the invalidate frame is
+  // fire-and-forget (retried implicitly — the donor frame is reclaimed at
+  // the latest by the next recall sweep).
+  if (fabric_ != nullptr) {
+    fabric_->send_invalidate(node, it->second, comm::LendOp::kFlush);
+  }
   if (mode_ == LendingMode::kSharded) {
     release_frame(st, key, it->second);
   } else {
@@ -239,6 +358,9 @@ PageCount LendingBroker::do_flush_object(NodeId node, VmId vm,
     const RemoteKey key = it->first;
     const NodeId donor = it->second;
     ++it;
+    if (fabric_ != nullptr) {
+      fabric_->send_invalidate(node, donor, comm::LendOp::kFlushObject);
+    }
     if (mode_ == LendingMode::kSharded) {
       release_frame(st, key, donor);
     } else {
@@ -290,6 +412,12 @@ std::uint64_t LendingBroker::failed_placements() const {
   return total;
 }
 
+std::uint64_t LendingBroker::failed_replacements() const {
+  std::uint64_t total = 0;
+  for (const NodeState& s : state_) total += s.failed_replacements;
+  return total;
+}
+
 PageCount LendingBroker::do_release(NodeId node, PageCount max_pages) {
   NodeState& st = state_[node];
   PageCount released = 0;
@@ -302,6 +430,9 @@ PageCount LendingBroker::do_release(NodeId node, PageCount max_pages) {
     const RemoteKey key = it->first;
     const NodeId donor = it->second;
     ++it;
+    if (fabric_ != nullptr) {
+      fabric_->send_invalidate(node, donor, comm::LendOp::kFlush);
+    }
     if (mode_ == LendingMode::kSharded) {
       release_frame(st, key, donor);
     } else {

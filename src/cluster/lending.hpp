@@ -22,10 +22,17 @@
 //  - Donor choice is a deterministic rotation over the other nodes, so a
 //    given (seed, topology) always produces the same placement.
 //
-// Latency: a borrower's guest pays the remote-tier cost (CostModel
-// tmem_put_remote / tmem_get_remote) on every borrowed-page operation; the
-// broker's calls themselves are synchronous host-side bookkeeping, the
-// same shortcut the single node takes for local hypercalls.
+// Latency: with the asynchronous data plane off (the historic default) a
+// borrower's guest pays the remote-tier cost (CostModel tmem_put_remote /
+// tmem_get_remote) on every borrowed-page operation and the broker's calls
+// are synchronous host-side bookkeeping. With enable_async() the broker
+// routes every put/get through a LendFabric round trip
+// (cluster/lend_fabric.hpp): the modeled request/response exchange decides
+// whether the operation succeeds at all (loss / reorder / outage /
+// timeout / congestion, bounded retries, deterministic give-up) and its
+// elapsed time surfaces to the guest through RemoteTmem::last_op_elapsed.
+// A borrower-side BorrowCache short-circuits repeated gets of hot
+// borrowed pages.
 #pragma once
 
 #include <cstdint>
@@ -34,6 +41,7 @@
 #include <memory>
 #include <vector>
 
+#include "cluster/lend_fabric.hpp"
 #include "cluster/node_stats.hpp"
 #include "hyper/hypervisor.hpp"
 #include "hyper/remote_tmem.hpp"
@@ -86,6 +94,22 @@ class LendingBroker {
   /// Node `node`'s borrower port (wire via Hypervisor::set_remote_tmem).
   hyper::RemoteTmem* port(NodeId node);
 
+  /// Switches the data plane to asynchronous round trips over the
+  /// topology's lending hops (no-op when cfg.enabled is false). Must be
+  /// called before traffic starts; attach_sim() wires each borrower
+  /// partition to its shard simulator afterwards.
+  void enable_async(const AsyncLendingConfig& cfg,
+                    const comm::ClusterTopology& topo);
+  void attach_sim(NodeId node, sim::Simulator* sim);
+
+  /// Cancels the fabric's outstanding in-flight borrow timers (cluster
+  /// teardown — the Tkm::stop() mirror). Idempotent; safe without a fabric.
+  void stop();
+
+  /// The async data plane, or nullptr when running synchronously.
+  LendFabric* fabric() { return fabric_.get(); }
+  const LendFabric* fabric() const { return fabric_.get(); }
+
   /// Donor-side recall: pulls up to `max_pages` pages lent *by* `donor`
   /// back out (quota grew, the donor needs its frames again). Ephemeral-
   /// typed entries are dropped (victim cache); persistent-typed ones are
@@ -115,6 +139,8 @@ class LendingBroker {
   /// immediate mode, no remaining window credit in sharded mode). The
   /// per-window slice of this is the demand-weighted split's signal.
   std::uint64_t failed_placements() const;
+  /// Replacement puts lost to the fabric (async data plane only).
+  std::uint64_t failed_replacements() const;
   bool demand_weighted() const { return demand_weighted_; }
   std::uint64_t recalls() const { return recalls_; }
   std::uint64_t recall_migrations() const { return recall_migrations_; }
@@ -133,16 +159,8 @@ class LendingBroker {
   void register_metrics(obs::Registry& reg) const;
 
  private:
-  /// Borrower-relative identity of one borrowed page. Ordered so the
-  /// per-object range scan of remote_flush_object is a lower_bound walk.
-  struct RemoteKey {
-    VmId vm;
-    tmem::PoolType type;
-    std::uint64_t object;
-    std::uint32_t index;
-
-    friend auto operator<=>(const RemoteKey&, const RemoteKey&) = default;
-  };
+  // RemoteKey (the borrower-relative page identity) lives at namespace
+  // scope in cluster/lend_fabric.hpp so the BorrowCache can share it.
 
   class Port final : public hyper::RemoteTmem {
    public:
@@ -177,6 +195,12 @@ class LendingBroker {
     PageCount release_borrowed(PageCount max_pages) override {
       return broker_.do_release(node_, max_pages);
     }
+    bool async_data_plane() const override {
+      return broker_.fabric_ != nullptr;
+    }
+    SimTime last_op_elapsed() const override {
+      return broker_.state_[node_].last_elapsed;
+    }
 
    private:
     LendingBroker& broker_;
@@ -184,11 +208,17 @@ class LendingBroker {
   };
 
   struct NodeState {
+    NodeId self = 0;
     std::map<RemoteKey, NodeId> index;  // borrowed key -> donor
     std::map<VmId, PageCount> borrowed_per_vm;
     PageCount borrowed_total = 0;
     NodeId rotation = 0;  // donor rotation cursor
     std::unique_ptr<Port> port;
+    /// Modeled fabric time of this borrower's last remote_put/remote_get
+    /// (async data plane only; stays 0 otherwise). Surfaced through the
+    /// port so the guest charges real round-trip time instead of the
+    /// static remote-tier constants.
+    SimTime last_elapsed = 0;
     // Per-partition op counters: written from this borrower's shard
     // mid-window, summed by the accessors (which run at barriers or after
     // the run, never concurrently with a window).
@@ -197,6 +227,10 @@ class LendingBroker {
     std::uint64_t misses = 0;
     std::uint64_t failed_placements = 0;        // this window (demand signal)
     std::uint64_t failed_placements_total = 0;  // lifetime
+    /// Replacement puts the fabric failed to deliver: the borrowed entry is
+    /// dropped (the guest falls back to disk) so owns() never lies. Not a
+    /// placement failure — kept out of the demand signal.
+    std::uint64_t failed_replacements = 0;
     // ---- kSharded only ----------------------------------------------------
     // Authoritative payloads of this borrower's borrowed pages. In sharded
     // mode the donor store holds opaque leased frames; the data itself
@@ -239,6 +273,7 @@ class LendingBroker {
 
   std::vector<hyper::Hypervisor*> hyps_;
   std::vector<NodeState> state_;
+  std::unique_ptr<LendFabric> fabric_;  // async data plane (null = sync)
   LendingMode mode_;
   bool demand_weighted_ = false;
   PageCount peak_borrowed_ = 0;

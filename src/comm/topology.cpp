@@ -18,6 +18,13 @@ ClusterTopology::ClusterTopology() {
   // sampling interval so quota decisions stay one global interval stale.
   internode_up.latency = LatencySpec::fixed_at(5 * kMillisecond);
   internode_down.latency = LatencySpec::fixed_at(5 * kMillisecond);
+  // The lending data plane bypasses the switch path: RDMA-class per-hop
+  // latency so a fault-free round trip (req + donor service + resp) lands
+  // near the historic 90 us Tier::kRemote cost constant.
+  internode_lend_req.name = "lend_req";
+  internode_lend_req.latency = LatencySpec::fixed_at(40 * kMicrosecond);
+  internode_lend_resp.name = "lend_resp";
+  internode_lend_resp.latency = LatencySpec::fixed_at(40 * kMicrosecond);
 }
 
 CommConfig ClusterTopology::node_comm_for(std::size_t node) const {
@@ -53,6 +60,34 @@ ChannelConfig ClusterTopology::downlink_for(std::size_t node) const {
                   node, seed, 1);
 }
 
+ChannelConfig ClusterTopology::lend_req_for(std::size_t borrower,
+                                            std::size_t donor) const {
+  ChannelConfig c = internode_lend_req;
+  c.name = "n" + std::to_string(borrower) + ".d" + std::to_string(donor) +
+           "." + c.name;
+  if (c.seed == 0) {
+    // Pair salts live far above the (node << 1 | which) control-plane salts
+    // so the streams can never collide.
+    c.seed = derive_seed(seed, 0x4c000000ULL |
+                                   (static_cast<std::uint64_t>(borrower) << 13) |
+                                   (static_cast<std::uint64_t>(donor) << 1));
+  }
+  return c;
+}
+
+ChannelConfig ClusterTopology::lend_resp_for(std::size_t borrower,
+                                             std::size_t donor) const {
+  ChannelConfig c = internode_lend_resp;
+  c.name = "n" + std::to_string(borrower) + ".d" + std::to_string(donor) +
+           "." + c.name;
+  if (c.seed == 0) {
+    c.seed = derive_seed(seed, 0x4c000000ULL |
+                                   (static_cast<std::uint64_t>(borrower) << 13) |
+                                   (static_cast<std::uint64_t>(donor) << 1) | 1);
+  }
+  return c;
+}
+
 SimTime ClusterTopology::min_internode_latency() const {
   // Templates plus every override — deliberately independent of node_count
   // (which is informative only), so the answer is conservative when an
@@ -72,6 +107,8 @@ void ClusterTopology::scale_times(double f) {
   node_comm.scale_times(f);
   internode_up.scale_times(f);
   internode_down.scale_times(f);
+  internode_lend_req.scale_times(f);
+  internode_lend_resp.scale_times(f);
   for (auto& [node, c] : up_overrides) c.scale_times(f);
   for (auto& [node, c] : down_overrides) c.scale_times(f);
 }

@@ -42,6 +42,17 @@ struct ClusterTopology {
   ChannelConfig internode_up;
   ChannelConfig internode_down;
 
+  /// Templates for the lending *data plane*: the borrower -> donor request
+  /// hop and the donor -> borrower response hop a borrowed page crosses
+  /// (comm/lend_wire.hpp frames). Defaults are RDMA-class (~40 us per
+  /// direction — a page copy over the rack's data fabric, not the 5 ms
+  /// control-plane switch path), so a default round trip lands near the
+  /// historic 90 us remote-tier cost constant. Every fault and queue knob
+  /// applies; queue_capacity bounds the per-pair in-flight window
+  /// (congestion from lending traffic).
+  ChannelConfig internode_lend_req;
+  ChannelConfig internode_lend_resp;
+
   /// Per-node overrides, for asymmetric topologies (one slow or lossy node)
   /// in tests and ablations. An override replaces the template wholesale;
   /// the name prefix and seed derivation are still applied afterwards.
@@ -61,6 +72,14 @@ struct ClusterTopology {
   ChannelConfig uplink_for(std::size_t node) const;
   ChannelConfig downlink_for(std::size_t node) const;
 
+  /// Lending-hop configs for the ordered (borrower, donor) pair: the
+  /// request hop and the response hop. Named "n<b>.d<d>.lend_req/resp";
+  /// when the template's seed is 0 each pair derives an independent stream
+  /// from the topology seed, so fault/latency draws on one pair never
+  /// perturb another (borrower partitions stay shard-local).
+  ChannelConfig lend_req_for(std::size_t borrower, std::size_t donor) const;
+  ChannelConfig lend_resp_for(std::size_t borrower, std::size_t donor) const;
+
   /// Scales every time constant (templates and overrides) by `f`.
   void scale_times(double f);
 
@@ -68,6 +87,12 @@ struct ClusterTopology {
   /// node, overrides included) — the safe lookahead for the parallel
   /// engine's conservative windows. 0 (e.g. a lognormal hop) means no safe
   /// window exists and the engine will refuse to run sharded.
+  ///
+  /// The lending data-plane hops are deliberately excluded: borrow round
+  /// trips are simulated entirely inside the borrower's partition (the
+  /// donor-side settlement happens at window barriers), so they never post
+  /// cross-shard events and must not shrink the engine's windows to the
+  /// 40 us data-plane scale.
   SimTime min_internode_latency() const;
 };
 

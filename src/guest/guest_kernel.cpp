@@ -253,15 +253,21 @@ void GuestKernel::swap_out_anon(SimTime& t, mem::AddressSpace::Id asid,
     const hyper::OpStatus status =
         hyp_.frontswap_put(config_.vm, kSwapObject, *slot, pte.content, &tier);
     if (status == hyper::OpStatus::kSuccess) {
-      t += tier == tmem::Tier::kRemote ? config_.costs.tmem_put_remote
-           : tier == tmem::Tier::kNvm  ? config_.costs.tmem_put_nvm
+      // On the async lending fabric a remote placement charges the local
+      // hypercall plus the modeled round trip instead of the flat constant.
+      t += tier == tmem::Tier::kRemote
+               ? (hyp_.remote_async()
+                      ? config_.costs.tmem_put + hyp_.remote_op_elapsed()
+                      : config_.costs.tmem_put_remote)
+           : tier == tmem::Tier::kNvm ? config_.costs.tmem_put_nvm
            : tier == tmem::Tier::kCompressed
                ? config_.costs.tmem_put_compressed
                : config_.costs.tmem_put;
       in_tmem = true;
       ++stats_.swapouts_tmem;
     } else {
-      t += config_.costs.tmem_put_failed;
+      // A fabric give-up spent real time in timeouts before failing.
+      t += config_.costs.tmem_put_failed + hyp_.remote_op_elapsed();
     }
   }
   if (!in_tmem) {
@@ -330,13 +336,16 @@ void GuestKernel::drop_file_page(SimTime& t, std::uint64_t file_id,
     const hyper::OpStatus status = hyp_.cleancache_put(
         config_.vm, file_id, index, file_content(file_id, index), &tier);
     if (status == hyper::OpStatus::kSuccess) {
-      t += tier == tmem::Tier::kRemote ? config_.costs.tmem_put_remote
-           : tier == tmem::Tier::kNvm  ? config_.costs.tmem_put_nvm
+      t += tier == tmem::Tier::kRemote
+               ? (hyp_.remote_async()
+                      ? config_.costs.tmem_put + hyp_.remote_op_elapsed()
+                      : config_.costs.tmem_put_remote)
+           : tier == tmem::Tier::kNvm ? config_.costs.tmem_put_nvm
            : tier == tmem::Tier::kCompressed
                ? config_.costs.tmem_put_compressed
                : config_.costs.tmem_put;
     } else {
-      t += config_.costs.tmem_put_failed;
+      t += config_.costs.tmem_put_failed + hyp_.remote_op_elapsed();
     }
     ++stats_.cleancache_puts;
   }
@@ -381,8 +390,14 @@ TouchResult GuestKernel::touch(mem::AddressSpace::Id asid, Vpn vpn, bool write,
         tmem::Tier tier = tmem::Tier::kDram;
         const auto payload =
             hyp_.frontswap_get(config_.vm, kSwapObject, slot, &tier);
-        t += tier == tmem::Tier::kRemote ? config_.costs.tmem_get_remote
-             : tier == tmem::Tier::kNvm  ? config_.costs.tmem_get_nvm
+        // Async fabric: the borrowed get costs the local hypercall plus the
+        // modeled round trip (0 on a borrower-cache hit, accumulated
+        // timeouts when the fabric gave up and the broker rescued the page).
+        t += tier == tmem::Tier::kRemote
+                 ? (hyp_.remote_async()
+                        ? config_.costs.tmem_get + hyp_.remote_op_elapsed()
+                        : config_.costs.tmem_get_remote)
+             : tier == tmem::Tier::kNvm ? config_.costs.tmem_get_nvm
              : tier == tmem::Tier::kCompressed
                  ? config_.costs.tmem_get_compressed
                  : config_.costs.tmem_get;
@@ -484,8 +499,11 @@ FileReadResult GuestKernel::file_read(std::uint64_t file_id,
     if (payload) {
       assert(*payload == file_content(file_id, index) &&
              "cleancache returned wrong page data");
-      t += tier == tmem::Tier::kRemote ? config_.costs.tmem_get_remote
-           : tier == tmem::Tier::kNvm  ? config_.costs.tmem_get_nvm
+      t += tier == tmem::Tier::kRemote
+               ? (hyp_.remote_async()
+                      ? config_.costs.tmem_get + hyp_.remote_op_elapsed()
+                      : config_.costs.tmem_get_remote)
+           : tier == tmem::Tier::kNvm ? config_.costs.tmem_get_nvm
            : tier == tmem::Tier::kCompressed
                ? config_.costs.tmem_get_compressed
                : config_.costs.tmem_get;

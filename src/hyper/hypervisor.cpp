@@ -100,6 +100,7 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, tmem::PoolType type,
                             tmem::PagePayload payload, tmem::Tier* tier) {
   VmData* data = find_vm(vm);
   if (data == nullptr) return OpStatus::kBadVm;
+  remote_op_elapsed_ = 0;  // set only by a remote leg taken in THIS call
 
   ++data->puts_total;          // line 15: counted whether or not it succeeds
   ++data->cumul_puts_total;
@@ -148,7 +149,9 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, tmem::PoolType type,
   }
 
   if (remote_owned) {
-    if (remote_->remote_put(vm, type, object, index, payload)) {
+    const bool ok = remote_->remote_put(vm, type, object, index, payload);
+    remote_op_elapsed_ = remote_->last_op_elapsed();
+    if (ok) {
       ++remote_puts_;
       ++data->puts_succ;
       ++data->cumul_puts_succ;
@@ -165,17 +168,20 @@ OpStatus Hypervisor::do_put(VmId vm, tmem::PoolId pool, tmem::PoolType type,
     // policy granted it more than it owns) may borrow a donor's frame at
     // inter-node latency instead of failing the put.
     if (remote_ != nullptr &&
-        (node_quota_ == kUnlimitedTarget || own_used_total() < node_quota_) &&
-        remote_->remote_put(vm, type, object, index, payload)) {
-      ++remote_puts_;
-      ++data->puts_succ;
-      ++data->cumul_puts_succ;
-      if (tier != nullptr) *tier = tmem::Tier::kRemote;
-      if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
-        trace_->instant(obs::kCatHyper, vm_track(vm), "put_remote",
-                        sim_.now(), {{"used", static_cast<double>(used)}});
+        (node_quota_ == kUnlimitedTarget || own_used_total() < node_quota_)) {
+      const bool ok = remote_->remote_put(vm, type, object, index, payload);
+      remote_op_elapsed_ = remote_->last_op_elapsed();
+      if (ok) {
+        ++remote_puts_;
+        ++data->puts_succ;
+        ++data->cumul_puts_succ;
+        if (tier != nullptr) *tier = tmem::Tier::kRemote;
+        if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
+          trace_->instant(obs::kCatHyper, vm_track(vm), "put_remote",
+                          sim_.now(), {{"used", static_cast<double>(used)}});
+        }
+        return OpStatus::kSuccess;
       }
-      return OpStatus::kSuccess;
     }
     ++data->cumul_puts_failed;
     if (trace_ != nullptr && trace_->enabled(obs::kCatHyper)) {
@@ -225,9 +231,11 @@ std::optional<tmem::PagePayload> Hypervisor::do_get(
     std::uint32_t index, tmem::Tier* tier) {
   ++data.gets_total;
   ++data.cumul_gets_total;
+  remote_op_elapsed_ = 0;
   auto result = store_.get(tmem::TmemKey{pool, object, index}, tier);
   if (!result && remote_ != nullptr) {
     result = remote_->remote_get(data.vm_id, type, object, index);
+    remote_op_elapsed_ = remote_->last_op_elapsed();
     if (result) {
       ++remote_gets_;
       if (tier != nullptr) *tier = tmem::Tier::kRemote;

@@ -152,6 +152,18 @@ class Hypervisor {
   /// the single-node default). Must be set before traffic starts.
   void set_remote_tmem(RemoteTmem* remote) { remote_ = remote; }
 
+  /// True when borrowed-page operations run over a modeled asynchronous
+  /// fabric; the guest then charges remote_op_elapsed() on top of the local
+  /// hypercall cost instead of the static remote-tier constants.
+  bool remote_async() const {
+    return remote_ != nullptr && remote_->async_data_plane();
+  }
+
+  /// Modeled fabric time of the remote leg of the most recent put/get
+  /// hypercall on this node. 0 when that call never reached the remote
+  /// port or the data plane is synchronous.
+  SimTime remote_op_elapsed() const { return remote_op_elapsed_; }
+
   /// Sets the rack-level tmem quota for this node: a cap on how many pages
   /// the node may consume for its own guests (locally + borrowed), enforced
   /// by Algorithm 1 *before* the per-VM targets renormalize beneath it.
@@ -346,6 +358,7 @@ class Hypervisor {
   // ---- Cluster state -------------------------------------------------------
   PageCount node_quota_ = kUnlimitedTarget;
   RemoteTmem* remote_ = nullptr;
+  SimTime remote_op_elapsed_ = 0;  // remote leg of the last put/get hypercall
   PageCount lent_pages_ = 0;  // frames hosted for other nodes
   std::uint64_t last_quota_seq_ = 0;
   std::uint64_t quota_updates_ = 0;
